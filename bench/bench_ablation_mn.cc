@@ -1,0 +1,41 @@
+// Ablation (§3.4): server-distribution profiling — average server-pair path
+// length of the global-mode topology as a function of (m, n), the numbers
+// of 6-port and 4-port converter rows per edge column. The paper's
+// profiling scheme picks the (m, n) minimizing this metric; this bench
+// prints the whole grid so the sensitivity is visible.
+#include <cstdio>
+
+#include "bench/util.h"
+#include "core/profiling.h"
+
+namespace flattree {
+namespace {
+
+void sweep(const char* label, const ClosParams& clos) {
+  const MnProfile profile = profile_mn(clos, WiringPattern::kPattern1);
+  std::printf("\n--- %s ---\n", label);
+  bench::print_row({"m", "n", "avg-server-hops", "avg-switch-hops"}, 18);
+  for (const MnCandidate& c : profile.candidates) {
+    bench::print_row({std::to_string(c.m), std::to_string(c.n),
+                      bench::fmt(c.avg_server_pair_hops, 4),
+                      bench::fmt(c.avg_switch_pair_hops, 4)},
+                     18);
+  }
+  std::printf("best: m=%u n=%u avg=%.4f\n", profile.best.m, profile.best.n,
+              profile.best.avg_server_pair_hops);
+}
+
+void run() {
+  bench::print_header("Ablation: (m, n) profiling (§3.4)",
+                      "global-mode average path length across the grid");
+  sweep("testbed (h/r = 2)", ClosParams::testbed());
+  sweep("topo-2 (h/r = 6)", ClosParams::topo2());
+}
+
+}  // namespace
+}  // namespace flattree
+
+int main() {
+  flattree::run();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table 2: the six evaluated flat-tree layouts, with derived Pod structure
+// and flat-tree conversion audits (converter counts from the default (m, n)
+// and the structural properties of the wiring).
+#include <cstdio>
+
+#include "bench/util.h"
+#include "core/flat_tree.h"
+#include "net/stats.h"
+#include "topo/params.h"
+
+namespace flattree {
+namespace {
+
+void run() {
+  bench::print_header(
+      "Table 2: evaluated flat-tree topologies",
+      "Columns mirror the paper; (m,n) are the default converter rows per\n"
+      "edge column; 'uniform' verifies wiring Property 1 in global mode.");
+  bench::print_row({"id", "#ES(up,dn)", "#AS(up,dn)", "#CS(dn)", "OR@ES",
+                    "OR@AS", "#Server", "(m,n)", "uniform"},
+                   12);
+  for (const char* name :
+       {"topo-1", "topo-2", "topo-3", "topo-4", "topo-5", "topo-6"}) {
+    const ClosParams p = ClosParams::preset(name);
+    const FlatTreeParams ft = FlatTreeParams::defaults_for(p);
+    const FlatTree tree{ft};
+    const Graph global = tree.realize_uniform(PodMode::kGlobal);
+    const auto per_core = servers_per_switch(global, NodeRole::kCore);
+    const auto [min_it, max_it] =
+        std::minmax_element(per_core.begin(), per_core.end());
+    const bool uniform = *min_it == *max_it;
+
+    const std::uint32_t agg_down =
+        p.edge_per_pod * p.edge_uplinks / p.agg_per_pod;
+    char es[32], as[32], cs[16], mn[16];
+    std::snprintf(es, sizeof(es), "%u(%u,%u)", p.total_edges(),
+                  p.edge_uplinks, p.servers_per_edge);
+    std::snprintf(as, sizeof(as), "%u(%u,%u)", p.total_aggs(), p.agg_uplinks,
+                  agg_down);
+    std::snprintf(cs, sizeof(cs), "%u(%u)", p.cores, p.core_ports);
+    std::snprintf(mn, sizeof(mn), "(%u,%u)", ft.m(), ft.n());
+    bench::print_row({name, es, as, cs, bench::fmt(p.edge_oversubscription(), 0),
+                      bench::fmt(p.agg_oversubscription(), 0),
+                      std::to_string(p.total_servers()), mn,
+                      uniform ? "yes" : "no"},
+                     12);
+  }
+  std::printf(
+      "\npaper Table 2 rows: topo-1 128(8,32) 128(8,8) 64(16) 4 1 4096;\n"
+      "topo-2..topo-6 per Table 2 (topo-6 AS read as (16,32), DESIGN.md).\n");
+}
+
+}  // namespace
+}  // namespace flattree
+
+int main() {
+  flattree::run();
+  return 0;
+}

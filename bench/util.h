@@ -1,0 +1,108 @@
+// Shared helpers for the benchmark binaries: routing providers, workload ->
+// LP-instance plumbing, statistics, and fixed-width table printing. Each
+// bench binary reproduces one table or figure of the paper and prints the
+// same rows/series the paper reports, plus the scaling notes from
+// EXPERIMENTS.md.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "lp/throughput.h"
+#include "net/capacity.h"
+#include "net/graph.h"
+#include "net/rng.h"
+#include "routing/ecmp.h"
+#include "routing/ksp.h"
+#include "sim/fluid.h"
+#include "traffic/flow.h"
+
+namespace flattree::bench {
+
+inline PathProvider ksp_provider(const Graph& g, std::uint32_t k) {
+  auto cache = std::make_shared<PathCache>(g, k);
+  return [cache](NodeId src, NodeId dst, std::uint32_t) {
+    return cache->server_paths(src, dst);
+  };
+}
+
+inline PathProvider ecmp_provider(const Graph& g, std::uint64_t seed = 0) {
+  auto router = std::make_shared<EcmpRouter>(g, seed);
+  return [router](NodeId src, NodeId dst, std::uint32_t flow) {
+    return std::vector<Path>{router->flow_path(src, dst, flow)};
+  };
+}
+
+// Builds the path-based MCF instance for a workload under k-shortest-path
+// routing on `g`.
+inline McfInstance mcf_for(const Graph& g, const Workload& flows,
+                           std::uint32_t k) {
+  const LogicalTopology topo{g};
+  PathCache cache{g, k};
+  std::vector<FlowPaths> flow_paths;
+  flow_paths.reserve(flows.size());
+  for (const Flow& f : flows) {
+    flow_paths.push_back(FlowPaths{NodeId{f.src}, NodeId{f.dst},
+                                   cache.server_paths(NodeId{f.src},
+                                                      NodeId{f.dst})});
+  }
+  return build_mcf_instance(topo, flow_paths);
+}
+
+// Deterministically subsample a workload down to `count` flows.
+inline Workload subsample(const Workload& flows, std::size_t count,
+                          std::uint64_t seed) {
+  if (flows.size() <= count) return flows;
+  std::vector<std::uint32_t> index(flows.size());
+  std::iota(index.begin(), index.end(), 0u);
+  Rng rng{seed};
+  shuffle(index, rng);
+  Workload out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(flows[index[i]]);
+  return out;
+}
+
+inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+inline double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1 - frac) + v[hi] * frac;
+}
+
+inline void print_header(const std::string& title, const std::string& note) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(double value, int precision = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+inline std::string fmt_gbps(double bps) { return fmt(bps / 1e9, 2); }
+
+}  // namespace flattree::bench

@@ -1,0 +1,213 @@
+// flattree_cli — command-line front end for the library.
+//
+//   flattree_cli info <preset>                 Table-2 style summary + modes
+//   flattree_cli dot <preset> <mode>           Graphviz DOT on stdout
+//   flattree_cli profile <preset>              (m, n) profiling sweep (§3.4)
+//   flattree_cli plan <preset> <from> <to>     conversion plan + Table-3 delay
+//   flattree_cli rates <preset> <mode> <pattern>
+//                                              fluid throughput (permutation |
+//                                              stride | hotspot | shuffle)
+//   flattree_cli gen-trace <preset> <trace>    workload CSV on stdout
+//                                              (hadoop1|hadoop2|web|cache)
+//   flattree_cli advise <preset> < flows.csv   recommend per-Pod modes for a
+//                                              measured workload (§5.2)
+//
+// Presets: topo-1..topo-6, testbed. Modes: clos, local, global.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <numeric>
+#include <string>
+
+#include "control/advisor.h"
+#include "control/controller.h"
+#include "core/flat_tree.h"
+#include "core/profiling.h"
+#include "net/dot.h"
+#include "net/stats.h"
+#include "routing/ksp.h"
+#include "sim/fluid.h"
+#include "topo/params.h"
+#include "traffic/io.h"
+#include "traffic/patterns.h"
+#include "traffic/traces.h"
+
+using namespace flattree;
+
+namespace {
+
+ClosParams preset(const std::string& name) {
+  return name == "testbed" ? ClosParams::testbed() : ClosParams::preset(name);
+}
+
+PodMode mode(const std::string& name) {
+  if (name == "clos") return PodMode::kClos;
+  if (name == "local") return PodMode::kLocal;
+  if (name == "global") return PodMode::kGlobal;
+  throw std::invalid_argument("unknown mode: " + name +
+                              " (use clos|local|global)");
+}
+
+int cmd_info(const std::string& preset_name) {
+  const ClosParams clos = preset(preset_name);
+  const FlatTree tree{FlatTreeParams::defaults_for(clos)};
+  std::printf("%s: %u pods, %u edge + %u agg + %u core switches, %u servers\n"
+              "edge OR %.1f:1, agg OR %.1f:1, default (m,n) = (%u,%u), "
+              "%zu converter switches\n\n",
+              preset_name.c_str(), clos.pods, clos.total_edges(),
+              clos.total_aggs(), clos.cores, clos.total_servers(),
+              clos.edge_oversubscription(), clos.agg_oversubscription(),
+              tree.params().m(), tree.params().n(), tree.converters().size());
+  for (const PodMode m : {PodMode::kClos, PodMode::kLocal, PodMode::kGlobal}) {
+    const Graph g = tree.realize_uniform(m);
+    const PathLengthStats stats = compute_path_length_stats(g);
+    std::printf("%-7s mode: avg server-pair %.3f hops, diameter %u\n",
+                to_string(m), stats.avg_server_pair_hops, stats.diameter);
+  }
+  return 0;
+}
+
+int cmd_dot(const std::string& preset_name, const std::string& mode_name,
+            bool servers) {
+  const FlatTree tree{FlatTreeParams::defaults_for(preset(preset_name))};
+  DotOptions options;
+  options.include_servers = servers;
+  write_dot(std::cout, tree.realize_uniform(mode(mode_name)), options);
+  return 0;
+}
+
+int cmd_profile(const std::string& preset_name) {
+  const ClosParams clos = preset(preset_name);
+  const std::uint32_t stride = clos.core_connectors_per_edge() > 6 ? 2 : 1;
+  const MnProfile profile =
+      profile_mn(clos, WiringPattern::kPattern1, stride);
+  std::printf("m     n     avg-server-hops\n");
+  for (const MnCandidate& c : profile.candidates) {
+    std::printf("%-5u %-5u %.4f%s\n", c.m, c.n, c.avg_server_pair_hops,
+                c.m == profile.best.m && c.n == profile.best.n ? "  <- best"
+                                                               : "");
+  }
+  return 0;
+}
+
+int cmd_plan(const std::string& preset_name, const std::string& from_name,
+             const std::string& to_name) {
+  FlatTreeParams params = FlatTreeParams::defaults_for(preset(preset_name));
+  ControllerOptions options;
+  options.k_global = options.k_local = options.k_clos = 4;
+  const Controller ctl{FlatTree{params}, options};
+  const CompiledMode from = ctl.compile_uniform(mode(from_name));
+  const CompiledMode to = ctl.compile_uniform(mode(to_name));
+  const ConversionReport r = ctl.plan_conversion(from, to);
+  std::printf("%s -> %s: %u converters reconfigure\n"
+              "rules: delete %llu, add %llu (per busiest switch)\n"
+              "delay: OCS %.0f ms + delete %.0f ms + add %.0f ms = %.0f ms\n",
+              from_name.c_str(), to_name.c_str(), r.converters_changed,
+              static_cast<unsigned long long>(r.rules_deleted),
+              static_cast<unsigned long long>(r.rules_added), r.ocs_s * 1e3,
+              r.delete_s * 1e3, r.add_s * 1e3, r.total_s() * 1e3);
+  return 0;
+}
+
+int cmd_rates(const std::string& preset_name, const std::string& mode_name,
+              const std::string& pattern) {
+  const ClosParams clos = preset(preset_name);
+  const FlatTree tree{FlatTreeParams::defaults_for(clos)};
+  const Graph g = tree.realize_uniform(mode(mode_name));
+  Rng rng{2024};
+  Workload flows;
+  if (pattern == "permutation") {
+    flows = permutation_traffic(clos.total_servers(), rng);
+  } else if (pattern == "stride") {
+    flows = pod_stride_traffic(clos.total_servers(),
+                               clos.servers_per_edge * clos.edge_per_pod);
+  } else if (pattern == "hotspot") {
+    flows = hot_spot_traffic(clos.total_servers(),
+                             std::min(100u, clos.total_servers() / 2));
+  } else if (pattern == "shuffle") {
+    flows = many_to_many_traffic(clos.total_servers(),
+                                 std::min(20u, clos.total_servers() / 2));
+  } else {
+    throw std::invalid_argument("unknown pattern: " + pattern);
+  }
+  auto cache = std::make_shared<PathCache>(g, 8);
+  FluidSimulator sim{g, [cache](NodeId s, NodeId d, std::uint32_t) {
+                       return cache->server_paths(s, d);
+                     }};
+  const auto rates = sim.measure_rates(flows);
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  const double worst = *std::min_element(rates.begin(), rates.end());
+  std::printf("%zu flows: total %.1f Gb/s, mean %.2f Gb/s, min %.2f Gb/s\n",
+              flows.size(), total / 1e9,
+              total / static_cast<double>(flows.size()) / 1e9, worst / 1e9);
+  return 0;
+}
+
+int cmd_gen_trace(const std::string& preset_name, const std::string& which) {
+  TraceParams trace = which == "hadoop1"   ? TraceParams::hadoop1()
+                      : which == "hadoop2" ? TraceParams::hadoop2()
+                      : which == "cache"   ? TraceParams::cache()
+                      : which == "web"
+                          ? TraceParams::web()
+                          : throw std::invalid_argument("unknown trace: " +
+                                                        which);
+  trace.duration_s = 1.0;
+  write_workload_csv(std::cout, generate_trace(preset(preset_name), trace));
+  return 0;
+}
+
+int cmd_advise(const std::string& preset_name) {
+  const ClosParams clos = preset(preset_name);
+  const Workload flows = read_workload_csv(std::cin);
+  const Advice advice = advise_modes(clos, flows);
+  std::printf("pod   rack%%   pod%%    inter%%  bytes         mode\n");
+  for (std::size_t pod = 0; pod < advice.per_pod.size(); ++pod) {
+    const PodTrafficProfile& p = advice.per_pod[pod];
+    const double total = std::max(p.total_bytes, 1.0);
+    std::printf("%-5zu %-7.1f %-7.1f %-7.1f %-13.3g %s\n", pod,
+                p.intra_rack / total * 100,
+                p.intra_pod / total * 100, p.inter_pod / total * 100,
+                p.total_bytes,
+                to_string(advice.assignment.pod_modes[pod]));
+  }
+  std::printf("\nuniform recommendation: %s mode\n",
+              to_string(advice.uniform));
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: flattree_cli <command> ...\n"
+               "  info <preset>\n"
+               "  dot <preset> <mode> [--no-servers]\n"
+               "  profile <preset>\n"
+               "  plan <preset> <from-mode> <to-mode>\n"
+               "  rates <preset> <mode> <permutation|stride|hotspot|shuffle>\n"
+               "  gen-trace <preset> <hadoop1|hadoop2|web|cache>\n"
+               "  advise <preset> < flows.csv\n"
+               "presets: topo-1..topo-6, testbed; modes: clos, local, global\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "info" && argc == 3) return cmd_info(argv[2]);
+    if (cmd == "dot" && argc >= 4) {
+      const bool servers = !(argc > 4 && std::strcmp(argv[4], "--no-servers") == 0);
+      return cmd_dot(argv[2], argv[3], servers);
+    }
+    if (cmd == "profile" && argc == 3) return cmd_profile(argv[2]);
+    if (cmd == "plan" && argc == 5) return cmd_plan(argv[2], argv[3], argv[4]);
+    if (cmd == "rates" && argc == 5) return cmd_rates(argv[2], argv[3], argv[4]);
+    if (cmd == "gen-trace" && argc == 4) return cmd_gen_trace(argv[2], argv[3]);
+    if (cmd == "advise" && argc == 3) return cmd_advise(argv[2]);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,70 @@
+// Hybrid mode (§3.5): organize the network into functionally separate zones
+// — a Clos zone for a rack-local service, a global zone for a network-wide
+// service — and show each workload running in its best-suited zone
+// simultaneously on one physical network.
+//
+//   $ ./hybrid_zones
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+#include "core/flat_tree.h"
+#include "routing/ksp.h"
+#include "sim/fluid.h"
+#include "topo/params.h"
+#include "traffic/patterns.h"
+
+using namespace flattree;
+
+namespace {
+
+double total_gbps(const Graph& g, const Workload& flows) {
+  auto cache = std::make_shared<PathCache>(g, 4);
+  FluidSimulator sim{g, [cache](NodeId s, NodeId d, std::uint32_t) {
+                       return cache->server_paths(s, d);
+                     }};
+  const auto rates = sim.measure_rates(flows);
+  return std::accumulate(rates.begin(), rates.end(), 0.0) / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  FlatTreeParams params;
+  params.clos = ClosParams::testbed();
+  params.six_port_per_column = 1;
+  params.four_port_per_column = 1;
+  const FlatTree tree{params};
+
+  // Zone plan: pod 0 runs a rack-local database (Clos mode keeps its racks
+  // intact); pods 1-3 run an analytics cluster with network-wide shuffles
+  // (global mode flattens them together).
+  ModeAssignment zones = ModeAssignment::uniform(4, PodMode::kGlobal);
+  zones.pod_modes[0] = PodMode::kClos;
+  const Graph hybrid = tree.realize(zones);
+
+  // Workloads: all-to-all inside pod 0's racks + pod-stride across 1..3.
+  const Workload db = clustered_all_to_all(6, 3);  // servers 0..5 (pod 0)
+  Workload analytics;
+  for (std::uint32_t s = 6; s < 24; ++s) {
+    const std::uint32_t dst = 6 + ((s - 6 + 6) % 18);
+    if (dst != s) analytics.push_back(Flow{s, dst});
+  }
+
+  std::printf("zone plan: pod0=clos (rack-local DB), pods1-3=global "
+              "(analytics)\n\n");
+  std::printf("%-22s %12s %12s\n", "network", "DB (Gb/s)", "analytics (Gb/s)");
+  const Graph uniform_clos = tree.realize_uniform(PodMode::kClos);
+  const Graph uniform_global = tree.realize_uniform(PodMode::kGlobal);
+  std::printf("%-22s %12.1f %12.1f\n", "all-Clos",
+              total_gbps(uniform_clos, db), total_gbps(uniform_clos, analytics));
+  std::printf("%-22s %12.1f %12.1f\n", "all-global",
+              total_gbps(uniform_global, db),
+              total_gbps(uniform_global, analytics));
+  std::printf("%-22s %12.1f %12.1f\n", "hybrid (zoned)",
+              total_gbps(hybrid, db), total_gbps(hybrid, analytics));
+  std::printf("\nThe hybrid network serves both services at (or near) their "
+              "best-mode\nthroughput simultaneously — the paper's "
+              "service-specific zones (§5.2).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: build a flat-tree from a Clos description, inspect its three
+// operation modes, and plan a run-time conversion.
+//
+//   $ ./quickstart
+//
+// This walks the core public API end to end: ClosParams -> FlatTree ->
+// realize() -> Controller::compile/plan_conversion.
+#include <cstdio>
+
+#include "control/controller.h"
+#include "core/addressing.h"
+#include "core/flat_tree.h"
+#include "net/stats.h"
+#include "topo/params.h"
+
+using namespace flattree;
+
+int main() {
+  // 1. Describe the Clos network you already have. This is the paper's
+  //    20-switch / 24-server testbed (Figure 2); swap in
+  //    ClosParams::topo1() or your own numbers for something bigger.
+  const ClosParams clos = ClosParams::testbed();
+  std::printf("Clos budget: %u pods, %u edge + %u agg + %u core switches, "
+              "%u servers (%.1f:1 oversubscribed)\n",
+              clos.pods, clos.total_edges(), clos.total_aggs(), clos.cores,
+              clos.total_servers(), clos.edge_oversubscription());
+
+  // 2. Make it convertible: one 6-port and one 4-port converter switch per
+  //    edge/aggregation pair (m = n = 1, as in the paper's example).
+  FlatTreeParams params;
+  params.clos = clos;
+  params.six_port_per_column = 1;
+  params.four_port_per_column = 1;
+  const FlatTree tree{params};
+  std::printf("Flat-tree: %zu converter switches packaged into the pods\n\n",
+              tree.converters().size());
+
+  // 3. Each operation mode realizes a different topology on the same
+  //    hardware.
+  for (const PodMode mode : {PodMode::kClos, PodMode::kLocal, PodMode::kGlobal}) {
+    const Graph g = tree.realize_uniform(mode);
+    const PathLengthStats stats = compute_path_length_stats(g);
+    std::size_t at_edge = 0, at_agg = 0, at_core = 0;
+    for (NodeId s : g.servers()) {
+      switch (g.node(g.attachment_switch(s)).role) {
+        case NodeRole::kEdge: ++at_edge; break;
+        case NodeRole::kAgg: ++at_agg; break;
+        case NodeRole::kCore: ++at_core; break;
+        default: break;
+      }
+    }
+    std::printf("%-7s mode: avg server-pair path %.2f hops, diameter %u, "
+                "servers at edge/agg/core = %zu/%zu/%zu\n",
+                to_string(mode), stats.avg_server_pair_hops, stats.diameter,
+                at_edge, at_agg, at_core);
+  }
+
+  // 4. The controller compiles modes (routing state + addressing) and
+  //    prices conversions like the testbed control software.
+  ControllerOptions options;
+  options.k_global = options.k_local = options.k_clos = 4;
+  const Controller controller{FlatTree{params}, options};
+  const CompiledMode from = controller.compile_uniform(PodMode::kClos);
+  const CompiledMode to = controller.compile_uniform(PodMode::kGlobal);
+  const ConversionReport report = controller.plan_conversion(from, to);
+  std::printf("\nClos -> global conversion: %u converters reconfigure, "
+              "%llu rules out / %llu in, total %.0f ms\n",
+              report.converters_changed,
+              static_cast<unsigned long long>(report.rules_deleted),
+              static_cast<unsigned long long>(report.rules_added),
+              report.total_s() * 1e3);
+
+  // 5. Every server keeps one preconfigured IP address set per mode
+  //    (Figure 5); MPTCP only ever uses the routable subset.
+  const AddressBook book{tree, /*k_global=*/16, /*k_local=*/8, /*k_clos=*/4};
+  const NodeId server0{0};
+  std::printf("\nserver0's preconfigured addresses (%u total):\n",
+              book.addresses_per_server());
+  for (const PodMode mode : {PodMode::kGlobal, PodMode::kLocal, PodMode::kClos}) {
+    std::printf("  %-7s:", to_string(mode));
+    for (const FlatTreeAddress& addr : book.plan(mode).addresses(server0)) {
+      std::printf(" %s", addr.str().c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Topology explorer: compare a Clos layout's flat-tree modes against random
+// graph and two-stage random graph networks built from the same devices.
+//
+//   $ ./topology_explorer [topo-1 | topo-2 | ... | topo-6 | testbed]
+//
+// Prints structure, path-length statistics, wiring-property audits, and the
+// (m, n) profiling result for the chosen layout.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/flat_tree.h"
+#include "core/profiling.h"
+#include "net/stats.h"
+#include "topo/clos.h"
+#include "topo/random_graph.h"
+
+using namespace flattree;
+
+namespace {
+
+void describe(const char* name, const Graph& g) {
+  const PathLengthStats stats = compute_path_length_stats(g);
+  std::printf("  %-16s avg server-pair %.3f hops, avg switch-pair %.3f, "
+              "diameter %u, links %zu\n",
+              name, stats.avg_server_pair_hops, stats.avg_switch_pair_hops,
+              stats.diameter, g.link_count());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string preset = argc > 1 ? argv[1] : "topo-2";
+  const ClosParams clos = preset == "testbed" ? ClosParams::testbed()
+                                              : ClosParams::preset(preset);
+
+  std::printf("=== %s: %u servers, %u switches ===\n\n", preset.c_str(),
+              clos.total_servers(), clos.total_switches());
+
+  // Profile (m, n) as §3.4 suggests, then build the flat-tree with it.
+  const MnProfile profile = profile_mn(clos, WiringPattern::kPattern1,
+                                       clos.core_connectors_per_edge() > 6 ? 2 : 1);
+  std::printf("profiled (m, n) = (%u, %u): avg server-pair path %.3f hops "
+              "(%zu candidates swept)\n\n",
+              profile.best.m, profile.best.n,
+              profile.best.avg_server_pair_hops, profile.candidates.size());
+
+  FlatTreeParams params;
+  params.clos = clos;
+  params.six_port_per_column = profile.best.m;
+  params.four_port_per_column = profile.best.n;
+  const FlatTree tree{params};
+
+  std::printf("flat-tree modes (same hardware, converted by software):\n");
+  describe("clos mode", tree.realize_uniform(PodMode::kClos));
+  describe("local mode", tree.realize_uniform(PodMode::kLocal));
+  const Graph global = tree.realize_uniform(PodMode::kGlobal);
+  describe("global mode", global);
+
+  std::printf("\nreference points (re-wired from the same device budget):\n");
+  describe("random graph", build_random_graph_from_clos(clos, 1));
+  TwoStageParams ts = TwoStageParams::from_clos(clos);
+  describe("two-stage RG", build_two_stage_random_graph(ts));
+
+  // Wiring property audits (§3.2).
+  const auto per_core = servers_per_switch(global, NodeRole::kCore);
+  const auto [lo, hi] = std::minmax_element(per_core.begin(), per_core.end());
+  std::printf("\nglobal-mode audits: servers per core %zu..%zu (Property 1: "
+              "uniform), ", *lo, *hi);
+  const auto edge_links = links_by_peer_role(global, NodeRole::kCore,
+                                             NodeRole::kEdge);
+  const auto [elo, ehi] =
+      std::minmax_element(edge_links.begin(), edge_links.end());
+  std::printf("core-edge links per core %zu..%zu (Property 2: equal)\n",
+              *elo, *ehi);
+  return 0;
+}

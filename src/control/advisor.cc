@@ -1,0 +1,58 @@
+#include "control/advisor.h"
+
+#include <stdexcept>
+
+namespace flattree {
+
+PodMode PodTrafficProfile::recommended(const AdvisorOptions& options) const {
+  if (total_bytes <= 0) return PodMode::kGlobal;
+  const double rack = intra_rack / total_bytes;
+  const double pod = (intra_rack + intra_pod) / total_bytes;
+  if (rack >= options.rack_threshold) return PodMode::kClos;
+  if (pod >= options.pod_threshold) return PodMode::kLocal;
+  return PodMode::kGlobal;
+}
+
+Advice advise_modes(const ClosParams& layout, const Workload& flows,
+                    const AdvisorOptions& options) {
+  layout.validate();
+  const std::uint32_t per_rack = layout.servers_per_edge;
+  const std::uint32_t per_pod = per_rack * layout.edge_per_pod;
+  const std::uint32_t servers = layout.total_servers();
+
+  Advice advice;
+  advice.per_pod.resize(layout.pods);
+  PodTrafficProfile whole;
+
+  for (const Flow& f : flows) {
+    if (f.src >= servers || f.dst >= servers) {
+      throw std::invalid_argument("advise_modes: server index out of range");
+    }
+    const double bytes = f.bytes > 0 ? f.bytes : 1.0;
+    const std::uint32_t src_pod = f.src / per_pod;
+    const std::uint32_t dst_pod = f.dst / per_pod;
+
+    const auto credit = [&](PodTrafficProfile& profile) {
+      profile.total_bytes += bytes;
+      if (f.src / per_rack == f.dst / per_rack) {
+        profile.intra_rack += bytes;
+      } else if (src_pod == dst_pod) {
+        profile.intra_pod += bytes;
+      } else {
+        profile.inter_pod += bytes;
+      }
+    };
+    credit(advice.per_pod[src_pod]);
+    if (dst_pod != src_pod) credit(advice.per_pod[dst_pod]);
+    credit(whole);
+  }
+
+  advice.assignment.pod_modes.reserve(layout.pods);
+  for (const PodTrafficProfile& profile : advice.per_pod) {
+    advice.assignment.pod_modes.push_back(profile.recommended(options));
+  }
+  advice.uniform = whole.recommended(options);
+  return advice;
+}
+
+}  // namespace flattree

@@ -1,0 +1,52 @@
+// Mode advisor: workload-driven zone planning (§5.2).
+//
+// The paper's operational guidance: "Flat-tree can be configured into
+// different modes to optimize traffic with different locality features,
+// i.e. Clos mode for rack-level locality, local mode for Pod-level
+// locality, and global mode for no locality. ... flat-tree can be used in
+// the hybrid mode with various service-specific zones". This module turns
+// a measured workload into exactly that plan: it profiles the byte-weighted
+// locality of each Pod's traffic and recommends a per-Pod mode assignment
+// (plus the best uniform mode, for operators who prefer one).
+#pragma once
+
+#include <vector>
+
+#include "core/flat_tree.h"
+#include "topo/params.h"
+#include "traffic/flow.h"
+
+namespace flattree {
+
+struct AdvisorOptions {
+  // Byte fraction of a Pod's traffic that must stay inside a rack for Clos
+  // mode to win, or inside the Pod (rack included) for local mode to win.
+  double rack_threshold{0.5};
+  double pod_threshold{0.5};
+};
+
+// Byte-weighted locality of the traffic touching one Pod.
+struct PodTrafficProfile {
+  double intra_rack{0.0};
+  double intra_pod{0.0};  // intra-Pod but crossing racks
+  double inter_pod{0.0};
+  double total_bytes{0.0};
+
+  [[nodiscard]] PodMode recommended(const AdvisorOptions& options) const;
+};
+
+struct Advice {
+  ModeAssignment assignment;              // per-Pod recommendation
+  std::vector<PodTrafficProfile> per_pod;
+  PodMode uniform{PodMode::kClos};        // single-mode recommendation
+};
+
+// Profiles `flows` against the Clos layout (positional rack/Pod membership,
+// as everywhere in this library) and recommends modes. Persistent flows
+// (bytes == 0) are weighted as one unit each. Pods with no traffic default
+// to global mode (they only serve transit).
+[[nodiscard]] Advice advise_modes(const ClosParams& layout,
+                                  const Workload& flows,
+                                  const AdvisorOptions& options = {});
+
+}  // namespace flattree

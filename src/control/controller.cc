@@ -1,0 +1,100 @@
+#include "control/controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/stats.h"
+#include "routing/source_routing.h"
+
+namespace flattree {
+
+CompiledMode::CompiledMode(const FlatTree& tree, ModeAssignment assignment,
+                           std::uint32_t k, bool count_rules)
+    : assignment_{std::move(assignment)}, k_{k} {
+  configs_ = tree.configs_for(assignment_);
+  graph_ = std::make_shared<const Graph>(tree.realize(configs_));
+  paths_ = std::make_unique<PathCache>(*graph_, k_);
+  if (count_rules) {
+    const auto pairs = all_ingress_pairs(*graph_);
+    const PathLengthStats stats = compute_path_length_stats(*graph_);
+    const PortMap ports{*graph_};
+    states_ = analyze_states(*graph_, *paths_, pairs, ports.max_port_count(),
+                             stats.diameter);
+    has_rule_counts_ = true;
+    max_rules_per_switch_ = states_.aggregated_max;
+    // Total aggregated rules across all switches = avg * switch count.
+    total_rules_ = static_cast<std::uint64_t>(
+        states_.aggregated_avg * static_cast<double>(graph_->switches().size()) +
+        0.5);
+  }
+}
+
+Controller::Controller(FlatTree tree, ControllerOptions options)
+    : tree_{std::move(tree)}, options_{options} {}
+
+std::uint32_t Controller::k_for(PodMode mode) const {
+  switch (mode) {
+    case PodMode::kGlobal: return options_.k_global;
+    case PodMode::kLocal: return options_.k_local;
+    case PodMode::kClos: return options_.k_clos;
+  }
+  return options_.k_global;
+}
+
+CompiledMode Controller::compile(const ModeAssignment& assignment,
+                                 std::uint32_t k) const {
+  return CompiledMode{tree_, assignment, k, options_.count_rules};
+}
+
+CompiledMode Controller::compile_uniform(PodMode mode) const {
+  return compile(ModeAssignment::uniform(tree_.clos().pods, mode),
+                 k_for(mode));
+}
+
+ConversionReport Controller::plan_conversion(const CompiledMode& from,
+                                             const CompiledMode& to) const {
+  if (from.configs().size() != to.configs().size()) {
+    throw std::invalid_argument("plan_conversion: different flat-trees");
+  }
+  ConversionReport report;
+  for (std::size_t i = 0; i < from.configs().size(); ++i) {
+    if (from.configs()[i] != to.configs()[i]) ++report.converters_changed;
+  }
+  // The OCS (or the distributed converter population) reconfigures in one
+  // pass: all circuit changes are programmed together (Table 3 shows a
+  // single 160 ms term regardless of mode).
+  report.ocs_s =
+      report.converters_changed > 0 ? options_.delay.ocs_reconfigure_s : 0.0;
+
+  // Rule updates are bottlenecked by the busiest switch table (switches are
+  // reprogrammed one table at a time in the testbed, and every switch's
+  // delete of the outgoing mode precedes the add of the incoming mode).
+  if (from.has_rule_counts() && to.has_rule_counts()) {
+    report.rules_deleted = from.max_rules_per_switch();
+    report.rules_added = to.max_rules_per_switch();
+  }
+  const double controllers =
+      std::max<std::uint32_t>(1, options_.delay.controllers);
+  report.delete_s = static_cast<double>(report.rules_deleted) *
+                    options_.delay.rule_delete_s / controllers;
+  report.add_s = static_cast<double>(report.rules_added) *
+                 options_.delay.rule_add_s / controllers;
+  return report;
+}
+
+std::vector<ModeAssignment> Controller::gradual_plan(
+    const ModeAssignment& from, const ModeAssignment& to) {
+  if (from.pod_modes.size() != to.pod_modes.size()) {
+    throw std::invalid_argument("gradual_plan: pod counts differ");
+  }
+  std::vector<ModeAssignment> stages;
+  ModeAssignment current = from;
+  for (std::size_t pod = 0; pod < from.pod_modes.size(); ++pod) {
+    if (current.pod_modes[pod] == to.pod_modes[pod]) continue;
+    current.pod_modes[pod] = to.pod_modes[pod];
+    stages.push_back(current);
+  }
+  return stages;
+}
+
+}  // namespace flattree

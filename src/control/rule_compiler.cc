@@ -1,0 +1,119 @@
+#include "control/rule_compiler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flattree {
+
+CompiledRuleTables::CompiledRuleTables(const Graph& graph, PathCache& paths,
+                                       const AddressPlan& plan)
+    : graph_{&graph}, plan_{&plan}, ports_{graph} {
+  prefix_tables_.resize(graph.node_count());
+  delivery_tables_.resize(graph.node_count());
+
+  const std::uint32_t num_servers =
+      static_cast<std::uint32_t>(graph.count_role(NodeRole::kServer));
+  const std::uint32_t addresses = plan.addresses_per_server();
+  const std::uint32_t k = plan.k();
+
+  // Delivery rules: exact destination address -> server port.
+  std::vector<NodeId> ingress;
+  for (NodeId sw : graph.switches()) {
+    const auto servers = graph.attached_servers(sw);
+    if (servers.empty()) continue;
+    ingress.push_back(sw);
+    for (NodeId server : servers) {
+      const std::uint8_t port = ports_.port_to(sw, server);
+      for (const FlatTreeAddress& addr : plan.addresses(server)) {
+        delivery_tables_[sw.index()].emplace(addr.to_ipv4(), port);
+      }
+    }
+  }
+
+  // Prefix-pair rules along every selected path of every switch pair.
+  const auto prefix_of = [&](NodeId sw, std::uint32_t path_id) {
+    FlatTreeAddress addr;
+    addr.switch_id = static_cast<std::uint16_t>(sw.value() - num_servers);
+    addr.path_id = static_cast<std::uint8_t>(path_id);
+    addr.topology = static_cast<std::uint8_t>(plan.topo());
+    return addr.ingress_prefix();
+  };
+
+  for (NodeId src_sw : ingress) {
+    for (NodeId dst_sw : ingress) {
+      if (src_sw == dst_sw) continue;
+      const auto& path_set = paths.switch_paths(src_sw, dst_sw);
+      if (path_set.empty()) {
+        throw std::logic_error("rule compiler: disconnected switch pair");
+      }
+      for (std::uint32_t i = 0; i < addresses; ++i) {
+        for (std::uint32_t j = 0; j < addresses; ++j) {
+          const std::uint32_t combo = i * addresses + j;
+          if (combo >= k) continue;  // §4.1: unnecessary subflow, no rules
+          const Path& path = path_set[combo % path_set.size()];
+          const std::uint64_t key =
+              pair_key(static_cast<std::uint32_t>(prefix_of(src_sw, i)),
+                       static_cast<std::uint32_t>(prefix_of(dst_sw, j)));
+          for (std::size_t hop = 0; hop + 1 < path.size(); ++hop) {
+            prefix_tables_[path[hop].index()].emplace(
+                key, ports_.port_to(path[hop], path[hop + 1]));
+          }
+        }
+      }
+    }
+  }
+}
+
+std::optional<std::vector<NodeId>> CompiledRuleTables::forward(
+    FlatTreeAddress src, FlatTreeAddress dst) const {
+  const auto src_server = plan_->server_for(src);
+  if (!src_server) return std::nullopt;
+  NodeId here = graph_->attachment_switch(*src_server);
+
+  const std::uint64_t key = pair_key(src.to_ipv4(), dst.to_ipv4());
+  std::vector<NodeId> visited{here};
+  for (int hop = 0; hop < 16; ++hop) {
+    // Egress delivery takes precedence (only the egress switch holds an
+    // exact-match entry for this destination address).
+    const auto& delivery = delivery_tables_[here.index()];
+    const auto deliver = delivery.find(dst.to_ipv4());
+    if (deliver != delivery.end()) {
+      const auto server = ports_.neighbor_at(here, deliver->second);
+      if (!server) return std::nullopt;
+      visited.push_back(*server);
+      return visited;
+    }
+    const auto& table = prefix_tables_[here.index()];
+    const auto rule = table.find(key);
+    if (rule == table.end()) return std::nullopt;  // unroutable address pair
+    const auto next = ports_.neighbor_at(here, rule->second);
+    if (!next) return std::nullopt;
+    visited.push_back(*next);
+    here = *next;
+  }
+  return std::nullopt;  // forwarding loop guard
+}
+
+std::size_t CompiledRuleTables::prefix_rules_at(NodeId sw) const {
+  return prefix_tables_.at(sw.index()).size();
+}
+
+std::size_t CompiledRuleTables::delivery_rules_at(NodeId sw) const {
+  return delivery_tables_.at(sw.index()).size();
+}
+
+std::size_t CompiledRuleTables::max_prefix_rules() const {
+  std::size_t best = 0;
+  for (const auto& table : prefix_tables_) {
+    best = std::max(best, table.size());
+  }
+  return best;
+}
+
+std::uint64_t CompiledRuleTables::total_prefix_rules() const {
+  std::uint64_t total = 0;
+  for (const auto& table : prefix_tables_) total += table.size();
+  return total;
+}
+
+}  // namespace flattree

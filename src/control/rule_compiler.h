@@ -1,0 +1,82 @@
+// OpenFlow rule compilation and table-driven forwarding (§4.2.1 + §5.3).
+//
+// The testbed implementation "conducts prefix matching for the source and
+// destination IP addresses on the switches a path traverses". This module
+// makes that concrete: it compiles a mode's k-shortest-path routing into
+// per-switch rule tables keyed on (source /24 prefix, destination /24
+// prefix) — the prefix carries the ingress switch ID and the path ID, so
+// each MPTCP subflow's address pair deterministically selects one path —
+// plus exact-match delivery rules at the egress switch. A table-driven
+// forwarding walk then proves that every routable (source address,
+// destination address) pair reaches the right server, which is the property
+// the whole §4.2 state-aggregation design must preserve.
+//
+// Subflow-to-path mapping (§4.1): with A = ceil(sqrt(k)) addresses per
+// server, the address-pair (i, j) carries path index i*A + j; pairs with
+// index >= k are left unroutable on purpose ("limit the routing logic to
+// the necessary subflows only, and MPTCP will not allocate traffic to
+// subflows with no end-to-end reachability").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/addressing.h"
+#include "net/graph.h"
+#include "routing/ksp.h"
+#include "routing/source_routing.h"
+
+namespace flattree {
+
+// One prefix-pair forwarding entry: match (src /24, dst /24) -> output port.
+struct PrefixRule {
+  std::uint32_t src_prefix{0};  // to_ipv4() & 0xffffff00
+  std::uint32_t dst_prefix{0};
+  std::uint8_t out_port{0};
+};
+
+// Exact-match delivery entry at the egress switch.
+struct DeliveryRule {
+  std::uint32_t dst_address{0};
+  std::uint8_t out_port{0};
+};
+
+class CompiledRuleTables {
+ public:
+  // Compiles routing state for one mode: k paths between every pair of
+  // server-bearing switches, addressed by `plan` (which must have been
+  // built from the same realized graph).
+  CompiledRuleTables(const Graph& graph, PathCache& paths,
+                     const AddressPlan& plan);
+
+  // Table-driven forwarding: walks the rule tables from the source server's
+  // switch. Returns the node sequence (starting at the ingress switch,
+  // ending at the destination server) or nullopt if some switch has no
+  // matching rule (the address pair is not routable in this mode).
+  [[nodiscard]] std::optional<std::vector<NodeId>> forward(
+      FlatTreeAddress src, FlatTreeAddress dst) const;
+
+  // Rule counts per switch (prefix-pair rules; delivery rules separate).
+  [[nodiscard]] std::size_t prefix_rules_at(NodeId sw) const;
+  [[nodiscard]] std::size_t delivery_rules_at(NodeId sw) const;
+  [[nodiscard]] std::size_t max_prefix_rules() const;
+  [[nodiscard]] std::uint64_t total_prefix_rules() const;
+
+  [[nodiscard]] const AddressPlan& plan() const { return *plan_; }
+
+ private:
+  static std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) {
+    return (static_cast<std::uint64_t>(a >> 8) << 32) | (b >> 8);
+  }
+
+  const Graph* graph_;
+  const AddressPlan* plan_;
+  PortMap ports_;
+  // Per switch: (src prefix, dst prefix) -> out port; exact dst -> port.
+  std::vector<std::unordered_map<std::uint64_t, std::uint8_t>> prefix_tables_;
+  std::vector<std::unordered_map<std::uint32_t, std::uint8_t>> delivery_tables_;
+};
+
+}  // namespace flattree

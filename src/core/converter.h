@@ -1,0 +1,82 @@
+// Converter switches (§2.2, Figure 1).
+//
+// A converter switch is a small passive circuit switch spliced into one
+// edge-server cable and one aggregation-core cable of a Clos Pod. Changing
+// its internal circuit configuration rewires those cables without touching
+// the packet switches:
+//
+//   4-port (blade A)  ports {core, agg, edge, server}
+//     default  core-agg, edge-server        (the original Clos links)
+//     local    agg-server, core-edge        (server moves to the agg switch)
+//
+//   6-port (blade B)  ports {core, agg, edge, server, side x2}
+//     default  core-agg, edge-server        (sides dark)
+//     local    agg-server, core-edge        (sides dark)
+//     side     core-server; edge and agg leave on the side bundle toward the
+//              paired converter in the adjacent Pod, arriving peer-wise
+//              (edge-edge, agg-agg)
+//     cross    core-server; edge and agg leave crossed, arriving as
+//              edge-agg / agg-edge
+//
+// 4-port converters must not relocate servers to core switches: doing so
+// would force an edge-agg circuit on the remaining ports, wasting a link on
+// a link type the Pod already has in abundance (§2.2).
+#pragma once
+
+#include <cstdint>
+
+#include "net/ids.h"
+
+namespace flattree {
+
+enum class ConverterType : std::uint8_t { kFourPort, kSixPort };
+
+enum class ConverterConfig : std::uint8_t { kDefault, kLocal, kSide, kCross };
+
+[[nodiscard]] const char* to_string(ConverterType type);
+[[nodiscard]] const char* to_string(ConverterConfig config);
+
+// side/cross are physically impossible on 4-port converters.
+[[nodiscard]] constexpr bool is_legal_config(ConverterType type,
+                                             ConverterConfig config) {
+  if (type == ConverterType::kFourPort) {
+    return config == ConverterConfig::kDefault ||
+           config == ConverterConfig::kLocal;
+  }
+  return true;
+}
+
+// Where the converter's server lands under a configuration.
+enum class ServerAttachment : std::uint8_t { kEdge, kAgg, kCore };
+
+[[nodiscard]] constexpr ServerAttachment server_attachment(
+    ConverterConfig config) {
+  switch (config) {
+    case ConverterConfig::kDefault: return ServerAttachment::kEdge;
+    case ConverterConfig::kLocal: return ServerAttachment::kAgg;
+    case ConverterConfig::kSide:
+    case ConverterConfig::kCross: return ServerAttachment::kCore;
+  }
+  return ServerAttachment::kEdge;
+}
+
+// One converter instance with its static cable attachments. The fields are
+// global indices (index_in_role order) into the realized graph's layers.
+struct Converter {
+  ConverterType type{ConverterType::kFourPort};
+  PodId pod{};
+  std::uint32_t row{0};   // row within the blade matrix (0..n-1 or 0..m-1)
+  std::uint32_t col{0};   // edge-switch column within the Pod (0..d-1)
+  std::uint32_t edge{0};    // global edge switch index
+  std::uint32_t agg{0};     // global aggregation switch index
+  std::uint32_t core{0};    // global core switch index (from Pod-core wiring)
+  std::uint32_t server{0};  // global server index (the broken-out server)
+  // 6-port only: the converter this one's side bundle attaches to.
+  ConverterId side_peer{};
+
+  [[nodiscard]] bool left_blade(std::uint32_t edge_per_pod) const {
+    return col < edge_per_pod / 2;
+  }
+};
+
+}  // namespace flattree

@@ -1,0 +1,111 @@
+#include "core/multi_stage.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace flattree {
+
+void MultiStageParams::validate() const {
+  lower.validate();
+  if (upper_pods == 0 || upper_edge_per_pod == 0 || upper_agg_per_pod == 0) {
+    throw std::invalid_argument("multi-stage: zero-sized upper layer");
+  }
+  if (lower.clos.cores != upper_pods * upper_edge_per_pod) {
+    throw std::invalid_argument(
+        "multi-stage: lower cores (" + std::to_string(lower.clos.cores) +
+        ") must equal upper_pods * upper_edge_per_pod (" +
+        std::to_string(upper_pods * upper_edge_per_pod) + ")");
+  }
+  // The remaining structural constraints are exactly FlatTreeParams
+  // constraints on the upper stage; delegate.
+  upper_as_flat_tree().validate();
+}
+
+FlatTreeParams MultiStageParams::upper_as_flat_tree() const {
+  FlatTreeParams p;
+  p.clos.pods = upper_pods;
+  p.clos.edge_per_pod = upper_edge_per_pod;
+  p.clos.agg_per_pod = upper_agg_per_pod;
+  p.clos.edge_uplinks = upper_edge_uplinks;
+  // The upper stage's "servers" are the lower stage's core connectors.
+  p.clos.servers_per_edge = lower.clos.core_ports;
+  p.clos.agg_uplinks = upper_agg_uplinks;
+  p.clos.cores = top_cores;
+  p.clos.core_ports = top_core_ports;
+  p.clos.link_bps = lower.clos.link_bps;
+  p.six_port_per_column = upper_m;
+  p.four_port_per_column = upper_n;
+  p.pattern = upper_pattern;
+  return p;
+}
+
+MultiStageFlatTree::MultiStageFlatTree(MultiStageParams params)
+    : params_{std::move(params)},
+      lower_{(params_.validate(), params_.lower)},
+      upper_{params_.upper_as_flat_tree()} {}
+
+Graph MultiStageFlatTree::realize(const ModeAssignment& lower_modes,
+                                  const ModeAssignment& upper_modes) const {
+  // 1. Lower stage without core nodes, collecting each core connector's
+  //    endpoint.
+  FlatTree::LowerRealization lower_real =
+      lower_.realize_lower(lower_.configs_for(lower_modes));
+  Graph g = std::move(lower_real.graph);
+
+  // 2. Upper stage realized standalone: its "server" nodes stand in for the
+  //    lower connectors and are spliced out below.
+  const Graph upper_graph = upper_.realize(upper_.configs_for(upper_modes));
+
+  const std::uint32_t connectors_per_core = params_.lower.clos.core_ports;
+  const std::uint32_t upper_servers =
+      upper_graph.count_role(NodeRole::kServer);
+  if (upper_servers != params_.lower.clos.cores * connectors_per_core) {
+    throw std::logic_error("multi-stage: connector count mismatch");
+  }
+
+  // Map every upper-graph node into the combined graph. Upper "servers"
+  // resolve to lower endpoints; switches are appended with promoted roles.
+  std::vector<NodeId> mapped(upper_graph.node_count(), NodeId::invalid());
+  const std::uint32_t lower_pods = params_.lower.clos.pods;
+  for (std::uint32_t i = 0; i < upper_graph.node_count(); ++i) {
+    const Node& node = upper_graph.node(NodeId{i});
+    switch (node.role) {
+      case NodeRole::kServer: {
+        // Upper server (c * connectors_per_core + j) is lower core c's j-th
+        // connector (both orderings are pod-major and deterministic).
+        const std::uint32_t core = i / connectors_per_core;
+        const std::uint32_t slot = i % connectors_per_core;
+        const auto& endpoints = lower_real.core_endpoints.at(core);
+        if (slot >= endpoints.size()) {
+          throw std::logic_error("multi-stage: lower core under-wired");
+        }
+        mapped[i] = endpoints[slot];
+        break;
+      }
+      case NodeRole::kEdge:
+        // Upper edge switches are the cores the lower stage addressed.
+        mapped[i] = g.add_node(
+            NodeRole::kCore,
+            PodId{lower_pods + node.pod.value()});
+        break;
+      case NodeRole::kAgg:
+        mapped[i] = g.add_node(NodeRole::kAgg2,
+                               PodId{lower_pods + node.pod.value()});
+        break;
+      case NodeRole::kCore:
+        mapped[i] = g.add_node(NodeRole::kCore2);
+        break;
+      default:
+        throw std::logic_error("multi-stage: unexpected upper role");
+    }
+  }
+
+  for (std::uint32_t i = 0; i < upper_graph.link_count(); ++i) {
+    const Link& link = upper_graph.link(LinkId{i});
+    g.add_link(mapped[link.a.index()], mapped[link.b.index()],
+               link.capacity_bps);
+  }
+  return g;
+}
+
+}  // namespace flattree

@@ -1,0 +1,89 @@
+// Multi-stage flat-tree (§2.2, the paper's future-work extension):
+//
+//   "Flat-tree can be extended to multi-stages of Pods: the lower-layer
+//    Pods consider the edge switches in the upper-layer Pods as core
+//    switches; intermediate switch-only Pods take relocated servers from
+//    lower-layer Pods as their own servers."
+//
+// The construction composes two FlatTree stages:
+//
+//   * The LOWER stage is an ordinary flat-tree whose "core switches" are
+//     the upper stage's edge switches: lower core index c maps to upper Pod
+//     c / upper_edge_per_pod, column c % upper_edge_per_pod. Every
+//     lower-stage mechanism (Pod-core wiring patterns, side bundles,
+//     converter configurations, per-Pod modes) applies unchanged.
+//
+//   * The UPPER stage is itself a flat-tree over switch-only Pods. Each
+//     upper edge switch's "servers" are the connectors arriving from the
+//     lower stage — the relocated lower servers in global mode, lower edge
+//     or aggregation switches otherwise. Upper converter switches can
+//     relocate those connectors to upper aggregation switches or to the
+//     top-level cores, flattening the hierarchy one level further.
+//
+// Node roles in the realized graph: kServer/kEdge/kAgg for the lower stage,
+// kCore for upper-Pod edge switches (exactly the "cores" the lower stage
+// sees), kAgg2 for upper-Pod aggregation switches, kCore2 for the top
+// cores. Node ids are stable across all mode combinations.
+#pragma once
+
+#include <cstdint>
+
+#include "core/flat_tree.h"
+
+namespace flattree {
+
+struct MultiStageParams {
+  // Lower stage: a complete flat-tree description. lower.clos.cores must
+  // equal upper_pods * upper_edge_per_pod.
+  FlatTreeParams lower;
+
+  // Upper stage: switch-only Pods over the lower cores.
+  std::uint32_t upper_pods{0};
+  std::uint32_t upper_edge_per_pod{0};   // d_u; these ARE the lower cores
+  std::uint32_t upper_agg_per_pod{0};
+  std::uint32_t upper_edge_uplinks{0};   // per upper edge switch, to kAgg2
+  std::uint32_t upper_agg_uplinks{0};    // h_u, to the top cores
+  std::uint32_t top_cores{0};
+  std::uint32_t top_core_ports{0};
+  std::uint32_t upper_m{0};  // 6-port converter rows per upper column
+  std::uint32_t upper_n{0};  // 4-port converter rows per upper column
+  WiringPattern upper_pattern{WiringPattern::kPattern1};
+
+  void validate() const;
+
+  // The upper stage phrased as FlatTreeParams (its "servers per edge" are
+  // the lower stage's per-core connector count).
+  [[nodiscard]] FlatTreeParams upper_as_flat_tree() const;
+};
+
+class MultiStageFlatTree {
+ public:
+  explicit MultiStageFlatTree(MultiStageParams params);
+
+  [[nodiscard]] const MultiStageParams& params() const { return params_; }
+  [[nodiscard]] const FlatTree& lower() const { return lower_; }
+  [[nodiscard]] const FlatTree& upper() const { return upper_; }
+
+  // Realizes the full two-stage network for per-Pod modes at each stage.
+  [[nodiscard]] Graph realize(const ModeAssignment& lower_modes,
+                              const ModeAssignment& upper_modes) const;
+
+  [[nodiscard]] Graph realize_uniform(PodMode lower_mode,
+                                      PodMode upper_mode) const {
+    return realize(
+        ModeAssignment::uniform(params_.lower.clos.pods, lower_mode),
+        ModeAssignment::uniform(params_.upper_pods, upper_mode));
+  }
+
+  // Total server count (servers live only in the lower stage).
+  [[nodiscard]] std::uint32_t total_servers() const {
+    return params_.lower.clos.total_servers();
+  }
+
+ private:
+  MultiStageParams params_;
+  FlatTree lower_;
+  FlatTree upper_;
+};
+
+}  // namespace flattree

@@ -1,0 +1,48 @@
+#include "core/profiling.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "net/stats.h"
+
+namespace flattree {
+
+MnProfile profile_mn(const ClosParams& clos, WiringPattern pattern,
+                     std::uint32_t stride) {
+  if (stride == 0) throw std::invalid_argument("profile_mn: stride must be >= 1");
+  clos.validate();
+  const std::uint32_t budget =
+      std::min(clos.core_connectors_per_edge(), clos.servers_per_edge);
+
+  MnProfile profile;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint32_t m = 1; m < budget; m += stride) {
+    for (std::uint32_t n = 1; m + n <= budget; n += stride) {
+      FlatTreeParams params;
+      params.clos = clos;
+      params.six_port_per_column = m;
+      params.four_port_per_column = n;
+      params.pattern = pattern;
+      const FlatTree tree{params};
+      const Graph realized = tree.realize_uniform(PodMode::kGlobal);
+      const PathLengthStats stats = compute_path_length_stats(realized);
+
+      MnCandidate candidate;
+      candidate.m = m;
+      candidate.n = n;
+      candidate.avg_server_pair_hops = stats.avg_server_pair_hops;
+      candidate.avg_switch_pair_hops = stats.avg_switch_pair_hops;
+      profile.candidates.push_back(candidate);
+      if (candidate.avg_server_pair_hops < best) {
+        best = candidate.avg_server_pair_hops;
+        profile.best = candidate;
+      }
+    }
+  }
+  if (profile.candidates.empty()) {
+    throw std::invalid_argument("profile_mn: no feasible (m, n) candidates");
+  }
+  return profile;
+}
+
+}  // namespace flattree

@@ -1,0 +1,34 @@
+// (m, n) profiling (§3.4): flat-tree converts generic Clos layouts, so the
+// best server distribution cannot be fixed a priori. The paper's suggestion
+// is a profiling sweep — under the preferred Pod-core wiring pattern, vary
+// m and n and keep the pair minimizing the average server-pair path length
+// of the global-mode topology.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flat_tree.h"
+#include "topo/params.h"
+
+namespace flattree {
+
+struct MnCandidate {
+  std::uint32_t m{0};
+  std::uint32_t n{0};
+  double avg_server_pair_hops{0.0};
+  double avg_switch_pair_hops{0.0};
+};
+
+struct MnProfile {
+  std::vector<MnCandidate> candidates;  // full sweep, for ablation plots
+  MnCandidate best;                     // minimal avg server-pair path length
+};
+
+// Sweeps all feasible (m, n) with m >= 1, n >= 1, m + n <= min(h/r,
+// servers_per_edge). `stride` subsamples the grid for large layouts.
+[[nodiscard]] MnProfile profile_mn(const ClosParams& clos,
+                                   WiringPattern pattern,
+                                   std::uint32_t stride = 1);
+
+}  // namespace flattree

@@ -1,0 +1,234 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace flattree {
+namespace {
+
+// Row-major dense tableau with an extra objective row at the bottom and the
+// RHS in the last column.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_{rows}, cols_{cols}, data_(rows * cols, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double pivot_value = at(pr, pc);
+    double* prow = &data_[pr * cols_];
+    const double inv = 1.0 / pivot_value;
+    for (std::size_t c = 0; c < cols_; ++c) prow[c] *= inv;
+    prow[pc] = 1.0;  // kill round-off on the pivot itself
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      double* row = &data_[r * cols_];
+      const double factor = row[pc];
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) row[c] -= factor * prow[c];
+      row[pc] = 0.0;
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace
+
+LpSolution SimplexSolver::solve(const LpProblem& problem) const {
+  const double eps = options_.eps;
+  const std::size_t n = problem.num_vars;
+  const std::size_t m = problem.constraints.size();
+  if (problem.objective.size() != n) {
+    throw std::invalid_argument("simplex: objective size mismatch");
+  }
+
+  // Column layout: [0, n) structural, [n, n + m) slack/surplus (one per
+  // constraint; unused entries stay zero), then artificials, then RHS.
+  std::size_t num_artificial = 0;
+  for (const LpConstraint& c : problem.constraints) {
+    // After normalizing RHS >= 0, Ge and Eq rows need an artificial; Le rows
+    // start feasible with their slack.
+    const double rhs = c.rhs;
+    const ConstraintSense sense =
+        rhs >= 0 ? c.sense
+                 : (c.sense == ConstraintSense::kLe   ? ConstraintSense::kGe
+                    : c.sense == ConstraintSense::kGe ? ConstraintSense::kLe
+                                                      : ConstraintSense::kEq);
+    if (sense != ConstraintSense::kLe) ++num_artificial;
+  }
+
+  const std::size_t slack_base = n;
+  const std::size_t art_base = n + m;
+  const std::size_t total_cols = n + m + num_artificial + 1;
+  const std::size_t rhs_col = total_cols - 1;
+  // Rows: m constraints + phase objective row.
+  Tableau tab(m + 1, total_cols);
+  std::vector<std::size_t> basis(m);
+
+  std::size_t next_art = art_base;
+  for (std::size_t r = 0; r < m; ++r) {
+    const LpConstraint& c = problem.constraints[r];
+    const double sign = c.rhs >= 0 ? 1.0 : -1.0;
+    ConstraintSense sense = c.sense;
+    if (sign < 0) {
+      sense = sense == ConstraintSense::kLe   ? ConstraintSense::kGe
+              : sense == ConstraintSense::kGe ? ConstraintSense::kLe
+                                              : ConstraintSense::kEq;
+    }
+    for (const auto& [var, coeff] : c.terms) {
+      if (var >= n) throw std::invalid_argument("simplex: bad variable index");
+      tab.at(r, var) += sign * coeff;
+    }
+    tab.at(r, rhs_col) = sign * c.rhs;
+    switch (sense) {
+      case ConstraintSense::kLe:
+        tab.at(r, slack_base + r) = 1.0;
+        basis[r] = slack_base + r;
+        break;
+      case ConstraintSense::kGe:
+        tab.at(r, slack_base + r) = -1.0;
+        tab.at(r, next_art) = 1.0;
+        basis[r] = next_art++;
+        break;
+      case ConstraintSense::kEq:
+        tab.at(r, next_art) = 1.0;
+        basis[r] = next_art++;
+        break;
+    }
+  }
+
+  const std::size_t obj_row = m;
+  const auto run_phase = [&](bool allow_artificial_entering) -> LpStatus {
+    std::uint64_t iterations = 0;
+    for (;;) {
+      if (++iterations > options_.max_iterations) {
+        return LpStatus::kIterationLimit;
+      }
+      const bool bland = iterations > options_.bland_after;
+      // Entering column: positive reduced cost (objective row holds the
+      // negated reduced costs of a maximization after elimination, so we
+      // look for the most negative entry).
+      std::size_t enter = total_cols;
+      double best = -eps;
+      const std::size_t limit =
+          allow_artificial_entering ? rhs_col : art_base;
+      for (std::size_t c = 0; c < limit; ++c) {
+        const double v = tab.at(obj_row, c);
+        if (v < best) {
+          best = v;
+          enter = c;
+          if (bland) break;  // first improving column
+        }
+      }
+      if (enter == total_cols) return LpStatus::kOptimal;
+
+      // Ratio test.
+      std::size_t leave = m;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < m; ++r) {
+        const double a = tab.at(r, enter);
+        if (a <= eps) continue;
+        const double ratio = tab.at(r, rhs_col) / a;
+        if (ratio < best_ratio - eps ||
+            (ratio < best_ratio + eps && leave != m &&
+             basis[r] < basis[leave])) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+      if (leave == m) return LpStatus::kUnbounded;
+      tab.pivot(leave, enter);
+      basis[leave] = enter;
+    }
+  };
+
+  // ---- Phase 1: minimize the artificial sum. --------------------------
+  if (num_artificial > 0) {
+    // Objective row = -(sum of artificial columns); eliminate basics.
+    for (std::size_t c = art_base; c < art_base + num_artificial; ++c) {
+      tab.at(obj_row, c) = 1.0;
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] >= art_base) {
+        for (std::size_t c = 0; c < total_cols; ++c) {
+          tab.at(obj_row, c) -= tab.at(r, c);
+        }
+      }
+    }
+    const LpStatus phase1 = run_phase(/*allow_artificial_entering=*/true);
+    if (phase1 == LpStatus::kIterationLimit) {
+      return LpSolution{LpStatus::kIterationLimit, 0.0, {}};
+    }
+    const double infeasibility = -tab.at(obj_row, rhs_col);
+    if (infeasibility > 1e-6) {
+      return LpSolution{LpStatus::kInfeasible, 0.0, {}};
+    }
+    // Drive remaining artificial basics out (degenerate rows).
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] < art_base) continue;
+      std::size_t pivot_col = total_cols;
+      for (std::size_t c = 0; c < art_base; ++c) {
+        if (std::fabs(tab.at(r, c)) > eps) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col != total_cols) {
+        tab.pivot(r, pivot_col);
+        basis[r] = pivot_col;
+      }
+      // Otherwise the row is all-zero (redundant constraint) — harmless.
+    }
+  }
+
+  // ---- Phase 2: the real objective. ------------------------------------
+  for (std::size_t c = 0; c < total_cols; ++c) tab.at(obj_row, c) = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    tab.at(obj_row, c) = -problem.objective[c];
+  }
+  // Artificials may never re-enter: pin their reduced costs high.
+  for (std::size_t c = art_base; c < art_base + num_artificial; ++c) {
+    tab.at(obj_row, c) = 1.0;
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    const double coeff = tab.at(obj_row, basis[r]);
+    if (std::fabs(coeff) > 0.0) {
+      for (std::size_t c = 0; c < total_cols; ++c) {
+        tab.at(obj_row, c) -= coeff * tab.at(r, c);
+      }
+    }
+  }
+  const LpStatus phase2 = run_phase(/*allow_artificial_entering=*/false);
+  if (phase2 == LpStatus::kUnbounded) {
+    return LpSolution{LpStatus::kUnbounded, 0.0, {}};
+  }
+  if (phase2 == LpStatus::kIterationLimit) {
+    return LpSolution{LpStatus::kIterationLimit, 0.0, {}};
+  }
+
+  LpSolution solution;
+  solution.status = LpStatus::kOptimal;
+  solution.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) solution.x[basis[r]] = tab.at(r, rhs_col);
+  }
+  solution.objective = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    solution.objective += problem.objective[c] * solution.x[c];
+  }
+  return solution;
+}
+
+}  // namespace flattree

@@ -1,0 +1,69 @@
+// Dense two-phase primal simplex.
+//
+// The evaluation methodology of §5.1 (and of the Jellyfish study it follows)
+// computes optimal-routing throughput bounds by solving path-based
+// multi-commodity-flow linear programs. This is a self-contained LP solver
+// for those programs: maximize c^T x subject to mixed <= / >= / = row
+// constraints and x >= 0.
+//
+// The implementation is a classic tableau method: phase 1 drives artificial
+// variables to zero to find a basic feasible solution, phase 2 optimizes the
+// real objective. Dantzig pricing with an automatic switch to Bland's rule
+// guards against cycling. Suitable for the reduced-scale instances the
+// benchmarks use (hundreds of rows, a few thousand columns); the scalable
+// companion for the max-min objective is the progressive-filling allocator
+// in mcf.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flattree {
+
+enum class ConstraintSense : std::uint8_t { kLe, kGe, kEq };
+
+struct LpConstraint {
+  // Sparse row: (variable index, coefficient).
+  std::vector<std::pair<std::uint32_t, double>> terms;
+  ConstraintSense sense{ConstraintSense::kLe};
+  double rhs{0.0};
+};
+
+struct LpProblem {
+  std::uint32_t num_vars{0};
+  std::vector<double> objective;  // size num_vars; maximized
+  std::vector<LpConstraint> constraints;
+};
+
+enum class LpStatus : std::uint8_t {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct LpSolution {
+  LpStatus status{LpStatus::kIterationLimit};
+  double objective{0.0};
+  std::vector<double> x;
+};
+
+class SimplexSolver {
+ public:
+  struct Options {
+    double eps{1e-8};
+    std::uint64_t max_iterations{200000};
+    // Iterations of Dantzig pricing before falling back to Bland's rule.
+    std::uint64_t bland_after{20000};
+  };
+
+  SimplexSolver() = default;
+  explicit SimplexSolver(Options options) : options_{options} {}
+
+  [[nodiscard]] LpSolution solve(const LpProblem& problem) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace flattree

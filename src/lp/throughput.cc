@@ -1,0 +1,36 @@
+#include "lp/throughput.h"
+
+#include <unordered_map>
+
+namespace flattree {
+
+McfInstance build_mcf_instance(const LogicalTopology& topo,
+                               std::span<const FlowPaths> flows) {
+  McfInstance instance;
+  std::unordered_map<std::uint32_t, std::uint32_t> edge_row;  // directed -> row
+
+  const auto row_for = [&](std::uint32_t directed) {
+    const auto [it, inserted] =
+        edge_row.try_emplace(directed,
+                             static_cast<std::uint32_t>(instance.capacity.size()));
+    if (inserted) instance.capacity.push_back(topo.capacity(directed));
+    return it->second;
+  };
+
+  instance.commodities.reserve(flows.size());
+  for (const FlowPaths& flow : flows) {
+    McfCommodity commodity;
+    commodity.paths.reserve(flow.paths.size());
+    for (const Path& path : flow.paths) {
+      std::vector<std::uint32_t> rows;
+      for (std::uint32_t directed : topo.path_edges(path)) {
+        rows.push_back(row_for(directed));
+      }
+      commodity.paths.push_back(std::move(rows));
+    }
+    instance.commodities.push_back(std::move(commodity));
+  }
+  return instance;
+}
+
+}  // namespace flattree

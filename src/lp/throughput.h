@@ -1,0 +1,27 @@
+// Glue between graphs/paths and the MCF models: builds an McfInstance from
+// per-flow path sets over a LogicalTopology, compressing edges down to the
+// ones actually used so LP row counts stay proportional to the workload.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lp/mcf.h"
+#include "net/capacity.h"
+#include "net/graph.h"
+#include "routing/path.h"
+
+namespace flattree {
+
+struct FlowPaths {
+  NodeId src{};
+  NodeId dst{};
+  std::vector<Path> paths;  // server-to-server node paths
+};
+
+// Builds the MCF instance: every directed logical edge used by any path
+// becomes a capacity row; each flow becomes a commodity over its paths.
+[[nodiscard]] McfInstance build_mcf_instance(const LogicalTopology& topo,
+                                             std::span<const FlowPaths> flows);
+
+}  // namespace flattree

@@ -1,0 +1,47 @@
+#include "net/capacity.h"
+
+#include <stdexcept>
+
+namespace flattree {
+
+LogicalTopology::LogicalTopology(const Graph& graph) {
+  for (std::size_t i = 0; i < graph.link_count(); ++i) {
+    const Link& l = graph.link(LinkId{static_cast<std::uint32_t>(i)});
+    const std::uint64_t k = key(l.a, l.b);
+    auto [it, inserted] =
+        edge_index_.try_emplace(k, static_cast<std::uint32_t>(capacity_.size()));
+    if (inserted) {
+      capacity_.push_back(l.capacity_bps);
+    } else {
+      capacity_[it->second] += l.capacity_bps;
+    }
+  }
+}
+
+std::optional<std::uint32_t> LogicalTopology::edge_between(NodeId a,
+                                                           NodeId b) const {
+  const auto it = edge_index_.find(key(a, b));
+  if (it == edge_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint32_t LogicalTopology::directed_index(NodeId from, NodeId to) const {
+  const auto edge = edge_between(from, to);
+  if (!edge) {
+    throw std::logic_error("directed_index: nodes not adjacent");
+  }
+  return 2 * *edge + (from.value() < to.value() ? 0u : 1u);
+}
+
+std::vector<std::uint32_t> LogicalTopology::path_edges(
+    std::span<const NodeId> path) const {
+  std::vector<std::uint32_t> edges;
+  if (path.size() < 2) return edges;
+  edges.reserve(path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    edges.push_back(directed_index(path[i], path[i + 1]));
+  }
+  return edges;
+}
+
+}  // namespace flattree

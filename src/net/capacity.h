@@ -1,0 +1,57 @@
+// Logical (merged-parallel-link) view of a Graph for bandwidth allocation.
+//
+// Routing computes paths as node sequences; for capacity accounting the
+// parallel physical links between a node pair act as one logical pipe with
+// summed capacity. LogicalTopology numbers every adjacent unordered node
+// pair with an edge index and exposes per-direction capacities, which the LP
+// formulations and the fluid simulator use as constraint rows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace flattree {
+
+class LogicalTopology {
+ public:
+  explicit LogicalTopology(const Graph& graph);
+
+  [[nodiscard]] std::size_t edge_count() const { return capacity_.size(); }
+  [[nodiscard]] std::size_t directed_count() const {
+    return 2 * capacity_.size();
+  }
+
+  // Undirected edge index between adjacent nodes, if any.
+  [[nodiscard]] std::optional<std::uint32_t> edge_between(NodeId a,
+                                                          NodeId b) const;
+
+  // Directed edge index for the hop from -> to; throws std::logic_error if
+  // the nodes are not adjacent. Directed index = 2*edge + (from < to ? 0 : 1).
+  [[nodiscard]] std::uint32_t directed_index(NodeId from, NodeId to) const;
+
+  // Capacity of one direction of a logical edge (sum of parallel links).
+  [[nodiscard]] double capacity(std::uint32_t directed) const {
+    return capacity_[directed / 2];
+  }
+
+  // Directed edge indices traversed by a node path (size() - 1 entries).
+  [[nodiscard]] std::vector<std::uint32_t> path_edges(
+      std::span<const NodeId> path) const;
+
+ private:
+  static std::uint64_t key(NodeId a, NodeId b) {
+    const auto lo = std::min(a.value(), b.value());
+    const auto hi = std::max(a.value(), b.value());
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
+  std::unordered_map<std::uint64_t, std::uint32_t> edge_index_;
+  std::vector<double> capacity_;  // per undirected edge, per direction
+};
+
+}  // namespace flattree

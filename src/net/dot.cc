@@ -1,0 +1,87 @@
+#include "net/dot.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace flattree {
+namespace {
+
+const char* node_style(NodeRole role) {
+  switch (role) {
+    case NodeRole::kServer:
+      return "shape=circle, width=0.2, fixedsize=true, label=\"\", "
+             "style=filled, fillcolor=white";
+    case NodeRole::kEdge:
+      return "shape=box, style=filled, fillcolor=\"#cfe8ff\"";
+    case NodeRole::kAgg:
+      return "shape=box, style=filled, fillcolor=\"#9ec9f5\"";
+    case NodeRole::kCore:
+      return "shape=box, style=filled, fillcolor=\"#5b9bd5\"";
+    case NodeRole::kAgg2:
+      return "shape=box, style=filled, fillcolor=\"#2e75b6\"";
+    case NodeRole::kCore2:
+      return "shape=box, style=filled, fillcolor=\"#1f4e79\"";
+  }
+  return "shape=box";
+}
+
+}  // namespace
+
+void write_dot(std::ostream& out, const Graph& graph,
+               const DotOptions& options) {
+  out << "graph " << options.graph_name << " {\n"
+      << "  rankdir=BT;\n  node [fontsize=9];\n";
+
+  // Nodes, grouped into Pod clusters when requested.
+  std::map<std::uint32_t, std::vector<NodeId>> by_pod;  // pod -> nodes
+  std::vector<NodeId> podless;
+  for (std::uint32_t i = 0; i < graph.node_count(); ++i) {
+    const NodeId id{i};
+    const Node& n = graph.node(id);
+    if (n.role == NodeRole::kServer && !options.include_servers) continue;
+    if (options.cluster_pods && n.pod.valid()) {
+      by_pod[n.pod.value()].push_back(id);
+    } else {
+      podless.push_back(id);
+    }
+  }
+
+  const auto emit_node = [&](NodeId id, const char* indent) {
+    const Node& n = graph.node(id);
+    out << indent << "n" << id.value() << " [" << node_style(n.role);
+    if (n.role != NodeRole::kServer) {
+      out << ", label=\"" << to_string(n.role) << n.index_in_role << "\"";
+    }
+    out << "];\n";
+  };
+
+  for (const auto& [pod, nodes] : by_pod) {
+    out << "  subgraph cluster_pod" << pod << " {\n"
+        << "    label=\"pod " << pod << "\";\n";
+    for (NodeId id : nodes) emit_node(id, "    ");
+    out << "  }\n";
+  }
+  for (NodeId id : podless) emit_node(id, "  ");
+
+  // Links (skip server links when servers are hidden).
+  for (std::uint32_t i = 0; i < graph.link_count(); ++i) {
+    const Link& l = graph.link(LinkId{i});
+    if (!options.include_servers &&
+        (graph.node(l.a).role == NodeRole::kServer ||
+         graph.node(l.b).role == NodeRole::kServer)) {
+      continue;
+    }
+    out << "  n" << l.a.value() << " -- n" << l.b.value() << ";\n";
+  }
+  out << "}\n";
+}
+
+std::string to_dot(const Graph& graph, const DotOptions& options) {
+  std::ostringstream out;
+  write_dot(out, graph, options);
+  return out.str();
+}
+
+}  // namespace flattree

@@ -1,0 +1,30 @@
+// Graphviz DOT export for topology inspection and documentation.
+//
+// Renders a realized network as an undirected DOT graph with role-based
+// styling (servers as small circles, edge/agg/core switches as boxes of
+// increasing shade) and Pods as clusters, so `dot -Tsvg` produces a figure
+// directly comparable to the paper's Figure 2.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/graph.h"
+
+namespace flattree {
+
+struct DotOptions {
+  bool cluster_pods{true};    // group nodes of a Pod into a subgraph
+  bool include_servers{true};
+  std::string graph_name{"flattree"};
+};
+
+// Writes the graph in DOT syntax to `out`.
+void write_dot(std::ostream& out, const Graph& graph,
+               const DotOptions& options = DotOptions{});
+
+// Convenience: DOT as a string.
+[[nodiscard]] std::string to_dot(const Graph& graph,
+                                 const DotOptions& options = DotOptions{});
+
+}  // namespace flattree

@@ -1,0 +1,56 @@
+#include "net/failures.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flattree {
+
+Graph remove_links(const Graph& graph, const std::vector<LinkId>& failed) {
+  std::vector<bool> dead(graph.link_count(), false);
+  for (LinkId id : failed) {
+    if (id.index() >= graph.link_count()) {
+      throw std::invalid_argument("remove_links: link id out of range");
+    }
+    dead[id.index()] = true;
+  }
+  Graph out;
+  for (std::uint32_t i = 0; i < graph.node_count(); ++i) {
+    const Node& n = graph.node(NodeId{i});
+    out.add_node(n.role, n.pod);
+  }
+  for (std::uint32_t i = 0; i < graph.link_count(); ++i) {
+    if (dead[i]) continue;
+    const Link& l = graph.link(LinkId{i});
+    out.add_link(l.a, l.b, l.capacity_bps);
+  }
+  return out;
+}
+
+std::vector<LinkId> sample_fabric_failures(const Graph& graph,
+                                           double fraction, Rng& rng) {
+  if (fraction < 0 || fraction > 1) {
+    throw std::invalid_argument("sample_fabric_failures: bad fraction");
+  }
+  std::vector<LinkId> fabric;
+  for (std::uint32_t i = 0; i < graph.link_count(); ++i) {
+    const Link& l = graph.link(LinkId{i});
+    if (is_switch(graph.node(l.a).role) && is_switch(graph.node(l.b).role)) {
+      fabric.push_back(LinkId{i});
+    }
+  }
+  shuffle(fabric, rng);
+  fabric.resize(static_cast<std::size_t>(fraction * fabric.size()));
+  std::sort(fabric.begin(), fabric.end());
+  return fabric;
+}
+
+bool servers_connected(const Graph& graph) {
+  const auto servers = graph.servers();
+  if (servers.size() < 2) return true;
+  const auto dist = graph.bfs_distances(servers.front());
+  return std::all_of(servers.begin(), servers.end(), [&](NodeId s) {
+    return dist[s.index()] != Graph::kUnreachable;
+  });
+}
+
+}  // namespace flattree

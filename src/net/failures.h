@@ -1,0 +1,34 @@
+// Link-failure modeling.
+//
+// The paper asserts (§4.2.1, footnote 2) that flat-tree, approximating
+// random graph networks, should inherit their graceful throughput
+// degradation under failure, and leaves the evaluation to future work. This
+// module provides the substrate: derive a degraded copy of a network with a
+// chosen set (or random fraction) of switch-switch links removed, keeping
+// node ids stable so workloads and routing carry over unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "net/rng.h"
+
+namespace flattree {
+
+// A copy of `graph` without the given links. Node ids (and therefore server
+// identities) are preserved; link ids are renumbered. Throws if an id is
+// out of range.
+[[nodiscard]] Graph remove_links(const Graph& graph,
+                                 const std::vector<LinkId>& failed);
+
+// Uniformly samples `fraction` of the switch-switch links (server access
+// links never fail — the paper's failure discussions concern the fabric).
+[[nodiscard]] std::vector<LinkId> sample_fabric_failures(const Graph& graph,
+                                                         double fraction,
+                                                         Rng& rng);
+
+// True if every server can still reach every other server.
+[[nodiscard]] bool servers_connected(const Graph& graph);
+
+}  // namespace flattree

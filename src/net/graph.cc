@@ -1,0 +1,164 @@
+#include "net/graph.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace flattree {
+
+const char* to_string(NodeRole role) {
+  switch (role) {
+    case NodeRole::kServer: return "server";
+    case NodeRole::kEdge: return "edge";
+    case NodeRole::kAgg: return "agg";
+    case NodeRole::kCore: return "core";
+    case NodeRole::kAgg2: return "agg2";
+    case NodeRole::kCore2: return "core2";
+  }
+  return "?";
+}
+
+NodeId Graph::add_node(NodeRole role, PodId pod) {
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  const std::uint32_t ordinal = role_counts_[static_cast<std::size_t>(role)]++;
+  nodes_.push_back(Node{role, pod, ordinal});
+  adjacency_.emplace_back();
+  return id;
+}
+
+LinkId Graph::add_link(NodeId a, NodeId b, double capacity_bps) {
+  if (a.index() >= nodes_.size() || b.index() >= nodes_.size()) {
+    throw std::invalid_argument("add_link: node id out of range");
+  }
+  if (a == b) throw std::invalid_argument("add_link: self-loop");
+  if (capacity_bps <= 0) {
+    throw std::invalid_argument("add_link: capacity must be positive");
+  }
+  const LinkId id{static_cast<std::uint32_t>(links_.size())};
+  links_.push_back(Link{a, b, capacity_bps});
+  adjacency_[a.index()].push_back(Adjacency{id, b});
+  adjacency_[b.index()].push_back(Adjacency{id, a});
+  return id;
+}
+
+const Node& Graph::node(NodeId id) const {
+  if (id.index() >= nodes_.size()) {
+    throw std::out_of_range("Graph::node: bad id");
+  }
+  return nodes_[id.index()];
+}
+
+const Link& Graph::link(LinkId id) const {
+  if (id.index() >= links_.size()) {
+    throw std::out_of_range("Graph::link: bad id");
+  }
+  return links_[id.index()];
+}
+
+std::span<const Adjacency> Graph::neighbors(NodeId id) const {
+  if (id.index() >= nodes_.size()) {
+    throw std::out_of_range("Graph::neighbors: bad id");
+  }
+  return adjacency_[id.index()];
+}
+
+std::size_t Graph::degree(NodeId id) const { return neighbors(id).size(); }
+
+NodeId Graph::peer(LinkId link_id, NodeId from) const {
+  const Link& l = link(link_id);
+  if (l.a == from) return l.b;
+  if (l.b == from) return l.a;
+  throw std::logic_error("Graph::peer: node is not an endpoint of link");
+}
+
+std::vector<NodeId> Graph::nodes_with_role(NodeRole role) const {
+  std::vector<NodeId> result;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].role == role) result.emplace_back(static_cast<std::uint32_t>(i));
+  }
+  return result;
+}
+
+std::size_t Graph::count_role(NodeRole role) const {
+  return role_counts_[static_cast<std::size_t>(role)];
+}
+
+std::vector<NodeId> Graph::switches() const {
+  std::vector<NodeId> result;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (is_switch(nodes_[i].role)) {
+      result.emplace_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return result;
+}
+
+NodeId Graph::attachment_switch(NodeId server) const {
+  if (node(server).role != NodeRole::kServer) {
+    throw std::logic_error("attachment_switch: node is not a server");
+  }
+  const auto adj = neighbors(server);
+  if (adj.size() != 1) {
+    throw std::logic_error("attachment_switch: server degree != 1");
+  }
+  return adj.front().peer;
+}
+
+std::vector<NodeId> Graph::attached_servers(NodeId sw) const {
+  std::vector<NodeId> result;
+  for (const Adjacency& adj : neighbors(sw)) {
+    if (node(adj.peer).role == NodeRole::kServer) result.push_back(adj.peer);
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> Graph::bfs_distances(NodeId src) const {
+  std::vector<std::uint32_t> dist(nodes_.size(), kUnreachable);
+  if (src.index() >= nodes_.size()) {
+    throw std::out_of_range("bfs_distances: bad source");
+  }
+  std::deque<NodeId> queue{src};
+  dist[src.index()] = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    // Servers are leaves; traffic never transits them.
+    if (u != src && nodes_[u.index()].role == NodeRole::kServer) continue;
+    for (const Adjacency& adj : adjacency_[u.index()]) {
+      if (dist[adj.peer.index()] == kUnreachable) {
+        dist[adj.peer.index()] = dist[u.index()] + 1;
+        queue.push_back(adj.peer);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::connected() const {
+  if (nodes_.empty()) return true;
+  // Start from a switch if one exists, so server-leaf pruning cannot hide
+  // reachable nodes.
+  NodeId start{0};
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (is_switch(nodes_[i].role)) {
+      start = NodeId{static_cast<std::uint32_t>(i)};
+      break;
+    }
+  }
+  const auto dist = bfs_distances(start);
+  for (std::uint32_t d : dist) {
+    if (d == kUnreachable) return false;
+  }
+  return true;
+}
+
+std::string Graph::label(NodeId id) const {
+  const Node& n = node(id);
+  std::string s = to_string(n.role);
+  s += std::to_string(n.index_in_role);
+  if (n.pod.valid()) {
+    s += "(pod" + std::to_string(n.pod.value()) + ")";
+  }
+  return s;
+}
+
+}  // namespace flattree

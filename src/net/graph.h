@@ -1,0 +1,120 @@
+// Network graph substrate.
+//
+// A Graph is an undirected multigraph of nodes (servers and switches) and
+// capacitated links. It is the common representation every other module works
+// on: topology builders produce Graphs, the flat-tree core realizes each
+// operation mode as a Graph, routing computes paths on Graphs, and the
+// simulators allocate link bandwidth on Graphs.
+//
+// Capacity is per direction: a link with capacity_bps = 10e9 carries 10 Gb/s
+// each way independently, matching full-duplex Ethernet.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ids.h"
+
+namespace flattree {
+
+enum class NodeRole : std::uint8_t {
+  kServer,
+  kEdge,  // top-of-rack switch
+  kAgg,   // aggregation switch
+  kCore,  // core (spine) switch; in a multi-stage flat-tree, an upper-Pod
+          // "edge" switch (§2.2: lower Pods see upper-Pod edges as cores)
+  kAgg2,  // multi-stage only: upper-Pod aggregation switch
+  kCore2, // multi-stage only: top-level core switch
+};
+
+[[nodiscard]] const char* to_string(NodeRole role);
+[[nodiscard]] inline bool is_switch(NodeRole role) {
+  return role != NodeRole::kServer;
+}
+
+struct Node {
+  NodeRole role{NodeRole::kServer};
+  PodId pod{};                       // invalid for core switches
+  std::uint32_t index_in_role{0};    // global ordinal among nodes of this role
+};
+
+struct Link {
+  NodeId a{};
+  NodeId b{};
+  double capacity_bps{0.0};
+};
+
+// One adjacency entry: the link and the node on its far end.
+struct Adjacency {
+  LinkId link{};
+  NodeId peer{};
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // -- construction ---------------------------------------------------------
+
+  NodeId add_node(NodeRole role, PodId pod = PodId::invalid());
+
+  // Adds an undirected link. Self-loops are rejected; parallel links are
+  // allowed (Clos layouts legitimately use multi-links between switch pairs).
+  LinkId add_link(NodeId a, NodeId b, double capacity_bps);
+
+  // -- accessors ------------------------------------------------------------
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+
+  [[nodiscard]] std::span<const Adjacency> neighbors(NodeId id) const;
+  [[nodiscard]] std::size_t degree(NodeId id) const;
+
+  // The node on the other end of `link` from `from`.
+  [[nodiscard]] NodeId peer(LinkId link, NodeId from) const;
+
+  [[nodiscard]] std::vector<NodeId> nodes_with_role(NodeRole role) const;
+  [[nodiscard]] std::size_t count_role(NodeRole role) const;
+
+  // All server ids in insertion order (cached on first call is not needed;
+  // callers typically ask once).
+  [[nodiscard]] std::vector<NodeId> servers() const {
+    return nodes_with_role(NodeRole::kServer);
+  }
+  [[nodiscard]] std::vector<NodeId> switches() const;
+
+  // The unique switch a server attaches to. Throws std::logic_error if the
+  // node is not a server or is not attached to exactly one switch.
+  [[nodiscard]] NodeId attachment_switch(NodeId server) const;
+
+  // Servers attached to a given switch.
+  [[nodiscard]] std::vector<NodeId> attached_servers(NodeId sw) const;
+
+  // -- queries --------------------------------------------------------------
+
+  // BFS hop distances from `src` to all nodes; unreachable nodes get
+  // kUnreachable. Servers other than `src` are never transited (they are
+  // leaves by construction, but the guarantee is explicit).
+  static constexpr std::uint32_t kUnreachable = 0xffffffffu;
+  [[nodiscard]] std::vector<std::uint32_t> bfs_distances(NodeId src) const;
+
+  // True if every node can reach every other node.
+  [[nodiscard]] bool connected() const;
+
+  // Human-readable label, e.g. "agg17(pod2)".
+  [[nodiscard]] std::string label(NodeId id) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+  std::array<std::uint32_t, 6> role_counts_{};
+};
+
+}  // namespace flattree

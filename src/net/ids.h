@@ -1,0 +1,57 @@
+// Strong identifier types for network entities.
+//
+// Every entity class (node, link, pod, flow, ...) gets its own wrapper around
+// a 32-bit index so that, e.g., passing a LinkId where a NodeId is expected is
+// a compile error. Ids are cheap to copy and hashable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace flattree {
+
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t value) : value_{value} {}
+
+  // Numeric value; also usable directly as a vector index.
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+
+  [[nodiscard]] constexpr bool valid() const {
+    return value_ != std::numeric_limits<std::uint32_t>::max();
+  }
+
+  static constexpr Id invalid() { return Id{}; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value_ >= b.value_; }
+
+ private:
+  std::uint32_t value_{std::numeric_limits<std::uint32_t>::max()};
+};
+
+using NodeId = Id<struct NodeIdTag>;
+using LinkId = Id<struct LinkIdTag>;
+using PodId = Id<struct PodIdTag>;
+using FlowId = Id<struct FlowIdTag>;
+using ConverterId = Id<struct ConverterIdTag>;
+
+}  // namespace flattree
+
+namespace std {
+template <typename Tag>
+struct hash<flattree::Id<Tag>> {
+  size_t operator()(flattree::Id<Tag> id) const noexcept {
+    return std::hash<uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,22 @@
+#include "net/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flattree {
+
+double Rng::next_exponential(double rate) {
+  if (rate <= 0) throw std::invalid_argument("exponential rate must be > 0");
+  // -log(1-u) with u in [0,1) keeps the argument strictly positive.
+  return -std::log1p(-next_double()) / rate;
+}
+
+double Rng::next_pareto(double alpha, double xm) {
+  if (alpha <= 0 || xm <= 0) {
+    throw std::invalid_argument("pareto parameters must be > 0");
+  }
+  const double u = next_double();
+  return xm / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+}  // namespace flattree

@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components in the library (random-graph wiring, traffic
+// generation, ECMP hashing) derive their randomness from an explicit 64-bit
+// seed through this generator, so every experiment is reproducible
+// bit-for-bit across runs and platforms. The core generator is
+// xoshiro256** seeded via splitmix64, both public-domain algorithms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace flattree {
+
+// splitmix64 step; also useful as a standalone integer mixer/hash.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless mix of up to three words; used for hash-based (ECMP) decisions.
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b = 0,
+                              std::uint64_t c = 0) {
+  std::uint64_t s = a * 0x9e3779b97f4a7c15ULL + b;
+  std::uint64_t h = splitmix64(s);
+  s = h + c;
+  return splitmix64(s);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses rejection
+  // sampling (Lemire-style threshold) to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Exponential variate with the given rate (mean 1/rate).
+  double next_exponential(double rate);
+
+  // Pareto variate with shape alpha and minimum xm (heavy-tailed sizes).
+  double next_pareto(double alpha, double xm);
+
+  // Fork a statistically independent child generator; `stream` selects the
+  // substream so that parallel components don't share sequences.
+  Rng fork(std::uint64_t stream) const {
+    return Rng{mix64(state_[0] ^ state_[3], 0x666f726bULL, stream)};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+// Fisher-Yates shuffle with the library Rng (std::shuffle's result is
+// implementation-defined; this one is stable across platforms).
+template <typename Vec>
+void shuffle(Vec& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace flattree

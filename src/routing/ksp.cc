@@ -1,0 +1,151 @@
+#include "routing/ksp.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+namespace flattree {
+namespace {
+
+// Total order on paths: length first, then node values lexicographically.
+// Used both for candidate selection in Yen's algorithm and for result
+// determinism.
+bool path_less(const Path& a, const Path& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Path> KspSolver::shortest_path(NodeId src, NodeId dst) const {
+  return constrained_shortest(src, dst, {}, {});
+}
+
+std::optional<Path> KspSolver::constrained_shortest(
+    NodeId src, NodeId dst, const std::unordered_set<NodeId>& banned_nodes,
+    const std::unordered_set<EdgeKey>& banned_edges) const {
+  const Graph& g = *graph_;
+  if (src.index() >= g.node_count() || dst.index() >= g.node_count()) {
+    throw std::invalid_argument("shortest_path: bad node id");
+  }
+  if (src == dst) return Path{src};
+  if (banned_nodes.contains(dst)) return std::nullopt;
+
+  // BFS with deterministic parent choice: nodes are discovered in adjacency
+  // order from lexicographically processed frontiers, so the reconstructed
+  // path is reproducible.
+  std::vector<NodeId> parent(g.node_count(), NodeId::invalid());
+  std::vector<bool> visited(g.node_count(), false);
+  std::deque<NodeId> queue;
+  queue.push_back(src);
+  visited[src.index()] = true;
+
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (u == dst) break;
+    // Traffic transits switches only.
+    if (u != src && !is_switch(g.node(u).role)) continue;
+    // Collect admissible neighbors sorted by id for determinism (adjacency
+    // order is build-dependent; sorted order is canonical).
+    std::vector<NodeId> next;
+    for (const Adjacency& adj : g.neighbors(u)) {
+      if (visited[adj.peer.index()]) continue;
+      if (banned_nodes.contains(adj.peer)) continue;
+      if (banned_edges.contains(edge_key(u, adj.peer))) continue;
+      next.push_back(adj.peer);
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    for (NodeId v : next) {
+      visited[v.index()] = true;
+      parent[v.index()] = u;
+      queue.push_back(v);
+    }
+  }
+
+  if (!visited[dst.index()]) return std::nullopt;
+  Path path;
+  for (NodeId n = dst; n.valid(); n = parent[n.index()]) path.push_back(n);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<Path> KspSolver::k_shortest_paths(NodeId src, NodeId dst,
+                                              std::uint32_t k) const {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  auto first = shortest_path(src, dst);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  // Candidates ordered by (length, lexicographic), deduplicated.
+  auto cmp = [](const Path& a, const Path& b) { return path_less(a, b); };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    for (std::size_t i = 0; i + 1 < prev.size(); ++i) {
+      const NodeId spur = prev[i];
+      const std::span<const NodeId> root{prev.data(), i + 1};
+
+      std::unordered_set<EdgeKey> banned_edges;
+      for (const Path& p : result) {
+        if (p.size() > i + 1 &&
+            std::equal(root.begin(), root.end(), p.begin())) {
+          banned_edges.insert(edge_key(p[i], p[i + 1]));
+        }
+      }
+      std::unordered_set<NodeId> banned_nodes;
+      for (std::size_t j = 0; j < i; ++j) banned_nodes.insert(prev[j]);
+
+      const auto spur_path =
+          constrained_shortest(spur, dst, banned_nodes, banned_edges);
+      if (!spur_path) continue;
+
+      Path total(root.begin(), root.end());
+      total.insert(total.end(), spur_path->begin() + 1, spur_path->end());
+      if (std::none_of(result.begin(), result.end(),
+                       [&](const Path& p) { return p == total; })) {
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+const std::vector<Path>& PathCache::switch_paths(NodeId src_switch,
+                                                 NodeId dst_switch) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src_switch.value()) << 32) |
+      dst_switch.value();
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  auto paths = solver_.k_shortest_paths(src_switch, dst_switch, k_);
+  return cache_.emplace(key, std::move(paths)).first->second;
+}
+
+std::vector<Path> PathCache::server_paths(NodeId src_server,
+                                          NodeId dst_server) {
+  const NodeId src_sw = graph_->attachment_switch(src_server);
+  const NodeId dst_sw = graph_->attachment_switch(dst_server);
+  std::vector<Path> result;
+  if (src_sw == dst_sw) {
+    // Same-rack pair: the single two-hop path through the shared switch.
+    result.push_back(Path{src_server, src_sw, dst_server});
+    return result;
+  }
+  for (const Path& sw_path : switch_paths(src_sw, dst_sw)) {
+    result.push_back(with_server_endpoints(src_server, sw_path, dst_server));
+  }
+  return result;
+}
+
+}  // namespace flattree

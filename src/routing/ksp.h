@@ -1,0 +1,77 @@
+// Yen's k-shortest loopless paths (§4.2, [50]) over the switch fabric.
+//
+// All routing in flat-tree's global and local modes is k-shortest-path based.
+// Distances are hop counts. Paths transit switches only; endpoints may be
+// servers. Results are deterministic: ties are broken by path length first,
+// then lexicographic node order, so the same topology always yields the same
+// path set (Observation 2 in §4.2.1 — "the k-shortest paths between server
+// pairs are nearly deterministic").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/graph.h"
+#include "routing/path.h"
+
+namespace flattree {
+
+class KspSolver {
+ public:
+  explicit KspSolver(const Graph& graph) : graph_{&graph} {}
+
+  // Lexicographically-smallest shortest path from src to dst, or nullopt if
+  // disconnected. `banned_nodes` may not be transited (src itself is always
+  // allowed); `banned_edges` are directed node pairs that may not be used.
+  [[nodiscard]] std::optional<Path> shortest_path(NodeId src, NodeId dst) const;
+
+  // Yen's algorithm: up to k loopless paths in nondecreasing length order.
+  // Fewer than k are returned if the graph does not contain them.
+  [[nodiscard]] std::vector<Path> k_shortest_paths(NodeId src, NodeId dst,
+                                                   std::uint32_t k) const;
+
+ private:
+  using EdgeKey = std::uint64_t;
+  static EdgeKey edge_key(NodeId from, NodeId to) {
+    return (static_cast<EdgeKey>(from.value()) << 32) | to.value();
+  }
+
+  [[nodiscard]] std::optional<Path> constrained_shortest(
+      NodeId src, NodeId dst, const std::unordered_set<NodeId>& banned_nodes,
+      const std::unordered_set<EdgeKey>& banned_edges) const;
+
+  const Graph* graph_;
+};
+
+// Memoizing façade: computes and caches the k-shortest switch-to-switch
+// paths on demand. Experiments touch only the switch pairs their traffic
+// uses, so lazy computation keeps large topologies tractable.
+class PathCache {
+ public:
+  PathCache(const Graph& graph, std::uint32_t k)
+      : graph_{&graph}, solver_{graph}, k_{k} {}
+
+  // k-shortest paths between the attachment switches of two servers (or
+  // between two switches if switch ids are passed). Cached.
+  [[nodiscard]] const std::vector<Path>& switch_paths(NodeId src_switch,
+                                                      NodeId dst_switch);
+
+  // Full server-to-server paths (server endpoints attached to the cached
+  // switch paths). Not cached; cheap to build.
+  [[nodiscard]] std::vector<Path> server_paths(NodeId src_server,
+                                               NodeId dst_server);
+
+  [[nodiscard]] std::uint32_t k() const { return k_; }
+  [[nodiscard]] std::size_t cached_pairs() const { return cache_.size(); }
+
+ private:
+  const Graph* graph_;
+  KspSolver solver_;
+  std::uint32_t k_;
+  std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
+};
+
+}  // namespace flattree

@@ -1,0 +1,33 @@
+// Path representation and validation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace flattree {
+
+// A path is a node sequence; consecutive nodes must be adjacent in the graph
+// being routed on. Paths may be switch-to-switch (routing core) or
+// server-to-server (allocation).
+using Path = std::vector<NodeId>;
+
+// Checks adjacency of consecutive hops, loop-freedom, and that interior
+// nodes are switches. Returns false (never throws) so it can gate-keep
+// untrusted path inputs.
+[[nodiscard]] bool is_valid_path(const Graph& graph, std::span<const NodeId> path);
+
+// Hop count (links traversed); 0 for trivial paths.
+[[nodiscard]] inline std::size_t path_length(std::span<const NodeId> path) {
+  return path.empty() ? 0 : path.size() - 1;
+}
+
+// Extends a switch-level path with the server endpoints:
+// src_server -> [switch path] -> dst_server.
+[[nodiscard]] Path with_server_endpoints(NodeId src_server,
+                                         std::span<const NodeId> switch_path,
+                                         NodeId dst_server);
+
+}  // namespace flattree

@@ -1,0 +1,59 @@
+// Network-state accounting (§4.2).
+//
+// k-shortest-path routing needs per-path forwarding state; the paper's core
+// control-plane contribution is cutting that state down in two steps:
+//   naive        one rule per (server pair, path, transit switch)
+//   aggregated   prefix matching at the ingress/egress switch level --
+//                one rule per (switch pair, path, transit switch)
+//   source-routed  ingress keeps S*k rules; transit keeps D*C static rules
+// StateAnalyzer computes all three from the *actual* path sets in use, plus
+// the closed-form averages the paper quotes (n^2 k L / N and S^2 k L / N).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "routing/ksp.h"
+#include "routing/path.h"
+
+namespace flattree {
+
+struct StateCounts {
+  // Exact per-switch rule counts derived from the path sets.
+  std::uint64_t naive_max{0};
+  double naive_avg{0.0};
+  std::uint64_t aggregated_max{0};
+  double aggregated_avg{0.0};
+  std::uint64_t ingress_max{0};   // source routing: per-ingress route stack rules
+  double ingress_avg{0.0};
+  std::uint64_t transit_static{0};  // source routing: D x C, same on every switch
+
+  // Closed-form estimates from §4.2 for cross-checking.
+  double formula_naive_avg{0.0};       // n^2 * k * L / N
+  double formula_aggregated_avg{0.0};  // S^2 * k * L / N
+
+  double avg_path_length{0.0};  // L over the analyzed path sets
+  std::uint64_t path_count{0};
+};
+
+// A traffic-independent analysis assumes all-to-all switch pairs; callers
+// with a concrete workload can pass just the pairs in use.
+struct SwitchPair {
+  NodeId src{};
+  NodeId dst{};
+};
+
+// Computes rule counts for the k-shortest-path routing of the given switch
+// pairs. `servers_per_switch_hint` scales the naive count; pass 0 to use the
+// real per-switch server attachment counts from the graph.
+[[nodiscard]] StateCounts analyze_states(const Graph& graph, PathCache& paths,
+                                         const std::vector<SwitchPair>& pairs,
+                                         std::size_t max_port_count,
+                                         std::size_t diameter);
+
+// All ordered pairs of switches that have at least one attached server
+// (every switch can be an ingress/egress in flat-tree).
+[[nodiscard]] std::vector<SwitchPair> all_ingress_pairs(const Graph& graph);
+
+}  // namespace flattree

@@ -1,0 +1,48 @@
+#include "routing/segment_routing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flattree {
+
+LabelStack encode_label_stack(const PortMap& ports, const Path& path) {
+  if (path.size() < 2) {
+    throw std::invalid_argument("encode_label_stack: path too short");
+  }
+  LabelStack stack;
+  const std::size_t first =
+      is_switch(ports.graph().node(path.front()).role) ? 0 : 1;
+  for (std::size_t i = first; i + 1 < path.size(); ++i) {
+    stack.labels.push_back(ports.port_to(path[i], path[i + 1]));
+  }
+  // The first hop to execute must be on top.
+  std::reverse(stack.labels.begin(), stack.labels.end());
+  return stack;
+}
+
+std::vector<NodeId> replay_label_stack(const Graph& graph,
+                                       const PortMap& ports, LabelStack stack,
+                                       NodeId first_switch) {
+  std::vector<NodeId> visited{first_switch};
+  NodeId here = first_switch;
+  while (!stack.empty()) {
+    const std::uint8_t port = stack.labels.back();
+    stack.labels.pop_back();
+    const auto next = ports.neighbor_at(here, port);
+    if (!next) {
+      throw std::logic_error(
+          "replay_label_stack: label names an unused port");
+    }
+    visited.push_back(*next);
+    here = *next;
+    // A server endpoint terminates the route; only switches forward.
+    if (!is_switch(graph.node(here).role)) break;
+  }
+  return visited;
+}
+
+std::uint64_t segment_transit_rule_count(std::size_t port_count) {
+  return port_count;
+}
+
+}  // namespace flattree

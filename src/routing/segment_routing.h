@@ -1,0 +1,52 @@
+// Segment routing with MPLS-style label stacks (§4.2.2, first option).
+//
+// "Segment routing is a natural fit to this request in SDN. In segment
+// routing, the k-shortest-path routing algorithm can be implemented in the
+// Path Computation Element (PCE) ... which enforces per-route states only
+// at ingress switches. ... The ingress switch encodes the hops of a path as
+// a stack of MPLS labels. The transit switches forward packets by dumb
+// matching of the label on top of the stack and pop it upon completion."
+//
+// Each label is an adjacency segment: the output port on the switch that
+// pops it. Compared with the MAC-encoded source routes (source_routing.h),
+// label stacks have no 6-hop depth limit, and a transit switch needs only
+// one rule per port (C rules instead of D x C) — the trade-off is the MPLS
+// forwarding fabric requirement the paper notes not all data centers have.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "routing/path.h"
+#include "routing/source_routing.h"  // PortMap
+
+namespace flattree {
+
+// A label stack; back() is the top of the stack (next hop to execute).
+struct LabelStack {
+  std::vector<std::uint8_t> labels;
+
+  [[nodiscard]] std::size_t depth() const { return labels.size(); }
+  [[nodiscard]] bool empty() const { return labels.empty(); }
+};
+
+// Encodes the switch-level hops of a path (server endpoints allowed, as in
+// encode_route) into a label stack. No depth limit.
+[[nodiscard]] LabelStack encode_label_stack(const PortMap& ports,
+                                            const Path& path);
+
+// Walks the stack from `first_switch` exactly as MPLS transit switches
+// would: pop the top label, forward out of that port. Returns the nodes
+// visited (including first_switch). Throws on a label naming an unused
+// port.
+[[nodiscard]] std::vector<NodeId> replay_label_stack(const Graph& graph,
+                                                     const PortMap& ports,
+                                                     LabelStack stack,
+                                                     NodeId first_switch);
+
+// Transit rule count for segment routing: one adjacency-segment rule per
+// local port — no TTL dimension (vs transit_rule_count's D x C).
+[[nodiscard]] std::uint64_t segment_transit_rule_count(std::size_t port_count);
+
+}  // namespace flattree

@@ -1,0 +1,109 @@
+#include "routing/source_routing.h"
+
+#include <stdexcept>
+
+namespace flattree {
+
+PortMap::PortMap(const Graph& graph) : graph_{&graph} {
+  to_port_.resize(graph.node_count());
+  to_neighbor_.resize(graph.node_count());
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    for (const Adjacency& adj : graph.neighbors(node)) {
+      // First link to a neighbor claims the port; parallel links share it.
+      if (to_port_[i].contains(adj.peer)) continue;
+      if (to_neighbor_[i].size() > 255) {
+        throw std::invalid_argument("PortMap: more than 256 ports on a node");
+      }
+      to_port_[i].emplace(adj.peer,
+                          static_cast<std::uint8_t>(to_neighbor_[i].size()));
+      to_neighbor_[i].push_back(adj.peer);
+    }
+  }
+}
+
+std::uint8_t PortMap::port_to(NodeId sw, NodeId neighbor) const {
+  const auto& ports = to_port_.at(sw.index());
+  const auto it = ports.find(neighbor);
+  if (it == ports.end()) {
+    throw std::logic_error("PortMap::port_to: not adjacent");
+  }
+  return it->second;
+}
+
+std::optional<NodeId> PortMap::neighbor_at(NodeId sw, std::uint8_t port) const {
+  const auto& neighbors = to_neighbor_.at(sw.index());
+  if (port >= neighbors.size()) return std::nullopt;
+  return neighbors[port];
+}
+
+std::size_t PortMap::port_count(NodeId sw) const {
+  return to_neighbor_.at(sw.index()).size();
+}
+
+std::size_t PortMap::max_port_count() const {
+  std::size_t best = 0;
+  for (const auto& neighbors : to_neighbor_) {
+    best = std::max(best, neighbors.size());
+  }
+  return best;
+}
+
+SourceRoute encode_route(const PortMap& ports, const Path& path) {
+  if (path.size() < 2) {
+    throw std::invalid_argument("encode_route: path too short");
+  }
+  SourceRoute route;
+  // Hops are decisions made at switches: a leading server endpoint makes no
+  // decision (its NIC has one port), so encoding starts at its attachment
+  // switch. Every interior node is a switch by path validity.
+  const std::size_t first =
+      is_switch(ports.graph().node(path.front()).role) ? 0 : 1;
+  for (std::size_t i = first; i + 1 < path.size(); ++i) {
+    if (route.hop_count >= kMaxSourceRouteHops) {
+      throw std::invalid_argument("encode_route: path exceeds 6 switch hops");
+    }
+    const std::uint8_t port = ports.port_to(path[i], path[i + 1]);
+    const std::size_t shift = 8 * (5 - route.hop_count);
+    route.mac |= static_cast<std::uint64_t>(port) << shift;
+    ++route.hop_count;
+  }
+  return route;
+}
+
+std::uint8_t route_port_at(const SourceRoute& route, std::uint8_t ttl) {
+  const std::size_t hop = static_cast<std::size_t>(kInitialTtl) - ttl;
+  if (hop >= kMaxSourceRouteHops) {
+    throw std::invalid_argument("route_port_at: TTL out of route range");
+  }
+  const std::size_t shift = 8 * (5 - hop);
+  return static_cast<std::uint8_t>((route.mac >> shift) & 0xff);
+}
+
+std::vector<NodeId> replay_route(const Graph& graph, const PortMap& ports,
+                                 const SourceRoute& route,
+                                 NodeId first_switch) {
+  std::vector<NodeId> visited{first_switch};
+  NodeId here = first_switch;
+  std::uint8_t ttl = kInitialTtl;
+  for (std::uint8_t hop = 0; hop < route.hop_count; ++hop) {
+    const std::uint8_t port = route_port_at(route, ttl);
+    const auto next = ports.neighbor_at(here, port);
+    if (!next) {
+      throw std::logic_error("replay_route: packet sent to an unused port");
+    }
+    visited.push_back(*next);
+    here = *next;
+    --ttl;
+    // A server endpoint terminates the route; only switches forward.
+    if (!is_switch(graph.node(here).role)) break;
+  }
+  return visited;
+}
+
+std::uint64_t transit_rule_count(std::size_t diameter,
+                                 std::size_t port_count) {
+  return static_cast<std::uint64_t>(diameter) * port_count;
+}
+
+}  // namespace flattree

@@ -1,0 +1,85 @@
+// SDN source routing via MAC-encoded port lists (§4.2.2).
+//
+// The ingress switch rewrites the source MAC address to carry the packet's
+// entire route as a list of next-hop output ports, one byte per hop. Transit
+// switches use the packet TTL as a cursor: a switch seeing TTL = 255 - h
+// extracts byte h of the MAC (OpenFlow 1.3 arbitrary-bit matching) and
+// forwards to that port. Transit state is therefore O(diameter x port
+// count), independent of the number of flows, and survives topology
+// conversions unchanged.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/graph.h"
+#include "routing/path.h"
+
+namespace flattree {
+
+// Stable switch-local port numbering derived from the graph: ports are
+// assigned in adjacency order; parallel links to the same neighbor share the
+// first port for forwarding purposes (they are one logical pipe).
+class PortMap {
+ public:
+  explicit PortMap(const Graph& graph);
+
+  // Output port on `sw` toward adjacent node `neighbor`.
+  [[nodiscard]] std::uint8_t port_to(NodeId sw, NodeId neighbor) const;
+
+  // Node reached from `sw` via `port`; nullopt if the port is unused.
+  [[nodiscard]] std::optional<NodeId> neighbor_at(NodeId sw,
+                                                  std::uint8_t port) const;
+
+  [[nodiscard]] std::size_t port_count(NodeId sw) const;
+
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+
+  // Largest port count over all switches (the C in the D x C transit rule
+  // bound).
+  [[nodiscard]] std::size_t max_port_count() const;
+
+ private:
+  const Graph* graph_;
+  // Per node: neighbor id -> port, and port -> neighbor.
+  std::vector<std::unordered_map<NodeId, std::uint8_t>> to_port_;
+  std::vector<std::vector<NodeId>> to_neighbor_;
+};
+
+inline constexpr std::uint8_t kInitialTtl = 255;
+inline constexpr std::size_t kMaxSourceRouteHops = 6;  // 48-bit MAC
+
+// 48-bit source route held in the source MAC field.
+struct SourceRoute {
+  std::uint64_t mac{0};       // byte h (from MSB of the 48 bits) = hop h port
+  std::uint8_t hop_count{0};
+};
+
+// Encodes the switch-level hops of a server-to-server (or switch-to-switch)
+// path. The final hop's port (toward the destination server, if present) is
+// included. Throws std::invalid_argument if the path needs more than
+// kMaxSourceRouteHops switch hops or a port exceeds 255.
+[[nodiscard]] SourceRoute encode_route(const PortMap& ports,
+                                       const Path& path);
+
+// The output port a transit switch extracts for the given TTL, mirroring the
+// OpenFlow mask-match rule: hop index = kInitialTtl - ttl.
+[[nodiscard]] std::uint8_t route_port_at(const SourceRoute& route,
+                                         std::uint8_t ttl);
+
+// Walks the encoded route hop by hop from `first_switch` exactly as the
+// transit rule tables would, returning the nodes visited (including
+// `first_switch`). Used to prove encode/decode round-trips.
+[[nodiscard]] std::vector<NodeId> replay_route(const Graph& graph,
+                                               const PortMap& ports,
+                                               const SourceRoute& route,
+                                               NodeId first_switch);
+
+// Number of OpenFlow entries a transit switch needs: one per (TTL value,
+// output port) pair = diameter x port count (§4.2.2).
+[[nodiscard]] std::uint64_t transit_rule_count(std::size_t diameter,
+                                               std::size_t port_count);
+
+}  // namespace flattree

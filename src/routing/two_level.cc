@@ -1,0 +1,115 @@
+#include "routing/two_level.h"
+
+#include <stdexcept>
+
+namespace flattree {
+
+TwoLevelRouter::TwoLevelRouter(const Graph& graph, const ClosParams& params)
+    : graph_{&graph}, params_{params} {
+  params_.validate();
+  num_servers_ = params_.total_servers();
+  if (graph.count_role(NodeRole::kServer) != num_servers_ ||
+      graph.count_role(NodeRole::kEdge) != params_.total_edges() ||
+      graph.count_role(NodeRole::kAgg) != params_.total_aggs() ||
+      graph.count_role(NodeRole::kCore) != params_.cores) {
+    throw std::invalid_argument("two-level: graph does not match params");
+  }
+  edges_ = graph.nodes_with_role(NodeRole::kEdge);
+  aggs_ = graph.nodes_with_role(NodeRole::kAgg);
+  cores_ = graph.nodes_with_role(NodeRole::kCore);
+  // The scheme depends on the strictly hierarchical Clos wiring: every
+  // server must sit under its positional edge switch.
+  for (std::uint32_t s = 0; s < num_servers_; ++s) {
+    if (graph.attachment_switch(NodeId{s}) !=
+        edges_[s / params_.servers_per_edge]) {
+      throw std::invalid_argument(
+          "two-level: server placement is not canonical Clos (use ECMP or "
+          "k-shortest-path routing for converted topologies)");
+    }
+  }
+}
+
+std::uint32_t TwoLevelRouter::server_index(NodeId server) const {
+  if (server.value() >= num_servers_ ||
+      graph_->node(server).role != NodeRole::kServer) {
+    throw std::invalid_argument("two-level: not a server id");
+  }
+  return server.value();
+}
+
+std::uint32_t TwoLevelRouter::edge_of_server(std::uint32_t server) const {
+  return server / params_.servers_per_edge;
+}
+
+std::uint32_t TwoLevelRouter::pod_of_server(std::uint32_t server) const {
+  return edge_of_server(server) / params_.edge_per_pod;
+}
+
+Path TwoLevelRouter::route(NodeId src_server, NodeId dst_server) const {
+  const std::uint32_t src = server_index(src_server);
+  const std::uint32_t dst = server_index(dst_server);
+  if (src == dst) {
+    throw std::invalid_argument("two-level: src == dst");
+  }
+  const std::uint32_t src_edge = edge_of_server(src);
+  const std::uint32_t dst_edge = edge_of_server(dst);
+  const std::uint32_t src_pod = pod_of_server(src);
+  const std::uint32_t dst_pod = pod_of_server(dst);
+
+  Path path{src_server, edges_[src_edge]};
+  if (src_edge == dst_edge) {
+    path.push_back(dst_server);
+    return path;
+  }
+
+  // Upward: the host suffix of the *destination* picks the aggregation
+  // switch (and, cross-pod, the core), so all packets to one host converge
+  // on one deterministic path — the fat-tree two-level scheme.
+  const std::uint32_t suffix = dst % params_.servers_per_edge;
+  const std::uint32_t up_agg = (dst_edge + suffix) % params_.agg_per_pod;
+  path.push_back(aggs_[src_pod * params_.agg_per_pod + up_agg]);
+
+  if (src_pod != dst_pod) {
+    // Suffix-selected uplink of the chosen aggregation switch.
+    const std::uint32_t uplink = suffix % params_.agg_uplinks;
+    const std::uint32_t core =
+        (up_agg * params_.agg_uplinks + uplink) % params_.cores;
+    path.push_back(cores_[core]);
+    // Downward prefix route: the aggregation switch of the destination pod
+    // wired to this core (see build_clos's modular rule).
+    const std::uint32_t down_agg =
+        (core / params_.agg_uplinks) % params_.agg_per_pod;
+    path.push_back(aggs_[dst_pod * params_.agg_per_pod + down_agg]);
+  }
+  path.push_back(edges_[dst_edge]);
+  path.push_back(dst_server);
+  return path;
+}
+
+std::size_t TwoLevelRouter::prefix_entries(NodeId sw) const {
+  switch (graph_->node(sw).role) {
+    case NodeRole::kEdge:
+      return params_.servers_per_edge;  // terminating host prefixes
+    case NodeRole::kAgg:
+      return params_.edge_per_pod;  // in-pod edge subnets
+    case NodeRole::kCore:
+      return params_.pods;  // one pod prefix per pod
+    default:
+      throw std::invalid_argument("two-level: not a switch");
+  }
+}
+
+std::size_t TwoLevelRouter::suffix_entries(NodeId sw) const {
+  switch (graph_->node(sw).role) {
+    case NodeRole::kEdge:
+      return params_.servers_per_edge;  // suffix -> uplink spread
+    case NodeRole::kAgg:
+      return params_.servers_per_edge;  // suffix -> core uplink spread
+    case NodeRole::kCore:
+      return 0;  // cores route down by prefix only
+    default:
+      throw std::invalid_argument("two-level: not a switch");
+  }
+}
+
+}  // namespace flattree

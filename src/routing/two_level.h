@@ -1,0 +1,52 @@
+// Two-level routing tables for Clos mode (§4: "For flat-tree Clos mode, we
+// can use ECMP, two-level routing, or customized SDN routing").
+//
+// This is the classic fat-tree scheme (Al-Fares et al., the paper's [12]):
+// switches hold a small primary table of destination prefixes (terminating
+// prefixes route down toward the destination) plus a secondary table of
+// host suffixes that spreads upward traffic across the uplinks, giving
+// deterministic per-host load balancing with O(pod size) state per switch —
+// no per-flow rules at all. Implemented over the generic Clos builder
+// (clos.cc), addressing servers by their global index.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/graph.h"
+#include "routing/path.h"
+#include "topo/params.h"
+
+namespace flattree {
+
+class TwoLevelRouter {
+ public:
+  // `graph` must be build_clos(params) (the canonical hierarchical wiring);
+  // construction validates the expected layer structure.
+  TwoLevelRouter(const Graph& graph, const ClosParams& params);
+
+  // Table-driven walk from src_server to dst_server. Returns the full node
+  // path (server to server).
+  [[nodiscard]] Path route(NodeId src_server, NodeId dst_server) const;
+
+  // State footprint per switch: prefix entries + suffix entries (§4's point
+  // is that this is tiny and conversion-independent for Clos mode).
+  [[nodiscard]] std::size_t prefix_entries(NodeId sw) const;
+  [[nodiscard]] std::size_t suffix_entries(NodeId sw) const;
+
+ private:
+  // Location helpers derived from the fixed node-ordering convention.
+  [[nodiscard]] std::uint32_t server_index(NodeId server) const;
+  [[nodiscard]] std::uint32_t edge_of_server(std::uint32_t server) const;
+  [[nodiscard]] std::uint32_t pod_of_server(std::uint32_t server) const;
+
+  const Graph* graph_;
+  ClosParams params_;
+  std::uint32_t num_servers_{0};
+  std::vector<NodeId> edges_;
+  std::vector<NodeId> aggs_;
+  std::vector<NodeId> cores_;
+};
+
+}  // namespace flattree

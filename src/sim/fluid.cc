@@ -1,0 +1,236 @@
+#include "sim/fluid.h"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "lp/mcf.h"
+
+namespace flattree {
+namespace {
+
+// Resolves a flow's subflow paths into directed-edge index lists.
+std::vector<std::vector<std::uint32_t>> resolve_paths(
+    const LogicalTopology& topo, const PathProvider& provider, const Flow& f,
+    std::uint32_t index) {
+  const auto paths = provider(NodeId{f.src}, NodeId{f.dst}, index);
+  if (paths.empty()) {
+    throw std::logic_error("fluid: path provider returned no paths");
+  }
+  std::vector<std::vector<std::uint32_t>> edges;
+  edges.reserve(paths.size());
+  for (const Path& p : paths) edges.push_back(topo.path_edges(p));
+  return edges;
+}
+
+}  // namespace
+
+FluidSimulator::FluidSimulator(const Graph& graph, PathProvider provider,
+                               FluidOptions options)
+    : graph_{&graph},
+      topology_{graph},
+      provider_{std::move(provider)},
+      options_{options} {}
+
+std::vector<double> FluidSimulator::measure_rates(const Workload& flows) {
+  McfInstance instance;
+  instance.capacity.assign(topology_.directed_count(), 0.0);
+  for (std::size_t e = 0; e < topology_.directed_count(); ++e) {
+    instance.capacity[e] = topology_.capacity(static_cast<std::uint32_t>(e));
+  }
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    McfCommodity commodity;
+    commodity.paths = resolve_paths(topology_, provider_, flows[i],
+                                    static_cast<std::uint32_t>(i));
+    instance.commodities.push_back(std::move(commodity));
+  }
+  return options_.rate_model == RateModel::kEqualSplit
+             ? solve_equal_split_fill(instance).flow_rate
+             : solve_max_min_fill(instance).flow_rate;
+}
+
+std::vector<FluidFlowResult> FluidSimulator::run(const Workload& flows) {
+  struct FlowState {
+    double remaining{0.0};
+    std::uint32_t deps_remaining{0};
+    double ready_time{0.0};  // latest dependency finish + dep delay
+    bool released{false};
+    bool active{false};
+    std::vector<std::vector<std::uint32_t>> path_edges;
+    std::vector<std::uint32_t> dependents;
+  };
+
+  std::vector<FlowState> state(flows.size());
+  std::vector<FluidFlowResult> results(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].bytes <= 0) {
+      throw std::invalid_argument("fluid run: flows must have bytes > 0");
+    }
+    state[i].remaining = flows[i].bytes;
+    state[i].deps_remaining =
+        static_cast<std::uint32_t>(flows[i].depends_on.size());
+    state[i].ready_time = flows[i].start_s;
+    for (std::uint32_t dep : flows[i].depends_on) {
+      if (dep >= flows.size()) {
+        throw std::invalid_argument("fluid run: dependency index out of range");
+      }
+      state[dep].dependents.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // Arrival queue: (time, flow).
+  using Arrival = std::pair<double, std::uint32_t>;
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>> arrivals;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (state[i].deps_remaining == 0) {
+      arrivals.emplace(flows[i].start_s, static_cast<std::uint32_t>(i));
+    }
+  }
+
+  std::vector<std::uint32_t> active;
+  std::vector<double> rates;  // parallel to `active`
+  double now = 0.0;
+
+  const auto reallocate = [&]() {
+    McfInstance instance;
+    instance.capacity.assign(topology_.directed_count(), 0.0);
+    for (std::size_t e = 0; e < topology_.directed_count(); ++e) {
+      instance.capacity[e] = topology_.capacity(static_cast<std::uint32_t>(e));
+    }
+    for (std::uint32_t f : active) {
+      McfCommodity commodity;
+      commodity.paths = state[f].path_edges;
+      instance.commodities.push_back(std::move(commodity));
+    }
+    rates = options_.rate_model == RateModel::kEqualSplit
+                ? solve_equal_split_fill(instance).flow_rate
+                : solve_max_min_fill(instance).flow_rate;
+  };
+
+  const auto complete_flow = [&](std::uint32_t f) {
+    results[f].completed = true;
+    results[f].finish_s = now;
+    state[f].active = false;
+    for (std::uint32_t dep : state[f].dependents) {
+      FlowState& ds = state[dep];
+      if (ds.deps_remaining == 0) continue;  // defensive
+      --ds.deps_remaining;
+      ds.ready_time =
+          std::max(ds.ready_time, now + flows[dep].dep_delay_s);
+      if (ds.deps_remaining == 0) {
+        arrivals.emplace(std::max(ds.ready_time, flows[dep].start_s), dep);
+      }
+    }
+  };
+
+  while (!active.empty() || !arrivals.empty()) {
+    if (now > options_.max_time_s) break;
+
+    // Admit every arrival due now (or the earliest future one if idle).
+    if (active.empty() && !arrivals.empty()) {
+      now = std::max(now, arrivals.top().first);
+    }
+    bool admitted = false;
+    while (!arrivals.empty() && arrivals.top().first <= now + 1e-12) {
+      const std::uint32_t f = arrivals.top().second;
+      arrivals.pop();
+      if (state[f].released) continue;
+      state[f].released = true;
+      state[f].active = true;
+      state[f].path_edges = resolve_paths(topology_, provider_, flows[f], f);
+      results[f].started = true;
+      results[f].start_s = now;
+      active.push_back(f);
+      admitted = true;
+    }
+    if (admitted || rates.size() != active.size()) reallocate();
+
+    // Time to next completion among active flows.
+    double dt_complete = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (rates[i] > 0) {
+        dt_complete =
+            std::min(dt_complete, state[active[i]].remaining * 8.0 / rates[i]);
+      }
+    }
+    double next_arrival = std::numeric_limits<double>::infinity();
+    if (!arrivals.empty()) next_arrival = arrivals.top().first;
+
+    if (!std::isfinite(dt_complete) && !std::isfinite(next_arrival)) {
+      break;  // starved flows with no future arrivals: give up
+    }
+
+    double next_time = std::min(now + dt_complete, next_arrival);
+    bool horizon_hit = false;
+    if (next_time > options_.max_time_s) {
+      next_time = options_.max_time_s;
+      horizon_hit = true;
+    }
+    const double dt = next_time - now;
+    // Drain bytes over [now, next_time].
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      state[active[i]].remaining -= rates[i] * dt / 8.0;
+    }
+    now = next_time;
+    if (horizon_hit) break;  // unfinished flows are reported as such
+
+    // Retire completed flows.
+    bool any_completed = false;
+    std::vector<std::uint32_t> still_active;
+    std::vector<double> still_rates;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const std::uint32_t f = active[i];
+      if (state[f].remaining <= 1e-6) {
+        complete_flow(f);
+        any_completed = true;
+      } else {
+        still_active.push_back(f);
+        still_rates.push_back(rates[i]);
+      }
+    }
+    if (any_completed) {
+      active = std::move(still_active);
+      rates = std::move(still_rates);
+      reallocate();
+    }
+  }
+
+  return results;
+}
+
+std::vector<CoflowStats> coflow_completion_times(
+    const Workload& flows, const std::vector<FluidFlowResult>& results) {
+  if (flows.size() != results.size()) {
+    throw std::invalid_argument("coflow stats: result size mismatch");
+  }
+  std::map<std::uint32_t, CoflowStats> groups;
+  std::map<std::uint32_t, std::pair<double, double>> spans;  // start, finish
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].group == Flow::kNoGroup) continue;
+    auto [it, inserted] = groups.try_emplace(flows[i].group);
+    CoflowStats& g = it->second;
+    auto [sit, sinserted] = spans.try_emplace(
+        flows[i].group, std::pair{1e300, 0.0});
+    if (inserted) {
+      g.group = flows[i].group;
+      g.completed = true;
+    }
+    ++g.flows;
+    g.completed = g.completed && results[i].completed;
+    sit->second.first = std::min(sit->second.first, results[i].start_s);
+    sit->second.second = std::max(sit->second.second, results[i].finish_s);
+  }
+  std::vector<CoflowStats> out;
+  out.reserve(groups.size());
+  for (auto& [group, stats] : groups) {
+    const auto& span = spans.at(group);
+    stats.cct_s = stats.completed ? span.second - span.first : 0.0;
+    out.push_back(stats);
+  }
+  return out;
+}
+
+}  // namespace flattree

@@ -1,0 +1,86 @@
+// Flow-level fluid simulator.
+//
+// Large-scale experiments (Figures 6-8) need flow completion times over
+// thousands of flows on thousand-server topologies, where packet-level
+// simulation is intractable (the paper used htsim on one topology size; we
+// use packet-level simulation for the testbed-scale runs and this fluid
+// model at scale). The fluid model assumes congestion control converges
+// quickly to max-min fair rates at subflow granularity between flow arrival
+// and departure events — the standard fluid approximation for
+// MPTCP/TCP-fair networks. Each flow is split over the paths its routing
+// scheme provides (k subflows for k-shortest-path + MPTCP, one path for
+// ECMP + TCP); rates are recomputed by progressive filling at every arrival
+// or departure.
+//
+// Dependencies (Flow::depends_on) gate flow release, which is how the
+// application phase models (§5.4) express broadcast rounds and barriers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/capacity.h"
+#include "net/graph.h"
+#include "routing/path.h"
+#include "traffic/flow.h"
+
+namespace flattree {
+
+// Supplies the subflow paths for a flow. Implementations typically wrap a
+// PathCache (k-shortest-path routing) or an EcmpRouter (single hashed path).
+using PathProvider =
+    std::function<std::vector<Path>(NodeId src, NodeId dst,
+                                    std::uint32_t flow_index)>;
+
+struct FluidFlowResult {
+  bool started{false};
+  bool completed{false};
+  double start_s{0.0};
+  double finish_s{0.0};
+  [[nodiscard]] double fct_s() const { return finish_s - start_s; }
+};
+
+// How per-flow rates derive from the flow's path set.
+enum class RateModel : std::uint8_t {
+  // Per-subflow max-min: every path ramps independently; the flow gets the
+  // sum. Default — cheap enough to recompute per arrival/departure event,
+  // and its biases apply equally to every topology being compared. (The
+  // more faithful coupled-MPTCP model, solve_mptcp_model in lp/mcf.h,
+  // embeds an LP and is reserved for the throughput-bound experiments.)
+  kSubflow,
+  // Equal-split flow-level max-min (static 1/k splitting).
+  kEqualSplit,
+};
+
+struct FluidOptions {
+  double max_time_s{1e6};  // simulation horizon; unfinished flows reported
+  RateModel rate_model{RateModel::kSubflow};
+};
+
+// Coflow completion times over a simulated workload: for each flow group,
+// the span from the earliest member start to the latest member finish (the
+// application-level metric for shuffle jobs; see Flow::group).
+[[nodiscard]] std::vector<CoflowStats> coflow_completion_times(
+    const Workload& flows, const std::vector<FluidFlowResult>& results);
+
+class FluidSimulator {
+ public:
+  FluidSimulator(const Graph& graph, PathProvider provider,
+                 FluidOptions options = FluidOptions{});
+
+  // Event-driven FCT simulation for finite flows (bytes > 0).
+  [[nodiscard]] std::vector<FluidFlowResult> run(const Workload& flows);
+
+  // Steady-state max-min rates (bits/s) for persistent flows: all flows
+  // active simultaneously; returns the per-flow rate vector.
+  [[nodiscard]] std::vector<double> measure_rates(const Workload& flows);
+
+ private:
+  const Graph* graph_;
+  LogicalTopology topology_;
+  PathProvider provider_;
+  FluidOptions options_;
+};
+
+}  // namespace flattree

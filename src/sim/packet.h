@@ -1,0 +1,226 @@
+// Packet-level discrete-event network simulator.
+//
+// This is the htsim-equivalent substrate for the testbed-scale experiments:
+// store-and-forward switches with drop-tail output queues, full-duplex links
+// with serialization + propagation delay, TCP Reno senders (slow start,
+// AIMD, NewReno fast recovery, RTO with exponential backoff) and MPTCP with
+// Linked-Increase (LIA) coupling across subflows. Routing is source-routed:
+// every subflow carries its full path, exactly like the MAC-encoded source
+// routes of §4.2.2.
+//
+// Run-time topology conversion (§4.3) is first-class: apply_conversion()
+// swaps in a new realized graph and new subflow paths mid-run. Pipes
+// (directional links) are identified by their node pair and persist across
+// conversions; pipes whose cable was rewired drop their in-flight packets
+// and, together with any pipe touched by the control-plane update, stall
+// for the blackout window (OCS reconfiguration + rule updates, Table 3).
+// Two blackout scopes model the paper's two operational styles:
+//   kFullBlackout   all-at-once conversion — every switch's rules are
+//                   rewritten, the whole fabric stalls (Figure 10)
+//   kChangedOnly    gradual conversion — only rewired circuits stall;
+//                   untouched pipes keep forwarding ("draining parts of the
+//                   network incrementally", §4.3)
+// Flows whose path set is unchanged by a conversion keep their congestion
+// state (warm); re-pathed flows restart their subflows and recover through
+// slow start — reproducing the 2-2.5 s re-convergence of Figure 10.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "net/graph.h"
+#include "routing/path.h"
+
+namespace flattree {
+
+struct PacketSimOptions {
+  double prop_delay_s{5e-6};
+  std::uint32_t queue_packets{128};   // drop-tail depth per pipe
+  std::uint32_t mtu_bytes{1500};
+  std::uint32_t ack_bytes{64};
+  double min_rto_s{0.02};
+  double initial_rto_s{0.2};
+  double max_rto_s{2.0};
+  double init_cwnd{2.0};
+  double initial_rtt_estimate_s{1e-3};
+  bool mptcp_coupled{true};  // LIA; false = independent Reno per subflow
+};
+
+enum class ConversionScope : std::uint8_t {
+  kFullBlackout,  // every pipe stalls for the blackout window
+  kChangedOnly,   // only created/rewired pipes stall
+};
+
+class PacketSim {
+ public:
+  explicit PacketSim(PacketSimOptions options = PacketSimOptions{});
+
+  // Installs the network (pipes from every link of the realized graph,
+  // one per direction). Must be called once before adding flows.
+  void set_network(const Graph& graph);
+
+  // Adds a flow; bytes = 0 means persistent (iPerf-style). `subflow_paths`
+  // are full server-to-server node paths on the current network.
+  std::uint32_t add_flow(std::uint32_t src_server, std::uint32_t dst_server,
+                         double bytes, double start_s,
+                         std::vector<Path> subflow_paths);
+
+  // Run the event loop until simulated time t.
+  void run_until(double t_s);
+
+  // Topology conversion at the current simulation time: new graph, new
+  // per-flow subflow paths (provider is called with each flow index), and
+  // the control-plane blackout. Pipes present in both graphs persist (their
+  // in-flight traffic survives under kChangedOnly); removed pipes drop
+  // their queues; flows whose new path set equals their current one keep
+  // their congestion state.
+  void apply_conversion(
+      const Graph& graph,
+      const std::function<std::vector<Path>(std::uint32_t)>& paths_for_flow,
+      double blackout_s,
+      ConversionScope scope = ConversionScope::kFullBlackout);
+
+  // -- metrics --------------------------------------------------------------
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] std::uint64_t flow_bytes_acked(std::uint32_t flow) const;
+  [[nodiscard]] bool flow_completed(std::uint32_t flow) const;
+  [[nodiscard]] double flow_finish_time(std::uint32_t flow) const;
+  [[nodiscard]] std::uint64_t total_bytes_acked() const;
+  [[nodiscard]] std::uint64_t packets_dropped() const { return drops_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return events_done_; }
+
+ private:
+  // ---- data plane ----------------------------------------------------------
+  struct Packet {
+    std::uint32_t flow{0};
+    std::uint32_t subflow{0};
+    std::uint32_t seq{0};        // data: sequence; ack: cumulative ack
+    std::uint32_t size{0};
+    double send_time{0.0};       // data: tx time; ack: echoed tx time
+    std::uint16_t hop{0};
+    bool is_ack{false};
+  };
+
+  struct Pipe {
+    double rate_bps{0.0};
+    double blocked_until{0.0};  // control-plane blackout gate
+    std::uint64_t queued_bytes{0};
+    std::deque<Packet> queue;
+    bool transmitting{false};
+    bool dead{false};  // cable no longer exists in the current topology
+  };
+
+  struct Subflow {
+    bool alive{true};  // false once a conversion replaced this subflow
+    std::uint32_t flow{0};
+    std::vector<std::uint32_t> fwd_pipes;  // data path
+    std::vector<std::uint32_t> rev_pipes;  // ack path
+    // sender state
+    double cwnd{2.0};
+    double ssthresh{1e9};
+    std::uint32_t next_seq{0};
+    std::uint32_t cum_acked{0};
+    std::uint32_t dup_acks{0};
+    double srtt{0.0};
+    double rttvar{0.0};
+    double rto{0.2};
+    double last_send_time{0.0};
+    // NewReno fast-recovery state: holes up to recover_point are
+    // retransmitted one per partial ACK instead of one per RTO.
+    bool in_recovery{false};
+    std::uint32_t recover_point{0};
+    // Retransmission timer: one outstanding kTimer event; progress pushes
+    // rto_deadline forward and the handler re-arms instead of firing.
+    bool timer_armed{false};
+    double rto_deadline{0.0};
+    // receiver state
+    std::uint32_t expect_seq{0};
+    std::set<std::uint32_t> out_of_order;
+    // data-level bookkeeping: packets assigned to this subflow but not yet
+    // cumulatively acked (returned to the flow pool on conversion).
+    std::uint32_t inflight_assigned{0};
+  };
+
+  struct SimFlow {
+    std::uint32_t src{0};
+    std::uint32_t dst{0};
+    std::int64_t total_packets{-1};  // -1 = persistent
+    std::int64_t unassigned{0};      // packets not yet given to a subflow
+    std::uint64_t packets_acked{0};
+    std::uint64_t bytes_acked{0};
+    double start_s{0.0};
+    double finish_s{-1.0};
+    bool started{false};
+    bool done{false};
+    std::vector<std::uint32_t> subflows;
+    std::vector<Path> current_paths;  // for warm-restart comparison
+  };
+
+  enum class EventType : std::uint8_t {
+    kArrival,     // packet reaches the node at the end of a pipe
+    kPipeFree,    // pipe finished serializing; try the queue
+    kTimer,       // RTO check for (flow, subflow)
+    kFlowStart,
+  };
+
+  struct Event {
+    double t{0.0};
+    std::uint64_t order{0};
+    EventType type{EventType::kArrival};
+    std::uint32_t a{0};  // pipe / flow
+    std::uint32_t b{0};  // subflow
+    Packet packet;
+    friend bool operator>(const Event& x, const Event& y) {
+      if (x.t != y.t) return x.t > y.t;
+      return x.order > y.order;
+    }
+  };
+
+  void schedule(double t, EventType type, std::uint32_t a, std::uint32_t b,
+                Packet packet);
+  void schedule(double t, EventType type, std::uint32_t a, std::uint32_t b) {
+    schedule(t, type, a, b, Packet{});
+  }
+  void enqueue_packet(std::uint32_t pipe, Packet packet);
+  void pipe_try_send(std::uint32_t pipe);
+  void handle_arrival(const Event& event);
+  void on_data_at_receiver(const Packet& packet);
+  void on_ack_at_sender(const Packet& packet);
+  void maybe_send(std::uint32_t flow_index);
+  void subflow_send_packet(std::uint32_t flow_index, std::uint32_t sf_index,
+                           std::uint32_t seq, bool is_retransmit);
+  void arm_timer(std::uint32_t flow_index, std::uint32_t sf_index);
+  void handle_timer(const Event& event);
+  void increase_cwnd(SimFlow& flow, Subflow& subflow);
+  [[nodiscard]] std::uint32_t pipe_between(NodeId from, NodeId to) const;
+  [[nodiscard]] std::vector<std::uint32_t> pipes_for(const Path& path) const;
+  void start_flow(std::uint32_t flow_index);
+  void attach_subflows(std::uint32_t flow_index, std::vector<Path> paths);
+
+  // Diff-updates the pipe table for a new topology; returns via the
+  // blackout parameters which pipes stall.
+  void update_pipes(const Graph& graph, double blackout_s,
+                    ConversionScope scope);
+
+  PacketSimOptions options_;
+  double now_{0.0};
+  std::uint64_t order_{0};
+  std::uint64_t drops_{0};
+  std::uint64_t events_done_{0};
+  bool network_set_{false};
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<Pipe> pipes_;
+  // Directed node-pair -> pipe index for the current topology.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> pipe_map_;
+  std::vector<SimFlow> flows_;
+  std::vector<Subflow> subflows_;
+};
+
+}  // namespace flattree

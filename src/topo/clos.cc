@@ -1,0 +1,78 @@
+#include "topo/clos.h"
+
+#include <vector>
+
+namespace flattree {
+
+Graph build_clos(const ClosParams& p) {
+  p.validate();
+  Graph g;
+
+  std::vector<NodeId> servers;
+  servers.reserve(p.total_servers());
+  std::vector<NodeId> edges;
+  edges.reserve(p.total_edges());
+  std::vector<NodeId> aggs;
+  aggs.reserve(p.total_aggs());
+  std::vector<NodeId> cores;
+  cores.reserve(p.cores);
+
+  for (std::uint32_t pod = 0; pod < p.pods; ++pod) {
+    for (std::uint32_t e = 0; e < p.edge_per_pod; ++e) {
+      for (std::uint32_t s = 0; s < p.servers_per_edge; ++s) {
+        servers.push_back(g.add_node(NodeRole::kServer, PodId{pod}));
+      }
+    }
+  }
+  for (std::uint32_t pod = 0; pod < p.pods; ++pod) {
+    for (std::uint32_t e = 0; e < p.edge_per_pod; ++e) {
+      edges.push_back(g.add_node(NodeRole::kEdge, PodId{pod}));
+    }
+  }
+  for (std::uint32_t pod = 0; pod < p.pods; ++pod) {
+    for (std::uint32_t a = 0; a < p.agg_per_pod; ++a) {
+      aggs.push_back(g.add_node(NodeRole::kAgg, PodId{pod}));
+    }
+  }
+  for (std::uint32_t c = 0; c < p.cores; ++c) {
+    cores.push_back(g.add_node(NodeRole::kCore));
+  }
+
+  // Server <-> edge.
+  for (std::uint32_t e = 0; e < p.total_edges(); ++e) {
+    for (std::uint32_t s = 0; s < p.servers_per_edge; ++s) {
+      g.add_link(servers[static_cast<std::size_t>(e) * p.servers_per_edge + s],
+                 edges[e], p.link_bps);
+    }
+  }
+
+  // Edge <-> agg, complete bipartite within the pod, uplinks spread evenly.
+  const std::uint32_t links_per_pair = p.edge_uplinks / p.agg_per_pod;
+  for (std::uint32_t pod = 0; pod < p.pods; ++pod) {
+    for (std::uint32_t e = 0; e < p.edge_per_pod; ++e) {
+      const NodeId edge = edges[pod * p.edge_per_pod + e];
+      for (std::uint32_t a = 0; a < p.agg_per_pod; ++a) {
+        const NodeId agg = aggs[pod * p.agg_per_pod + a];
+        for (std::uint32_t l = 0; l < links_per_pair; ++l) {
+          g.add_link(edge, agg, p.link_bps);
+        }
+      }
+    }
+  }
+
+  // Agg <-> core: Figure 4a consecutive groups, identical across pods.
+  for (std::uint32_t pod = 0; pod < p.pods; ++pod) {
+    for (std::uint32_t a = 0; a < p.agg_per_pod; ++a) {
+      const NodeId agg = aggs[pod * p.agg_per_pod + a];
+      for (std::uint32_t u = 0; u < p.agg_uplinks; ++u) {
+        const std::uint32_t core =
+            (a * p.agg_uplinks + u) % p.cores;
+        g.add_link(agg, cores[core], p.link_bps);
+      }
+    }
+  }
+
+  return g;
+}
+
+}  // namespace flattree

@@ -1,0 +1,21 @@
+// Generic 3-layer Clos / fat-tree builder (Figure 2b, Table 2).
+#pragma once
+
+#include "net/graph.h"
+#include "topo/params.h"
+
+namespace flattree {
+
+// Builds the Clos network described by `params`:
+//  * each Pod is a complete bipartite edge/aggregation fabric (with parallel
+//    links when edge_uplinks > agg_per_pod),
+//  * aggregation switch with in-pod index i wires its h uplinks to cores
+//    (i*h + u) mod cores, u = 0..h-1 — the consecutive-group pattern of
+//    Figure 4a — so all Pods see the same core groups,
+//  * every edge switch carries servers_per_edge servers.
+// Node creation order is: all servers (pod-major, edge-major), all edge
+// switches (pod-major), all aggregation switches (pod-major), all cores, so
+// index_in_role is globally meaningful for each layer.
+[[nodiscard]] Graph build_clos(const ClosParams& params);
+
+}  // namespace flattree

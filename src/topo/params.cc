@@ -1,0 +1,104 @@
+#include "topo/params.h"
+
+#include <stdexcept>
+
+namespace flattree {
+
+void ClosParams::validate() const {
+  if (pods == 0 || edge_per_pod == 0 || agg_per_pod == 0 || cores == 0) {
+    throw std::invalid_argument("ClosParams: zero-sized layer");
+  }
+  if (edge_per_pod % agg_per_pod != 0) {
+    throw std::invalid_argument(
+        "ClosParams: edge_per_pod must be a multiple of agg_per_pod");
+  }
+  // Edge uplinks must land evenly on the pod's aggregation switches.
+  if (edge_uplinks % agg_per_pod != 0) {
+    throw std::invalid_argument(
+        "ClosParams: edge_uplinks must be a multiple of agg_per_pod");
+  }
+  // Aggregation downlinks implied by the edge layer.
+  const std::uint64_t agg_down =
+      static_cast<std::uint64_t>(edge_per_pod) * edge_uplinks / agg_per_pod;
+  if (agg_down == 0) {
+    throw std::invalid_argument("ClosParams: aggregation layer has no downlinks");
+  }
+  // Core port budget must match aggregate uplinks exactly.
+  const std::uint64_t agg_up_total =
+      static_cast<std::uint64_t>(pods) * agg_per_pod * agg_uplinks;
+  const std::uint64_t core_down_total =
+      static_cast<std::uint64_t>(cores) * core_ports;
+  if (agg_up_total != core_down_total) {
+    throw std::invalid_argument(
+        "ClosParams: aggregation uplinks (" + std::to_string(agg_up_total) +
+        ") != core downlinks (" + std::to_string(core_down_total) + ")");
+  }
+  // The consecutive-group wiring wraps per-pod uplinks around the core
+  // array; every core is covered only if the per-pod uplink count is a
+  // whole multiple of the core count (fewer uplinks than cores would leave
+  // cores unwired).
+  if ((static_cast<std::uint64_t>(agg_per_pod) * agg_uplinks) % cores != 0) {
+    throw std::invalid_argument(
+        "ClosParams: per-pod uplinks must be a multiple of the core count");
+  }
+  if (agg_uplinks % r() != 0) {
+    throw std::invalid_argument(
+        "ClosParams: agg_uplinks must be a multiple of r for flat-tree wiring");
+  }
+  if (link_bps <= 0) throw std::invalid_argument("ClosParams: bad link rate");
+}
+
+ClosParams ClosParams::topo1() {
+  return ClosParams{/*pods=*/16, /*edge_per_pod=*/8, /*agg_per_pod=*/8,
+                    /*edge_uplinks=*/8, /*servers_per_edge=*/32,
+                    /*agg_uplinks=*/8, /*cores=*/64, /*core_ports=*/16};
+}
+
+ClosParams ClosParams::topo2() {
+  return ClosParams{12, 6, 6, 6, 24, 6, 36, 12};
+}
+
+ClosParams ClosParams::topo3() {
+  return ClosParams{16, 8, 8, 8, 64, 8, 64, 16};
+}
+
+ClosParams ClosParams::topo4() {
+  return ClosParams{8, 16, 8, 8, 32, 16, 32, 32};
+}
+
+ClosParams ClosParams::topo5() {
+  return ClosParams{8, 16, 16, 16, 32, 8, 64, 16};
+}
+
+ClosParams ClosParams::topo6() {
+  return ClosParams{8, 16, 8, 16, 32, 16, 32, 32};
+}
+
+ClosParams ClosParams::preset(const std::string& name) {
+  if (name == "topo-1") return topo1();
+  if (name == "topo-2") return topo2();
+  if (name == "topo-3") return topo3();
+  if (name == "topo-4") return topo4();
+  if (name == "topo-5") return topo5();
+  if (name == "topo-6") return topo6();
+  throw std::invalid_argument("unknown Clos preset: " + name);
+}
+
+ClosParams ClosParams::testbed() {
+  return ClosParams{/*pods=*/4, /*edge_per_pod=*/2, /*agg_per_pod=*/2,
+                    /*edge_uplinks=*/2, /*servers_per_edge=*/3,
+                    /*agg_uplinks=*/2, /*cores=*/4, /*core_ports=*/4};
+}
+
+ClosParams ClosParams::fat_tree(std::uint32_t k) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("fat_tree: k must be even and >= 2");
+  }
+  const std::uint32_t half = k / 2;
+  return ClosParams{/*pods=*/k, /*edge_per_pod=*/half, /*agg_per_pod=*/half,
+                    /*edge_uplinks=*/half, /*servers_per_edge=*/half,
+                    /*agg_uplinks=*/half, /*cores=*/half * half,
+                    /*core_ports=*/k};
+}
+
+}  // namespace flattree

@@ -1,0 +1,70 @@
+// Parameter sets for the baseline topologies.
+//
+// ClosParams describes a generic 3-layer Clos (edge/aggregation/core) built
+// from modular Pods, the starting point flat-tree converts from. The presets
+// topo-1..topo-6 reproduce Table 2 of the paper; `testbed()` is the
+// 20-switch/24-server example network of Figure 2/Figure 9; `fat_tree(k)` is
+// the canonical k-ary fat-tree used in §2.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace flattree {
+
+struct ClosParams {
+  std::uint32_t pods{0};
+  std::uint32_t edge_per_pod{0};      // d in the paper
+  std::uint32_t agg_per_pod{0};       // d/r in the paper
+  std::uint32_t edge_uplinks{0};      // uplinks per edge switch (to aggs)
+  std::uint32_t servers_per_edge{0};  // downlinks per edge switch
+  std::uint32_t agg_uplinks{0};       // h in the paper (uplinks per agg)
+  std::uint32_t cores{0};
+  std::uint32_t core_ports{0};        // downlinks per core switch
+  double link_bps{10e9};
+
+  // r = edge switches per aggregation switch (d / (d/r)).
+  [[nodiscard]] std::uint32_t r() const { return edge_per_pod / agg_per_pod; }
+  [[nodiscard]] std::uint32_t total_edges() const { return pods * edge_per_pod; }
+  [[nodiscard]] std::uint32_t total_aggs() const { return pods * agg_per_pod; }
+  [[nodiscard]] std::uint32_t total_servers() const {
+    return total_edges() * servers_per_edge;
+  }
+  [[nodiscard]] std::uint32_t total_switches() const {
+    return total_edges() + total_aggs() + cores;
+  }
+  // Core connectors per edge-switch column: h/r in the paper (§3.2).
+  [[nodiscard]] std::uint32_t core_connectors_per_edge() const {
+    return agg_uplinks / r();
+  }
+  [[nodiscard]] double edge_oversubscription() const {
+    return static_cast<double>(servers_per_edge) / edge_uplinks;
+  }
+  [[nodiscard]] double agg_oversubscription() const {
+    const double down = static_cast<double>(edge_per_pod) * edge_uplinks /
+                        agg_per_pod;
+    return down / agg_uplinks;
+  }
+
+  // Throws std::invalid_argument if port counts do not balance.
+  void validate() const;
+
+  // Table 2 presets. topo-6 is interpreted with aggregation switches of
+  // (16 up, 32 down): the printed "(32,16)" contradicts both the listed
+  // oversubscription ratio (2) and the core port budget (see DESIGN.md).
+  static ClosParams topo1();
+  static ClosParams topo2();
+  static ClosParams topo3();
+  static ClosParams topo4();
+  static ClosParams topo5();
+  static ClosParams topo6();
+  static ClosParams preset(const std::string& name);  // "topo-1".."topo-6"
+
+  // The 4-Pod, 24-server testbed network of Figure 2 (1.5:1 oversubscribed).
+  static ClosParams testbed();
+
+  // Canonical k-ary fat-tree expressed as ClosParams (k even).
+  static ClosParams fat_tree(std::uint32_t k);
+};
+
+}  // namespace flattree

@@ -1,0 +1,277 @@
+#include "topo/random_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "net/rng.h"
+
+namespace flattree {
+namespace {
+
+// Pairs the given port stubs uniformly at random into links.
+//
+// Constraints: no self-loop (same node) and no pair within the same
+// forbidden group (group >= 0; -1 means unconstrained). Parallel links are
+// avoided with a bounded number of random repair swaps; any residue is kept
+// as a parallel link — the Graph is a multigraph and random regular graph
+// models tolerate rare multi-edges.
+struct Stub {
+  NodeId node{};
+  std::int32_t group{-1};
+};
+
+void pair_stubs(Graph& g, std::vector<Stub> stubs, double link_bps, Rng& rng) {
+  if (stubs.size() % 2 != 0) stubs.pop_back();  // one port stays dark
+  shuffle(stubs, rng);
+
+  const auto conflicts = [&](const Stub& a, const Stub& b) {
+    if (a.node == b.node) return true;
+    return a.group >= 0 && a.group == b.group;
+  };
+
+  // Repair self-loops / same-group pairs by swapping with random partners.
+  const std::size_t pairs = stubs.size() / 2;
+  for (std::size_t attempt = 0; attempt < 50; ++attempt) {
+    bool any_conflict = false;
+    for (std::size_t i = 0; i < pairs; ++i) {
+      Stub& a = stubs[2 * i];
+      Stub& b = stubs[2 * i + 1];
+      if (!conflicts(a, b)) continue;
+      any_conflict = true;
+      const std::size_t j = rng.next_below(pairs);
+      if (j == i) continue;
+      Stub& c = stubs[2 * j];
+      Stub& d = stubs[2 * j + 1];
+      // Swap b and d if it fixes this pair without breaking the other.
+      if (!conflicts(a, d) && !conflicts(c, b)) std::swap(b, d);
+    }
+    if (!any_conflict) break;
+  }
+
+  // Best-effort de-duplication of parallel links via link swaps.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  const auto key = [](const Stub& a, const Stub& b) {
+    return std::make_pair(std::min(a.node.value(), b.node.value()),
+                          std::max(a.node.value(), b.node.value()));
+  };
+  for (std::size_t attempt = 0; attempt < 50; ++attempt) {
+    seen.clear();
+    bool any_dup = false;
+    for (std::size_t i = 0; i < pairs; ++i) {
+      Stub& a = stubs[2 * i];
+      Stub& b = stubs[2 * i + 1];
+      if (!seen.insert(key(a, b)).second) {
+        any_dup = true;
+        const std::size_t j = rng.next_below(pairs);
+        if (j == i) continue;
+        Stub& c = stubs[2 * j];
+        Stub& d = stubs[2 * j + 1];
+        if (!conflicts(a, d) && !conflicts(c, b)) std::swap(b, d);
+      }
+    }
+    if (!any_dup) break;
+  }
+
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const Stub& a = stubs[2 * i];
+    const Stub& b = stubs[2 * i + 1];
+    if (conflicts(a, b)) continue;  // drop irreparable stubs (rare)
+    g.add_link(a.node, b.node, link_bps);
+  }
+}
+
+}  // namespace
+
+RandomGraphParams RandomGraphParams::from_clos(const ClosParams& clos) {
+  RandomGraphParams p;
+  p.switches = clos.total_switches();
+  p.ports_per_switch = clos.edge_uplinks + clos.servers_per_edge;
+  p.servers = clos.total_servers();
+  p.link_bps = clos.link_bps;
+  return p;
+}
+
+Graph build_random_graph(const RandomGraphParams& params) {
+  if (params.switches == 0 || params.ports_per_switch == 0) {
+    throw std::invalid_argument("random graph: empty switch budget");
+  }
+  if (params.servers > static_cast<std::uint64_t>(params.switches) *
+                           params.ports_per_switch) {
+    throw std::invalid_argument("random graph: more servers than ports");
+  }
+  Graph g;
+  Rng rng{params.seed};
+
+  std::vector<NodeId> servers;
+  servers.reserve(params.servers);
+  for (std::uint32_t s = 0; s < params.servers; ++s) {
+    servers.push_back(g.add_node(NodeRole::kServer));
+  }
+  std::vector<NodeId> switches;
+  switches.reserve(params.switches);
+  for (std::uint32_t s = 0; s < params.switches; ++s) {
+    switches.push_back(g.add_node(NodeRole::kEdge));
+  }
+
+  // Servers round-robin across switches (uniform distribution, §2.1).
+  std::vector<std::uint32_t> free_ports(params.switches,
+                                        params.ports_per_switch);
+  for (std::uint32_t s = 0; s < params.servers; ++s) {
+    const std::uint32_t sw = s % params.switches;
+    g.add_link(servers[s], switches[sw], params.link_bps);
+    --free_ports[sw];
+  }
+
+  std::vector<Stub> stubs;
+  for (std::uint32_t sw = 0; sw < params.switches; ++sw) {
+    for (std::uint32_t port = 0; port < free_ports[sw]; ++port) {
+      stubs.push_back(Stub{switches[sw], -1});
+    }
+  }
+  pair_stubs(g, std::move(stubs), params.link_bps, rng);
+  return g;
+}
+
+Graph build_random_graph_from_clos(const ClosParams& clos,
+                                   std::uint64_t seed) {
+  clos.validate();
+  Graph g;
+  Rng rng{seed};
+
+  std::vector<NodeId> servers;
+  for (std::uint32_t s = 0; s < clos.total_servers(); ++s) {
+    servers.push_back(g.add_node(NodeRole::kServer));
+  }
+  // Switches keep their Clos roles (for reporting) and port budgets.
+  std::vector<NodeId> switches;
+  std::vector<std::uint32_t> ports;
+  for (std::uint32_t e = 0; e < clos.total_edges(); ++e) {
+    switches.push_back(g.add_node(NodeRole::kEdge));
+    ports.push_back(clos.edge_uplinks + clos.servers_per_edge);
+  }
+  const std::uint32_t agg_down =
+      clos.edge_per_pod * clos.edge_uplinks / clos.agg_per_pod;
+  for (std::uint32_t a = 0; a < clos.total_aggs(); ++a) {
+    switches.push_back(g.add_node(NodeRole::kAgg));
+    ports.push_back(agg_down + clos.agg_uplinks);
+  }
+  for (std::uint32_t c = 0; c < clos.cores; ++c) {
+    switches.push_back(g.add_node(NodeRole::kCore));
+    ports.push_back(clos.core_ports);
+  }
+
+  for (std::uint32_t s = 0; s < servers.size(); ++s) {
+    const std::uint32_t sw = s % switches.size();
+    if (ports[sw] == 0) {
+      throw std::invalid_argument("random graph budget: switch out of ports");
+    }
+    g.add_link(servers[s], switches[sw], clos.link_bps);
+    --ports[sw];
+  }
+
+  std::vector<Stub> stubs;
+  for (std::uint32_t sw = 0; sw < switches.size(); ++sw) {
+    for (std::uint32_t port = 0; port < ports[sw]; ++port) {
+      stubs.push_back(Stub{switches[sw], -1});
+    }
+  }
+  pair_stubs(g, std::move(stubs), clos.link_bps, rng);
+  return g;
+}
+
+TwoStageParams TwoStageParams::from_clos(const ClosParams& clos) {
+  TwoStageParams p;
+  p.pods = clos.pods;
+  p.switches_per_pod = clos.edge_per_pod + clos.agg_per_pod;
+  p.ports_per_switch = clos.edge_uplinks + clos.servers_per_edge;
+  p.cores = clos.cores;
+  p.core_ports = clos.core_ports;
+  p.servers = clos.total_servers();
+  // Keep the Clos pod-external bandwidth: agg_per_pod * h uplinks per pod,
+  // spread over the pod's switches.
+  const std::uint32_t pod_uplinks = clos.agg_per_pod * clos.agg_uplinks;
+  p.uplinks_per_switch =
+      (pod_uplinks + p.switches_per_pod - 1) / p.switches_per_pod;
+  p.link_bps = clos.link_bps;
+  return p;
+}
+
+Graph build_two_stage_random_graph(const TwoStageParams& params) {
+  if (params.pods == 0 || params.switches_per_pod == 0) {
+    throw std::invalid_argument("two-stage: empty pod budget");
+  }
+  if (params.servers % params.pods != 0) {
+    throw std::invalid_argument("two-stage: servers must divide across pods");
+  }
+  Graph g;
+  Rng rng{params.seed};
+
+  const std::uint32_t servers_per_pod = params.servers / params.pods;
+
+  std::vector<NodeId> servers;
+  for (std::uint32_t pod = 0; pod < params.pods; ++pod) {
+    for (std::uint32_t s = 0; s < servers_per_pod; ++s) {
+      servers.push_back(g.add_node(NodeRole::kServer, PodId{pod}));
+    }
+  }
+  std::vector<std::vector<NodeId>> pod_switches(params.pods);
+  for (std::uint32_t pod = 0; pod < params.pods; ++pod) {
+    for (std::uint32_t s = 0; s < params.switches_per_pod; ++s) {
+      pod_switches[pod].push_back(g.add_node(NodeRole::kEdge, PodId{pod}));
+    }
+  }
+  std::vector<NodeId> cores;
+  for (std::uint32_t c = 0; c < params.cores; ++c) {
+    cores.push_back(g.add_node(NodeRole::kCore));
+  }
+
+  std::vector<Stub> global_stubs;
+  for (std::uint32_t pod = 0; pod < params.pods; ++pod) {
+    std::vector<std::uint32_t> free_ports(params.switches_per_pod,
+                                          params.ports_per_switch);
+    // Servers uniform within the pod (§2.1: "servers in each Pod are
+    // distributed uniformly across switches in the Pod").
+    for (std::uint32_t s = 0; s < servers_per_pod; ++s) {
+      const std::uint32_t sw = s % params.switches_per_pod;
+      g.add_link(servers[static_cast<std::size_t>(pod) * servers_per_pod + s],
+                 pod_switches[pod][sw], params.link_bps);
+      if (free_ports[sw] == 0) {
+        throw std::invalid_argument("two-stage: switch out of ports (servers)");
+      }
+      --free_ports[sw];
+    }
+    // Reserve uplink ports for the global stage.
+    for (std::uint32_t sw = 0; sw < params.switches_per_pod; ++sw) {
+      for (std::uint32_t u = 0; u < params.uplinks_per_switch; ++u) {
+        if (free_ports[sw] == 0) break;
+        --free_ports[sw];
+        global_stubs.push_back(
+            Stub{pod_switches[pod][sw], static_cast<std::int32_t>(pod)});
+      }
+    }
+    // Local random graph over the remaining ports.
+    std::vector<Stub> local_stubs;
+    for (std::uint32_t sw = 0; sw < params.switches_per_pod; ++sw) {
+      for (std::uint32_t port = 0; port < free_ports[sw]; ++port) {
+        local_stubs.push_back(Stub{pod_switches[pod][sw], -1});
+      }
+    }
+    pair_stubs(g, std::move(local_stubs), params.link_bps, rng);
+  }
+
+  // Global stage: pods (as super-nodes, via reserved stubs) and cores form a
+  // random graph. Same-pod pairs are forbidden; core switches take no
+  // servers and participate with all their ports.
+  for (std::uint32_t c = 0; c < params.cores; ++c) {
+    for (std::uint32_t port = 0; port < params.core_ports; ++port) {
+      global_stubs.push_back(Stub{cores[c], -1});
+    }
+  }
+  pair_stubs(g, std::move(global_stubs), params.link_bps, rng);
+  return g;
+}
+
+}  // namespace flattree

@@ -1,0 +1,126 @@
+#include "traffic/apps.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace flattree {
+
+Workload spark_broadcast(const BroadcastParams& params) {
+  if (params.num_workers == 0) {
+    throw std::invalid_argument("broadcast: no workers");
+  }
+  if (params.chunks == 0) {
+    throw std::invalid_argument("broadcast: need at least one chunk");
+  }
+  Rng rng{params.seed};
+  Workload flows;
+  // Previous iteration's flow indices (the next iteration's barrier).
+  std::vector<std::uint32_t> prev_iteration_flows;
+
+  for (std::uint32_t iter = 0; iter < params.iterations; ++iter) {
+    std::vector<std::uint32_t> this_iteration_flows;
+    for (std::uint32_t chunk = 0; chunk < params.chunks; ++chunk) {
+      // Seeders hold this chunk; initially just the master.
+      std::vector<std::uint32_t> seeders{params.master};
+      std::vector<std::uint32_t> pending;  // workers still without the chunk
+      for (std::uint32_t w = 0; w < params.num_workers; ++w) {
+        pending.push_back(params.master + 1 + w);
+      }
+      shuffle(pending, rng);
+
+      // Flow index that delivered the chunk to each seeder (master: none;
+      // in later iterations the master waits for the previous barrier).
+      std::vector<std::vector<std::uint32_t>> seeder_dep{{}};
+      if (iter > 0) seeder_dep[0] = prev_iteration_flows;
+
+      std::size_t next_pending = 0;
+      while (next_pending < pending.size()) {
+        // One torrent round: every current seeder serves one new peer.
+        const std::size_t round_seeders = seeders.size();
+        std::vector<std::uint32_t> new_seeders;
+        std::vector<std::vector<std::uint32_t>> new_deps;
+        for (std::size_t s = 0;
+             s < round_seeders && next_pending < pending.size(); ++s) {
+          const std::uint32_t receiver = pending[next_pending++];
+          Flow flow;
+          flow.src = seeders[s];
+          flow.dst = receiver;
+          flow.bytes = params.block_bytes / params.chunks;
+          flow.depends_on = seeder_dep[s];
+          flow.dep_delay_s = params.serialization_s;
+          const std::uint32_t flow_index =
+              static_cast<std::uint32_t>(flows.size());
+          flows.push_back(flow);
+          this_iteration_flows.push_back(flow_index);
+          new_seeders.push_back(receiver);
+          new_deps.push_back({flow_index});
+        }
+        for (std::size_t i = 0; i < new_seeders.size(); ++i) {
+          seeders.push_back(new_seeders[i]);
+          seeder_dep.push_back(new_deps[i]);
+        }
+      }
+    }
+    prev_iteration_flows = this_iteration_flows;
+  }
+  return flows;
+}
+
+Workload hadoop_shuffle(const ShuffleParams& params) {
+  if (params.num_mappers == 0 || params.num_reducers == 0) {
+    throw std::invalid_argument("shuffle: empty mapper or reducer set");
+  }
+  if (params.num_reducers > params.num_mappers) {
+    throw std::invalid_argument("shuffle: more reducers than workers");
+  }
+  Workload flows;
+  for (std::uint32_t m = 0; m < params.num_mappers; ++m) {
+    const std::uint32_t mapper = params.first_worker + m;
+    for (std::uint32_t r = 0; r < params.num_reducers; ++r) {
+      const std::uint32_t reducer = params.first_worker + r;
+      if (mapper == reducer) continue;  // local partition, no network flow
+      Flow flow;
+      flow.src = mapper;
+      flow.dst = reducer;
+      flow.bytes = params.bytes_per_pair;
+      flow.dep_delay_s = params.serialization_s;
+      flows.push_back(flow);
+    }
+  }
+  return flows;
+}
+
+Workload coflow_jobs(const CoflowJobsParams& params) {
+  if (params.num_servers < params.mappers_per_job + params.reducers_per_job) {
+    throw std::invalid_argument("coflow jobs: not enough servers for a job");
+  }
+  if (params.jobs == 0 || params.jobs_per_s <= 0) {
+    throw std::invalid_argument("coflow jobs: bad job count or rate");
+  }
+  Rng rng{params.seed};
+  Workload flows;
+  double t = 0;
+  for (std::uint32_t job = 0; job < params.jobs; ++job) {
+    t += rng.next_exponential(params.jobs_per_s);
+    // Sample disjoint mapper and reducer sets for this job.
+    std::vector<std::uint32_t> servers(params.num_servers);
+    for (std::uint32_t i = 0; i < params.num_servers; ++i) servers[i] = i;
+    shuffle(servers, rng);
+    const std::uint32_t mappers = params.mappers_per_job;
+    const std::uint32_t reducers = params.reducers_per_job;
+    for (std::uint32_t m = 0; m < mappers; ++m) {
+      for (std::uint32_t r = 0; r < reducers; ++r) {
+        Flow f;
+        f.src = servers[m];
+        f.dst = servers[mappers + r];
+        f.bytes = params.bytes_per_pair;
+        f.start_s = t;
+        f.group = job;
+        flows.push_back(f);
+      }
+    }
+  }
+  return flows;
+}
+
+}  // namespace flattree

@@ -1,0 +1,65 @@
+// Application communication-phase models (§5.4, Figure 11).
+//
+// The testbed experiments run Spark Word2Vec (torrent broadcast of model
+// updates) and Hadoop/Tez Sort (mapper -> reducer shuffle). What makes these
+// workloads topology-sensitive is their phase structure — who talks to whom,
+// in what order, with what serialization overheads — which these generators
+// reproduce as dependency-structured Flow lists for the simulators.
+#pragma once
+
+#include <cstdint>
+
+#include "net/rng.h"
+#include "traffic/flow.h"
+
+namespace flattree {
+
+struct BroadcastParams {
+  std::uint32_t master{0};          // server index of the driver
+  std::uint32_t num_workers{23};    // receivers (servers master+1 ..)
+  double block_bytes{64e6};         // broadcast payload per iteration
+  std::uint32_t iterations{4};      // ML iterations (one broadcast each)
+  std::uint32_t chunks{4};          // torrent pipelining (chunks in flight)
+  double serialization_s{0.05};     // ser/deser overhead per transfer
+  std::uint64_t seed{11};
+};
+
+// Torrent-style broadcast: the block is split into `chunks` pieces, each
+// distributed along its own doubling tree (the master seeds first; each
+// completed receiver serves a new peer chosen at random). Chunks propagate
+// concurrently — the BitTorrent pipelining that turns a broadcast into
+// many simultaneous transfers. Iteration b+1 starts when every chunk of
+// iteration b has reached every worker.
+[[nodiscard]] Workload spark_broadcast(const BroadcastParams& params);
+
+struct ShuffleParams {
+  std::uint32_t first_worker{1};
+  std::uint32_t num_mappers{23};
+  std::uint32_t num_reducers{8};    // reducers are the first servers among workers
+  double bytes_per_pair{32e6};      // shuffle volume mapper -> reducer
+  double serialization_s{0.03};
+  std::uint64_t seed{13};
+};
+
+// Tez Sort shuffle: every mapper sends a partition to every reducer, all
+// flows released together (the heavy all-at-once shuffle phase).
+[[nodiscard]] Workload hadoop_shuffle(const ShuffleParams& params);
+
+struct CoflowJobsParams {
+  std::uint32_t num_servers{0};
+  std::uint32_t jobs{20};
+  std::uint32_t mappers_per_job{8};
+  std::uint32_t reducers_per_job{4};
+  double bytes_per_pair{8e6};
+  double jobs_per_s{10.0};     // Poisson job arrivals
+  std::uint64_t seed{23};
+};
+
+// A stream of MapReduce-style jobs (the Coflow-benchmark shape behind the
+// paper's Hadoop-1 trace): each job picks random mapper and reducer sets
+// and emits a mapper x reducer shuffle whose flows share one coflow group.
+// The application-level metric over this workload is the coflow completion
+// time (the group's slowest flow), not individual FCTs.
+[[nodiscard]] Workload coflow_jobs(const CoflowJobsParams& params);
+
+}  // namespace flattree

@@ -1,0 +1,118 @@
+#include "traffic/io.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace flattree {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("workload csv, line " + std::to_string(line) +
+                              ": " + what);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::uint32_t parse_u32(const std::string& s, std::size_t line) {
+  std::uint32_t value{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    fail(line, "bad integer '" + s + "'");
+  }
+  return value;
+}
+
+double parse_double(const std::string& s, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(s, &used);
+    if (used != s.size()) fail(line, "bad number '" + s + "'");
+    return value;
+  } catch (const std::logic_error&) {
+    fail(line, "bad number '" + s + "'");
+  }
+}
+
+}  // namespace
+
+void write_workload_csv(std::ostream& out, const Workload& flows) {
+  // Full round-trip precision for the double fields.
+  const auto saved_precision = out.precision(17);
+  out << "# src,dst,bytes,start_s,dep_delay_s,deps\n";
+  for (const Flow& f : flows) {
+    out << f.src << ',' << f.dst << ',' << f.bytes << ',' << f.start_s << ','
+        << f.dep_delay_s << ',';
+    for (std::size_t i = 0; i < f.depends_on.size(); ++i) {
+      if (i > 0) out << ';';
+      out << f.depends_on[i];
+    }
+    out << '\n';
+  }
+  out.precision(saved_precision);
+}
+
+std::string workload_to_csv(const Workload& flows) {
+  std::ostringstream out;
+  write_workload_csv(out, flows);
+  return out.str();
+}
+
+Workload read_workload_csv(std::istream& in) {
+  Workload flows;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = split(line, ',');
+    if (fields.size() < 4 || fields.size() > 6) {
+      fail(line_number, "expected 4-6 fields, got " +
+                            std::to_string(fields.size()));
+    }
+    Flow f;
+    f.src = parse_u32(fields[0], line_number);
+    f.dst = parse_u32(fields[1], line_number);
+    f.bytes = parse_double(fields[2], line_number);
+    f.start_s = parse_double(fields[3], line_number);
+    if (fields.size() >= 5 && !fields[4].empty()) {
+      f.dep_delay_s = parse_double(fields[4], line_number);
+    }
+    if (fields.size() == 6 && !fields[5].empty()) {
+      for (const std::string& dep : split(fields[5], ';')) {
+        const std::uint32_t index = parse_u32(dep, line_number);
+        if (index >= flows.size()) {
+          fail(line_number, "dependency " + dep +
+                                " is not an earlier flow line");
+        }
+        f.depends_on.push_back(index);
+      }
+    }
+    flows.push_back(std::move(f));
+  }
+  return flows;
+}
+
+Workload workload_from_csv(const std::string& text) {
+  std::istringstream in{text};
+  return read_workload_csv(in);
+}
+
+}  // namespace flattree

@@ -1,0 +1,30 @@
+// Workload (de)serialization.
+//
+// The paper's Hadoop-1 experiment replays a public trace (the Coflow
+// benchmark CSV); this module gives the library the same capability: save
+// any generated Workload and load external traces. The format is one flow
+// per line:
+//
+//   src,dst,bytes,start_s[,dep_delay_s[,dep1;dep2;...]]
+//
+// Lines starting with '#' are comments. Dependencies reference earlier line
+// indices (0-based among flow lines).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "traffic/flow.h"
+
+namespace flattree {
+
+void write_workload_csv(std::ostream& out, const Workload& flows);
+[[nodiscard]] std::string workload_to_csv(const Workload& flows);
+
+// Parses the CSV format above. Throws std::invalid_argument with a
+// line-numbered message on malformed input (bad field counts, non-numeric
+// values, dependency forward-references or out-of-range indices).
+[[nodiscard]] Workload read_workload_csv(std::istream& in);
+[[nodiscard]] Workload workload_from_csv(const std::string& text);
+
+}  // namespace flattree

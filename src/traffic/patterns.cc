@@ -1,0 +1,93 @@
+#include "traffic/patterns.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace flattree {
+
+Workload permutation_traffic(std::uint32_t num_servers, Rng& rng) {
+  if (num_servers < 2) {
+    throw std::invalid_argument("permutation: need at least 2 servers");
+  }
+  // Random permutation, then rotate fixed points away to get a derangement.
+  std::vector<std::uint32_t> dst(num_servers);
+  std::iota(dst.begin(), dst.end(), 0);
+  shuffle(dst, rng);
+  for (std::uint32_t i = 0; i < num_servers; ++i) {
+    if (dst[i] == i) {
+      const std::uint32_t j = (i + 1) % num_servers;
+      std::swap(dst[i], dst[j]);
+    }
+  }
+  Workload flows;
+  flows.reserve(num_servers);
+  for (std::uint32_t i = 0; i < num_servers; ++i) {
+    if (dst[i] == i) continue;  // possible only for the final swap partner
+    flows.push_back(Flow{i, dst[i]});
+  }
+  return flows;
+}
+
+Workload pod_stride_traffic(std::uint32_t num_servers,
+                            std::uint32_t servers_per_pod) {
+  if (servers_per_pod == 0 || num_servers % servers_per_pod != 0) {
+    throw std::invalid_argument("pod stride: servers_per_pod must divide");
+  }
+  if (num_servers / servers_per_pod < 2) {
+    throw std::invalid_argument("pod stride: need at least 2 pods");
+  }
+  Workload flows;
+  flows.reserve(num_servers);
+  for (std::uint32_t i = 0; i < num_servers; ++i) {
+    flows.push_back(Flow{i, (i + servers_per_pod) % num_servers});
+  }
+  return flows;
+}
+
+Workload hot_spot_traffic(std::uint32_t num_servers, std::uint32_t cluster) {
+  if (cluster < 2) throw std::invalid_argument("hot spot: cluster too small");
+  Workload flows;
+  for (std::uint32_t base = 0; base + cluster <= num_servers;
+       base += cluster) {
+    for (std::uint32_t i = 1; i < cluster; ++i) {
+      flows.push_back(Flow{base, base + i});
+    }
+  }
+  if (flows.empty()) {
+    throw std::invalid_argument("hot spot: fewer servers than one cluster");
+  }
+  return flows;
+}
+
+Workload many_to_many_traffic(std::uint32_t num_servers,
+                              std::uint32_t cluster) {
+  return clustered_all_to_all(num_servers, cluster);
+}
+
+Workload clustered_all_to_all(std::uint32_t num_servers,
+                              std::uint32_t cluster_size,
+                              std::uint32_t max_clusters) {
+  if (cluster_size < 2) {
+    throw std::invalid_argument("clustered all-to-all: cluster too small");
+  }
+  Workload flows;
+  std::uint32_t clusters = 0;
+  for (std::uint32_t base = 0; base + cluster_size <= num_servers;
+       base += cluster_size) {
+    if (max_clusters > 0 && clusters >= max_clusters) break;
+    ++clusters;
+    for (std::uint32_t i = 0; i < cluster_size; ++i) {
+      for (std::uint32_t j = 0; j < cluster_size; ++j) {
+        if (i == j) continue;
+        flows.push_back(Flow{base + i, base + j});
+      }
+    }
+  }
+  if (flows.empty()) {
+    throw std::invalid_argument(
+        "clustered all-to-all: fewer servers than one cluster");
+  }
+  return flows;
+}
+
+}  // namespace flattree

@@ -1,0 +1,46 @@
+// Synthetic traffic patterns (§5.1): the four standard interconnection-
+// network workloads the paper drives Figure 6/7 with, plus the clustered
+// all-to-all pattern of Table 1 (§2.1).
+//
+// All generators emit persistent flows (bytes = 0) for throughput
+// measurement; pass them through FluidSimulator::measure_rates or the LP
+// models. Server identity is the global server index.
+#pragma once
+
+#include <cstdint>
+
+#include "net/rng.h"
+#include "traffic/flow.h"
+
+namespace flattree {
+
+// Permutation (traffic-1): every server sends one flow to a unique random
+// server other than itself (a random derangement); uniform network-wide
+// load.
+[[nodiscard]] Workload permutation_traffic(std::uint32_t num_servers,
+                                           Rng& rng);
+
+// Pod stride (traffic-2): every server sends to its counterpart in the next
+// Pod; maximal core contention.
+[[nodiscard]] Workload pod_stride_traffic(std::uint32_t num_servers,
+                                          std::uint32_t servers_per_pod);
+
+// Hot spot (traffic-3): consecutive servers form clusters of `cluster`; the
+// first server of each cluster broadcasts to all others (machine-learning
+// multicast phase).
+[[nodiscard]] Workload hot_spot_traffic(std::uint32_t num_servers,
+                                        std::uint32_t cluster = 100);
+
+// Many-to-many (traffic-4): consecutive servers form clusters of `cluster`
+// with all-to-all flows (MapReduce shuffle).
+[[nodiscard]] Workload many_to_many_traffic(std::uint32_t num_servers,
+                                            std::uint32_t cluster = 20);
+
+// Table 1 pattern: consecutive servers packed into clusters of
+// `cluster_size`, all-to-all within each cluster. `max_clusters` limits the
+// instance size for LP runs (0 = all clusters).
+[[nodiscard]] Workload clustered_all_to_all(std::uint32_t num_servers,
+                                            std::uint32_t cluster_size,
+                                            std::uint32_t max_clusters = 0);
+
+}  // namespace flattree

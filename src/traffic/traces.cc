@@ -1,0 +1,140 @@
+#include "traffic/traces.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flattree {
+
+TraceParams TraceParams::hadoop1() {
+  TraceParams p;
+  p.name = "Hadoop-1";
+  // Shuffle-dominated, network-wide: locality is whatever uniform random
+  // selection gives (tiny intra-rack, small intra-Pod).
+  p.intra_rack_frac = 0.02;
+  p.intra_pod_frac = 0.08;
+  p.mean_flow_bytes = 10e6;
+  p.pareto_alpha = 1.3;
+  p.flows_per_s = 1500;
+  return p;
+}
+
+TraceParams TraceParams::hadoop2() {
+  TraceParams p;
+  p.name = "Hadoop-2";
+  p.intra_rack_frac = 0.757;  // §5.2: 75.7% intra-rack
+  p.intra_pod_frac = 0.24;    // "almost all the remaining traffic is intra-Pod"
+  p.mean_flow_bytes = 2e6;
+  p.pareto_alpha = 1.5;
+  p.flows_per_s = 2000;
+  return p;
+}
+
+TraceParams TraceParams::web() {
+  TraceParams p;
+  p.name = "Web";
+  p.intra_rack_frac = 0.01;  // "a tiny amount of intra-rack traffic"
+  p.intra_pod_frac = 0.77;   // ~77% of total traffic stays in the Pod
+  p.mean_flow_bytes = 0.2e6;
+  p.pareto_alpha = 1.8;
+  p.flows_per_s = 4000;
+  return p;
+}
+
+TraceParams TraceParams::cache() {
+  TraceParams p;
+  p.name = "Cache";
+  p.intra_rack_frac = 0.002;  // "almost zero intra-rack traffic"
+  p.intra_pod_frac = 0.882;   // ~88% intra-Pod; higher volume than Web
+  p.mean_flow_bytes = 0.5e6;
+  p.pareto_alpha = 1.6;
+  p.flows_per_s = 6000;
+  return p;
+}
+
+Workload generate_trace(const ClosParams& layout, const TraceParams& params) {
+  if (params.intra_rack_frac < 0 || params.intra_pod_frac < 0 ||
+      params.intra_rack_frac + params.intra_pod_frac > 1.0 + 1e-9) {
+    throw std::invalid_argument("trace: locality fractions out of range");
+  }
+  if (params.duration_s <= 0 || params.flows_per_s <= 0) {
+    throw std::invalid_argument("trace: bad rate or duration");
+  }
+  const std::uint32_t servers = layout.total_servers();
+  const std::uint32_t per_rack = layout.servers_per_edge;
+  const std::uint32_t per_pod = per_rack * layout.edge_per_pod;
+  if (servers < 2 * per_pod) {
+    throw std::invalid_argument("trace: need at least 2 pods of servers");
+  }
+
+  Rng rng{params.seed};
+  // Pareto xm chosen so the mean matches: mean = alpha*xm/(alpha-1).
+  const double xm =
+      params.mean_flow_bytes * (params.pareto_alpha - 1) / params.pareto_alpha;
+
+  Workload flows;
+  double t = 0;
+  for (;;) {
+    t += rng.next_exponential(params.flows_per_s);
+    if (t >= params.duration_s) break;
+    const std::uint32_t src =
+        static_cast<std::uint32_t>(rng.next_below(servers));
+    const std::uint32_t rack = src / per_rack;
+    const std::uint32_t pod = src / per_pod;
+
+    const double locality = rng.next_double();
+    std::uint32_t dst = src;
+    if (locality < params.intra_rack_frac && per_rack > 1) {
+      while (dst == src) {
+        dst = rack * per_rack +
+              static_cast<std::uint32_t>(rng.next_below(per_rack));
+      }
+    } else if (locality < params.intra_rack_frac + params.intra_pod_frac &&
+               per_pod > per_rack) {
+      // Intra-Pod, different rack.
+      do {
+        dst = pod * per_pod +
+              static_cast<std::uint32_t>(rng.next_below(per_pod));
+      } while (dst / per_rack == rack);
+    } else {
+      // Inter-Pod.
+      do {
+        dst = static_cast<std::uint32_t>(rng.next_below(servers));
+      } while (dst / per_pod == pod);
+    }
+
+    Flow flow;
+    flow.src = src;
+    flow.dst = dst;
+    flow.bytes =
+        std::min(rng.next_pareto(params.pareto_alpha, xm), 1e10);  // cap tail
+    flow.start_s = t;
+    flows.push_back(flow);
+  }
+  if (flows.empty()) {
+    throw std::invalid_argument("trace: duration too short for any arrival");
+  }
+  return flows;
+}
+
+LocalityMix measure_locality(const ClosParams& layout, const Workload& flows) {
+  LocalityMix mix;
+  if (flows.empty()) return mix;
+  const std::uint32_t per_rack = layout.servers_per_edge;
+  const std::uint32_t per_pod = per_rack * layout.edge_per_pod;
+  for (const Flow& f : flows) {
+    if (f.src / per_rack == f.dst / per_rack) {
+      mix.intra_rack += 1;
+    } else if (f.src / per_pod == f.dst / per_pod) {
+      mix.intra_pod += 1;
+    } else {
+      mix.inter_pod += 1;
+    }
+  }
+  const double total = static_cast<double>(flows.size());
+  mix.intra_rack /= total;
+  mix.intra_pod /= total;
+  mix.inter_pod /= total;
+  return mix;
+}
+
+}  // namespace flattree

@@ -1,0 +1,59 @@
+// Synthetic data-center traces with controlled locality (§5.2).
+//
+// The paper drives Figure 8 with traffic from four Facebook data centers.
+// Only the Hadoop-1 trace was public; the Hadoop-2 / Web / Cache workloads
+// were themselves reverse-engineered by the authors from the published
+// statistics in Roy et al. (SIGCOMM'15). We synthesize all four from the
+// same published statistics: Poisson flow arrivals, Pareto (heavy-tailed)
+// flow sizes, and the per-datacenter locality mix:
+//
+//   Hadoop-1  network-wide shuffle, no clear locality
+//   Hadoop-2  75.7% intra-rack, almost all the rest intra-Pod
+//   Web       ~0% intra-rack, ~77% intra-Pod, rest inter-Pod
+//   Cache     ~0% intra-rack, ~88% intra-Pod, rest inter-Pod
+//
+// Rack/Pod membership is defined positionally (servers_per_rack consecutive
+// servers per rack, racks_per_pod racks per Pod), matching the Clos layout
+// the flat-tree was built from — so locality is mode-independent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/rng.h"
+#include "topo/params.h"
+#include "traffic/flow.h"
+
+namespace flattree {
+
+struct TraceParams {
+  std::string name;
+  double duration_s{1.0};
+  double flows_per_s{1000.0};
+  double intra_rack_frac{0.0};
+  double intra_pod_frac{0.0};  // of total (not of remainder)
+  double mean_flow_bytes{1e6};
+  double pareto_alpha{1.5};    // tail index of the size distribution
+  std::uint64_t seed{7};
+
+  static TraceParams hadoop1();
+  static TraceParams hadoop2();
+  static TraceParams web();
+  static TraceParams cache();
+};
+
+// Generates the flow list for a network with the given Clos layout (used
+// only for rack/Pod membership and server count).
+[[nodiscard]] Workload generate_trace(const ClosParams& layout,
+                                      const TraceParams& params);
+
+// Measured locality of a workload (for validating generators).
+struct LocalityMix {
+  double intra_rack{0.0};
+  double intra_pod{0.0};
+  double inter_pod{0.0};
+};
+[[nodiscard]] LocalityMix measure_locality(const ClosParams& layout,
+                                           const Workload& flows);
+
+}  // namespace flattree

@@ -1,0 +1,139 @@
+#include "control/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/patterns.h"
+#include "traffic/traces.h"
+
+namespace flattree {
+namespace {
+
+const ClosParams kLayout = ClosParams::topo2();  // 1728 servers
+
+TEST(Advisor, RackLocalTrafficMeansClos) {
+  // All-to-all within each rack.
+  const Workload flows =
+      clustered_all_to_all(kLayout.total_servers(), kLayout.servers_per_edge);
+  const Advice advice = advise_modes(kLayout, flows);
+  EXPECT_EQ(advice.uniform, PodMode::kClos);
+  for (const PodMode mode : advice.assignment.pod_modes) {
+    EXPECT_EQ(mode, PodMode::kClos);
+  }
+}
+
+TEST(Advisor, PodLocalTrafficMeansLocal) {
+  const std::uint32_t per_pod =
+      kLayout.servers_per_edge * kLayout.edge_per_pod;
+  // Cross-rack pairs within each pod.
+  Workload flows;
+  for (std::uint32_t s = 0; s < kLayout.total_servers(); ++s) {
+    const std::uint32_t pod = s / per_pod;
+    const std::uint32_t dst =
+        pod * per_pod + (s + kLayout.servers_per_edge) % per_pod;
+    if (dst != s) flows.push_back(Flow{s, dst, 1e6});
+  }
+  const Advice advice = advise_modes(kLayout, flows);
+  EXPECT_EQ(advice.uniform, PodMode::kLocal);
+}
+
+TEST(Advisor, NetworkWideTrafficMeansGlobal) {
+  const std::uint32_t per_pod =
+      kLayout.servers_per_edge * kLayout.edge_per_pod;
+  const Workload flows =
+      pod_stride_traffic(kLayout.total_servers(), per_pod);
+  const Advice advice = advise_modes(kLayout, flows);
+  EXPECT_EQ(advice.uniform, PodMode::kGlobal);
+  for (const PodMode mode : advice.assignment.pod_modes) {
+    EXPECT_EQ(mode, PodMode::kGlobal);
+  }
+}
+
+TEST(Advisor, TracePresetsMapToTheirPaperModes) {
+  // §5.2's conclusions: Hadoop-2 (rack-local) -> Clos; Web/Cache
+  // (Pod-local) -> local; Hadoop-1 (network-wide) -> global.
+  const auto advise = [&](TraceParams params) {
+    params.duration_s = 2.0;
+    params.flows_per_s = 3000;
+    return advise_modes(kLayout, generate_trace(kLayout, params)).uniform;
+  };
+  EXPECT_EQ(advise(TraceParams::hadoop2()), PodMode::kClos);
+  EXPECT_EQ(advise(TraceParams::web()), PodMode::kLocal);
+  EXPECT_EQ(advise(TraceParams::cache()), PodMode::kLocal);
+  EXPECT_EQ(advise(TraceParams::hadoop1()), PodMode::kGlobal);
+}
+
+TEST(Advisor, HybridZonesFromMixedWorkload) {
+  // Pod 0 runs a rack-local service, pod 1 a pod-local one, pods 2+ a
+  // network-wide one -> hybrid assignment.
+  const std::uint32_t per_rack = kLayout.servers_per_edge;
+  const std::uint32_t per_pod = per_rack * kLayout.edge_per_pod;
+  Workload flows;
+  // Pod 0: intra-rack chatter.
+  for (std::uint32_t s = 0; s < per_pod; ++s) {
+    flows.push_back(Flow{s, (s / per_rack) * per_rack + (s + 1) % per_rack, 1e6});
+  }
+  // Pod 1: cross-rack intra-pod.
+  for (std::uint32_t s = per_pod; s < 2 * per_pod; ++s) {
+    flows.push_back(Flow{s, per_pod + (s + per_rack) % per_pod, 1e6});
+  }
+  // Pods 2..: pod stride among themselves.
+  for (std::uint32_t s = 2 * per_pod; s < kLayout.total_servers(); ++s) {
+    std::uint32_t dst = s + per_pod;
+    if (dst >= kLayout.total_servers()) dst = 2 * per_pod + (dst % per_pod);
+    if (dst / per_pod != s / per_pod) flows.push_back(Flow{s, dst, 1e6});
+  }
+  const Advice advice = advise_modes(kLayout, flows);
+  EXPECT_EQ(advice.assignment.pod_modes[0], PodMode::kClos);
+  EXPECT_EQ(advice.assignment.pod_modes[1], PodMode::kLocal);
+  EXPECT_EQ(advice.assignment.pod_modes[2], PodMode::kGlobal);
+  EXPECT_EQ(advice.assignment.pod_modes.back(), PodMode::kGlobal);
+}
+
+TEST(Advisor, BytesOutweighFlowCounts) {
+  // Many tiny rack-local flows vs few huge inter-pod flows: bytes decide.
+  const std::uint32_t per_pod =
+      kLayout.servers_per_edge * kLayout.edge_per_pod;
+  Workload flows;
+  for (int i = 0; i < 100; ++i) flows.push_back(Flow{0, 1, 1e3});
+  flows.push_back(Flow{0, per_pod, 1e9});
+  const Advice advice = advise_modes(kLayout, flows);
+  EXPECT_EQ(advice.assignment.pod_modes[0], PodMode::kGlobal);
+}
+
+TEST(Advisor, PersistentFlowsCountAsUnits) {
+  const Workload flows{Flow{0, 1, 0.0}, Flow{0, 2, 0.0}, Flow{0, 1, 0.0}};
+  const Advice advice = advise_modes(kLayout, flows);
+  EXPECT_DOUBLE_EQ(advice.per_pod[0].total_bytes, 3.0);
+  EXPECT_EQ(advice.assignment.pod_modes[0], PodMode::kClos);
+}
+
+TEST(Advisor, IdlePodsDefaultToGlobal) {
+  const Workload flows{Flow{0, 1, 1e6}};
+  const Advice advice = advise_modes(kLayout, flows);
+  EXPECT_EQ(advice.assignment.pod_modes.back(), PodMode::kGlobal);
+}
+
+TEST(Advisor, RejectsOutOfRangeServers) {
+  const Workload flows{Flow{0, 99999999, 1e6}};
+  EXPECT_THROW((void)advise_modes(kLayout, flows), std::invalid_argument);
+}
+
+TEST(Advisor, ThresholdsAreTunable) {
+  // 40% rack-local: below the default 50% threshold, above a 30% one.
+  Workload flows;
+  for (int i = 0; i < 40; ++i) flows.push_back(Flow{0, 1, 1e6});
+  for (int i = 0; i < 60; ++i) {
+    flows.push_back(Flow{0, kLayout.servers_per_edge *
+                                kLayout.edge_per_pod * 2u,
+                         1e6});
+  }
+  AdvisorOptions loose;
+  loose.rack_threshold = 0.3;
+  EXPECT_EQ(advise_modes(kLayout, flows).assignment.pod_modes[0],
+            PodMode::kGlobal);
+  EXPECT_EQ(advise_modes(kLayout, flows, loose).assignment.pod_modes[0],
+            PodMode::kClos);
+}
+
+}  // namespace
+}  // namespace flattree

@@ -1,0 +1,87 @@
+#include "net/capacity.h"
+
+#include "routing/path.h"
+
+#include <gtest/gtest.h>
+
+namespace flattree {
+namespace {
+
+TEST(LogicalTopology, MergesParallelLinks) {
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kEdge);
+  const NodeId b = g.add_node(NodeRole::kAgg);
+  g.add_link(a, b, 1e9);
+  g.add_link(a, b, 1e9);
+  g.add_link(a, b, 2e9);
+  const LogicalTopology topo{g};
+  EXPECT_EQ(topo.edge_count(), 1u);
+  EXPECT_EQ(topo.directed_count(), 2u);
+  const auto e = topo.edge_between(a, b);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(topo.capacity(2 * *e), 4e9);
+  EXPECT_DOUBLE_EQ(topo.capacity(2 * *e + 1), 4e9);
+}
+
+TEST(LogicalTopology, DirectedIndexDistinguishesDirections) {
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kEdge);
+  const NodeId b = g.add_node(NodeRole::kAgg);
+  g.add_link(a, b, 1e9);
+  const LogicalTopology topo{g};
+  EXPECT_NE(topo.directed_index(a, b), topo.directed_index(b, a));
+  EXPECT_EQ(topo.directed_index(a, b) / 2, topo.directed_index(b, a) / 2);
+}
+
+TEST(LogicalTopology, NonAdjacentThrows) {
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kEdge);
+  const NodeId b = g.add_node(NodeRole::kAgg);
+  const NodeId c = g.add_node(NodeRole::kCore);
+  g.add_link(a, b, 1e9);
+  const LogicalTopology topo{g};
+  EXPECT_FALSE(topo.edge_between(a, c).has_value());
+  EXPECT_THROW((void)topo.directed_index(a, c), std::logic_error);
+}
+
+TEST(LogicalTopology, PathEdges) {
+  Graph g;
+  const NodeId s = g.add_node(NodeRole::kServer);
+  const NodeId a = g.add_node(NodeRole::kEdge);
+  const NodeId b = g.add_node(NodeRole::kAgg);
+  const NodeId t = g.add_node(NodeRole::kServer);
+  g.add_link(s, a, 1e9);
+  g.add_link(a, b, 1e9);
+  g.add_link(b, t, 1e9);
+  const LogicalTopology topo{g};
+  const Path path{s, a, b, t};
+  const auto edges = topo.path_edges(path);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], topo.directed_index(s, a));
+  EXPECT_EQ(edges[1], topo.directed_index(a, b));
+  EXPECT_EQ(edges[2], topo.directed_index(b, t));
+}
+
+TEST(LogicalTopology, TrivialPathHasNoEdges) {
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kEdge);
+  const LogicalTopology topo{g};
+  const Path path{a};
+  EXPECT_TRUE(topo.path_edges(path).empty());
+  EXPECT_TRUE(topo.path_edges(Path{}).empty());
+}
+
+TEST(LogicalTopology, OppositeDirectionsIndependentCapacity) {
+  // Directions share the undirected capacity value but are separate
+  // constraint rows: both directions of a 1G link report 1G.
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kEdge);
+  const NodeId b = g.add_node(NodeRole::kAgg);
+  g.add_link(a, b, 1e9);
+  const LogicalTopology topo{g};
+  EXPECT_DOUBLE_EQ(topo.capacity(topo.directed_index(a, b)), 1e9);
+  EXPECT_DOUBLE_EQ(topo.capacity(topo.directed_index(b, a)), 1e9);
+}
+
+}  // namespace
+}  // namespace flattree

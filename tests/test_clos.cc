@@ -1,0 +1,144 @@
+#include "topo/clos.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace flattree {
+namespace {
+
+class ClosBuildTest : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Table2, ClosBuildTest,
+                         ::testing::Values("topo-1", "topo-2", "topo-3",
+                                           "topo-4", "topo-5", "topo-6"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST_P(ClosBuildTest, NodeCounts) {
+  const ClosParams p = ClosParams::preset(GetParam());
+  const Graph g = build_clos(p);
+  EXPECT_EQ(g.count_role(NodeRole::kServer), p.total_servers());
+  EXPECT_EQ(g.count_role(NodeRole::kEdge), p.total_edges());
+  EXPECT_EQ(g.count_role(NodeRole::kAgg), p.total_aggs());
+  EXPECT_EQ(g.count_role(NodeRole::kCore), p.cores);
+}
+
+TEST_P(ClosBuildTest, Degrees) {
+  const ClosParams p = ClosParams::preset(GetParam());
+  const Graph g = build_clos(p);
+  for (NodeId n : g.nodes_with_role(NodeRole::kServer)) {
+    EXPECT_EQ(g.degree(n), 1u);
+  }
+  for (NodeId n : g.nodes_with_role(NodeRole::kEdge)) {
+    EXPECT_EQ(g.degree(n), p.edge_uplinks + p.servers_per_edge);
+  }
+  const std::uint32_t agg_down =
+      p.edge_per_pod * p.edge_uplinks / p.agg_per_pod;
+  for (NodeId n : g.nodes_with_role(NodeRole::kAgg)) {
+    EXPECT_EQ(g.degree(n), agg_down + p.agg_uplinks);
+  }
+  for (NodeId n : g.nodes_with_role(NodeRole::kCore)) {
+    EXPECT_EQ(g.degree(n), p.core_ports);
+  }
+}
+
+TEST_P(ClosBuildTest, Connected) {
+  const Graph g = build_clos(ClosParams::preset(GetParam()));
+  EXPECT_TRUE(g.connected());
+}
+
+TEST_P(ClosBuildTest, LinksAreHierarchicalOnly) {
+  // Clos has only server-edge, edge-agg, agg-core links.
+  const Graph g = build_clos(ClosParams::preset(GetParam()));
+  for (std::size_t i = 0; i < g.link_count(); ++i) {
+    const Link& l = g.link(LinkId{static_cast<std::uint32_t>(i)});
+    const NodeRole ra = g.node(l.a).role;
+    const NodeRole rb = g.node(l.b).role;
+    const bool ok = (ra == NodeRole::kServer && rb == NodeRole::kEdge) ||
+                    (ra == NodeRole::kEdge && rb == NodeRole::kServer) ||
+                    (ra == NodeRole::kEdge && rb == NodeRole::kAgg) ||
+                    (ra == NodeRole::kAgg && rb == NodeRole::kEdge) ||
+                    (ra == NodeRole::kAgg && rb == NodeRole::kCore) ||
+                    (ra == NodeRole::kCore && rb == NodeRole::kAgg);
+    EXPECT_TRUE(ok) << g.label(l.a) << " -- " << g.label(l.b);
+  }
+}
+
+TEST_P(ClosBuildTest, IntraPodEdgeAggOnly) {
+  const Graph g = build_clos(ClosParams::preset(GetParam()));
+  for (std::size_t i = 0; i < g.link_count(); ++i) {
+    const Link& l = g.link(LinkId{static_cast<std::uint32_t>(i)});
+    const Node& na = g.node(l.a);
+    const Node& nb = g.node(l.b);
+    if ((na.role == NodeRole::kEdge && nb.role == NodeRole::kAgg) ||
+        (na.role == NodeRole::kAgg && nb.role == NodeRole::kEdge)) {
+      EXPECT_EQ(na.pod, nb.pod);
+    }
+  }
+}
+
+TEST_P(ClosBuildTest, NodeOrderingConvention) {
+  // Servers occupy node ids [0, total_servers): the cross-module contract.
+  const ClosParams p = ClosParams::preset(GetParam());
+  const Graph g = build_clos(p);
+  for (std::uint32_t s = 0; s < p.total_servers(); ++s) {
+    EXPECT_EQ(g.node(NodeId{s}).role, NodeRole::kServer);
+  }
+}
+
+TEST(ClosBuild, SameIndexAggsShareCoreGroups) {
+  // Figure 4a: agg switches with the same in-pod index in different Pods
+  // connect to the same group of h core switches.
+  const ClosParams p = ClosParams::testbed();
+  const Graph g = build_clos(p);
+  const auto aggs = g.nodes_with_role(NodeRole::kAgg);
+  const auto cores_of = [&](NodeId agg) {
+    std::vector<std::uint32_t> cores;
+    for (const Adjacency& adj : g.neighbors(agg)) {
+      if (g.node(adj.peer).role == NodeRole::kCore) {
+        cores.push_back(g.node(adj.peer).index_in_role);
+      }
+    }
+    std::sort(cores.begin(), cores.end());
+    return cores;
+  };
+  // aggs are pod-major: agg index a in pod q is aggs[q*agg_per_pod + a].
+  for (std::uint32_t a = 0; a < p.agg_per_pod; ++a) {
+    const auto group0 = cores_of(aggs[a]);
+    for (std::uint32_t pod = 1; pod < p.pods; ++pod) {
+      EXPECT_EQ(cores_of(aggs[pod * p.agg_per_pod + a]), group0);
+    }
+  }
+}
+
+TEST(ClosBuild, FatTreeIsNonBlocking) {
+  const ClosParams p = ClosParams::fat_tree(4);
+  const Graph g = build_clos(p);
+  EXPECT_EQ(g.count_role(NodeRole::kServer), 16u);
+  EXPECT_EQ(g.count_role(NodeRole::kCore), 4u);
+  for (NodeId n : g.switches()) {
+    EXPECT_EQ(g.degree(n), 4u) << g.label(n);  // every switch uses k ports
+  }
+}
+
+TEST(ClosBuild, MultiLinkPairs) {
+  // topo-6 interpretation: each edge has 2 links to each of its 8 aggs.
+  const ClosParams p = ClosParams::topo6();
+  const Graph g = build_clos(p);
+  const NodeId edge0 = g.nodes_with_role(NodeRole::kEdge).front();
+  std::size_t to_first_agg = 0;
+  const auto aggs = g.nodes_with_role(NodeRole::kAgg);
+  for (const Adjacency& adj : g.neighbors(edge0)) {
+    if (adj.peer == aggs.front()) ++to_first_agg;
+  }
+  EXPECT_EQ(to_first_agg, 2u);
+}
+
+}  // namespace
+}  // namespace flattree

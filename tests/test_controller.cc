@@ -1,0 +1,156 @@
+#include "control/controller.h"
+
+#include <gtest/gtest.h>
+
+namespace flattree {
+namespace {
+
+Controller testbed_controller(std::uint32_t k = 4) {
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  ControllerOptions options;
+  options.k_global = k;
+  options.k_local = k;
+  options.k_clos = k;
+  return Controller{FlatTree{p}, options};
+}
+
+TEST(Controller, CompileProducesRealizedGraph) {
+  const Controller ctl = testbed_controller();
+  const CompiledMode mode = ctl.compile_uniform(PodMode::kGlobal);
+  EXPECT_EQ(mode.graph().count_role(NodeRole::kServer), 24u);
+  EXPECT_TRUE(mode.graph().connected());
+  EXPECT_EQ(mode.k(), 4u);
+  EXPECT_EQ(mode.configs().size(), ctl.tree().converters().size());
+}
+
+TEST(Controller, RuleCountOrderingMatchesPaper) {
+  // §5.3: per-switch rule maxima order global > local > clos (242/180/76).
+  const Controller ctl = testbed_controller();
+  const CompiledMode global = ctl.compile_uniform(PodMode::kGlobal);
+  const CompiledMode local = ctl.compile_uniform(PodMode::kLocal);
+  const CompiledMode clos = ctl.compile_uniform(PodMode::kClos);
+  ASSERT_TRUE(global.has_rule_counts());
+  EXPECT_GT(global.max_rules_per_switch(), local.max_rules_per_switch());
+  EXPECT_GT(local.max_rules_per_switch(), clos.max_rules_per_switch());
+  // Same order of magnitude as the testbed numbers.
+  EXPECT_GT(global.max_rules_per_switch(), 100u);
+  EXPECT_LT(global.max_rules_per_switch(), 1000u);
+  EXPECT_LT(clos.max_rules_per_switch(), 200u);
+}
+
+TEST(Controller, ConversionCountsChangedConverters) {
+  const Controller ctl = testbed_controller();
+  const CompiledMode clos = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode global = ctl.compile_uniform(PodMode::kGlobal);
+  const ConversionReport report = ctl.plan_conversion(clos, global);
+  // Every converter changes configuration between Clos and global mode.
+  EXPECT_EQ(report.converters_changed, ctl.tree().converters().size());
+  EXPECT_GT(report.rules_deleted, 0u);
+  EXPECT_GT(report.rules_added, 0u);
+}
+
+TEST(Controller, NullConversionIsFree) {
+  const Controller ctl = testbed_controller();
+  const CompiledMode clos = ctl.compile_uniform(PodMode::kClos);
+  const ConversionReport report = ctl.plan_conversion(clos, clos);
+  EXPECT_EQ(report.converters_changed, 0u);
+  EXPECT_DOUBLE_EQ(report.ocs_s, 0.0);
+}
+
+TEST(Controller, DelayBreakdownShape) {
+  // Table 3 structure: one OCS term (160 ms) + delete + add, total ~1 s.
+  const Controller ctl = testbed_controller();
+  const CompiledMode local = ctl.compile_uniform(PodMode::kLocal);
+  const CompiledMode global = ctl.compile_uniform(PodMode::kGlobal);
+  const ConversionReport report = ctl.plan_conversion(local, global);
+  EXPECT_DOUBLE_EQ(report.ocs_s, 0.160);
+  EXPECT_GT(report.delete_s, 0.05);
+  EXPECT_GT(report.add_s, 0.05);
+  EXPECT_GT(report.total_s(), 0.3);
+  EXPECT_LT(report.total_s(), 3.0);
+}
+
+TEST(Controller, ConversionDelayProportionalToRules) {
+  // Converting to Clos adds fewer rules than converting to global.
+  const Controller ctl = testbed_controller();
+  const CompiledMode clos = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode local = ctl.compile_uniform(PodMode::kLocal);
+  const CompiledMode global = ctl.compile_uniform(PodMode::kGlobal);
+  const ConversionReport to_clos = ctl.plan_conversion(global, clos);
+  const ConversionReport to_global = ctl.plan_conversion(local, global);
+  EXPECT_LT(to_clos.add_s, to_global.add_s);
+  EXPECT_GT(to_clos.delete_s, to_global.delete_s * 0.9);
+}
+
+TEST(Controller, DistributedControllersSpeedUpRuleUpdates) {
+  // §4.3: sharding the rule distribution across controllers divides the
+  // update time but not the OCS reconfiguration pass.
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  ControllerOptions sequential;
+  sequential.k_global = sequential.k_local = sequential.k_clos = 4;
+  ControllerOptions sharded = sequential;
+  sharded.delay.controllers = 4;
+  const Controller ctl1{FlatTree{p}, sequential};
+  const Controller ctl4{FlatTree{p}, sharded};
+  const CompiledMode clos = ctl1.compile_uniform(PodMode::kClos);
+  const CompiledMode global = ctl1.compile_uniform(PodMode::kGlobal);
+  const ConversionReport slow = ctl1.plan_conversion(clos, global);
+  const ConversionReport fast = ctl4.plan_conversion(clos, global);
+  EXPECT_NEAR(fast.delete_s, slow.delete_s / 4, 1e-9);
+  EXPECT_NEAR(fast.add_s, slow.add_s / 4, 1e-9);
+  EXPECT_DOUBLE_EQ(fast.ocs_s, slow.ocs_s);
+  EXPECT_LT(fast.total_s(), slow.total_s());
+}
+
+TEST(Controller, HybridCompiles) {
+  const Controller ctl = testbed_controller();
+  ModeAssignment hybrid = ModeAssignment::uniform(4, PodMode::kClos);
+  hybrid.pod_modes[0] = PodMode::kGlobal;
+  hybrid.pod_modes[1] = PodMode::kGlobal;
+  hybrid.pod_modes[2] = PodMode::kLocal;
+  const CompiledMode mode = ctl.compile(hybrid, 4);
+  EXPECT_TRUE(mode.graph().connected());
+  // Zone structure: pod 3 (clos) keeps all servers on edges.
+  const Graph& g = mode.graph();
+  for (NodeId s : g.servers()) {
+    if (g.node(s).pod.value() == 3) {
+      EXPECT_EQ(g.node(g.attachment_switch(s)).role, NodeRole::kEdge);
+    }
+  }
+}
+
+TEST(Controller, KForModeHonorsOptions) {
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  ControllerOptions options;
+  options.k_global = 16;
+  options.k_local = 8;
+  options.k_clos = 4;
+  const Controller ctl{FlatTree{p}, options};
+  EXPECT_EQ(ctl.k_for(PodMode::kGlobal), 16u);
+  EXPECT_EQ(ctl.k_for(PodMode::kLocal), 8u);
+  EXPECT_EQ(ctl.k_for(PodMode::kClos), 4u);
+}
+
+TEST(Controller, DisableRuleCounting) {
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  ControllerOptions options;
+  options.count_rules = false;
+  const Controller ctl{FlatTree{p}, options};
+  const CompiledMode mode = ctl.compile_uniform(PodMode::kClos);
+  EXPECT_FALSE(mode.has_rule_counts());
+}
+
+}  // namespace
+}  // namespace flattree

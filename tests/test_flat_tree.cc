@@ -1,0 +1,578 @@
+#include "core/flat_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "net/stats.h"
+#include "topo/clos.h"
+
+namespace flattree {
+namespace {
+
+FlatTreeParams testbed_params() {
+  // The Figure 2 example: one 4-port and one 6-port converter per
+  // edge/aggregation pair (m = n = 1).
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  return p;
+}
+
+FlatTreeParams topo1_params() {
+  FlatTreeParams p;
+  p.clos = ClosParams::topo1();
+  p.six_port_per_column = 2;
+  p.four_port_per_column = 2;
+  return p;
+}
+
+// ---------- parameter validation -------------------------------------------
+
+TEST(FlatTreeParams, ValidatesTestbed) {
+  EXPECT_NO_THROW(testbed_params().validate());
+}
+
+TEST(FlatTreeParams, RejectsTooManyConverters) {
+  FlatTreeParams p = testbed_params();
+  p.six_port_per_column = 2;  // m + n = 3 > h/r = 2
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(FlatTreeParams, RejectsZeroConverters) {
+  FlatTreeParams p = testbed_params();
+  p.six_port_per_column = 0;
+  p.four_port_per_column = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(FlatTreeParams, RejectsOddEdgeCount) {
+  FlatTreeParams p;
+  p.clos = ClosParams{/*pods=*/2, /*edge_per_pod=*/3, /*agg_per_pod=*/3,
+                      /*edge_uplinks=*/3, /*servers_per_edge=*/4,
+                      /*agg_uplinks=*/3, /*cores=*/9, /*core_ports=*/2};
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(FlatTreeParams, RejectsMoreConvertersThanServers) {
+  FlatTreeParams p;
+  p.clos = ClosParams::topo1();
+  p.clos.servers_per_edge = 3;
+  p.clos.edge_uplinks = 8;  // keep fabric valid
+  p.six_port_per_column = 2;
+  p.four_port_per_column = 2;  // 4 > 3 servers
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(FlatTreeParams, DefaultsAreFeasible) {
+  for (const char* name :
+       {"topo-1", "topo-2", "topo-3", "topo-4", "topo-5", "topo-6"}) {
+    const auto p = FlatTreeParams::defaults_for(ClosParams::preset(name));
+    EXPECT_NO_THROW(p.validate()) << name;
+    EXPECT_GE(p.m(), 1u);
+    EXPECT_GE(p.n(), 1u);
+  }
+}
+
+// ---------- static wiring ---------------------------------------------------
+
+TEST(FlatTreeWiring, ConverterCount) {
+  const FlatTree tree{testbed_params()};
+  // pods * d * (m + n) = 4 * 2 * 2 = 16 converters.
+  EXPECT_EQ(tree.converters().size(), 16u);
+}
+
+TEST(FlatTreeWiring, ConverterAttachmentsInRange) {
+  const FlatTree tree{topo1_params()};
+  const ClosParams& c = tree.clos();
+  for (const Converter& conv : tree.converters()) {
+    EXPECT_LT(conv.edge, c.total_edges());
+    EXPECT_LT(conv.agg, c.total_aggs());
+    EXPECT_LT(conv.core, c.cores);
+    EXPECT_LT(conv.server, c.total_servers());
+    // The converter's edge and agg are the paired switches of its column.
+    EXPECT_EQ(conv.agg, conv.pod.value() * c.agg_per_pod + conv.col / c.r());
+    EXPECT_EQ(conv.edge, conv.pod.value() * c.edge_per_pod + conv.col);
+  }
+}
+
+TEST(FlatTreeWiring, ServersUniquePerConverter) {
+  const FlatTree tree{topo1_params()};
+  std::set<std::uint32_t> servers;
+  for (const Converter& conv : tree.converters()) {
+    EXPECT_TRUE(servers.insert(conv.server).second);
+  }
+}
+
+TEST(FlatTreeWiring, SixPortSidePeersAreMutual) {
+  const FlatTree tree{topo1_params()};
+  for (std::size_t i = 0; i < tree.converters().size(); ++i) {
+    const Converter& conv = tree.converters()[i];
+    if (conv.type != ConverterType::kSixPort) continue;
+    ASSERT_TRUE(conv.side_peer.valid());
+    const Converter& peer = tree.converter(conv.side_peer);
+    EXPECT_EQ(peer.side_peer.index(), i);
+    EXPECT_EQ(peer.row, conv.row);  // §3.3: same row pairs
+    EXPECT_EQ(peer.type, ConverterType::kSixPort);
+  }
+}
+
+TEST(FlatTreeWiring, SidePeersInAdjacentPods) {
+  const FlatTree tree{topo1_params()};
+  const std::uint32_t pods = tree.clos().pods;
+  const std::uint32_t half = tree.clos().edge_per_pod / 2;
+  for (const Converter& conv : tree.converters()) {
+    if (conv.type != ConverterType::kSixPort) continue;
+    const Converter& peer = tree.converter(conv.side_peer);
+    if (conv.col < half) {
+      // Left blade pairs with the previous pod's right blade.
+      EXPECT_EQ(peer.pod.value(), (conv.pod.value() + pods - 1) % pods);
+      EXPECT_GE(peer.col, half);
+    } else {
+      EXPECT_EQ(peer.pod.value(), (conv.pod.value() + 1) % pods);
+      EXPECT_LT(peer.col, half);
+    }
+  }
+}
+
+TEST(FlatTreeWiring, ShiftPatternIsBijective) {
+  // §3.3: for each row, the left->right column mapping is a bijection, so
+  // an edge switch reaches m distinct columns in the adjacent pod.
+  const FlatTree tree{topo1_params()};
+  const std::uint32_t half = tree.clos().edge_per_pod / 2;
+  for (std::uint32_t row = 0; row < tree.params().m(); ++row) {
+    std::set<std::uint32_t> peer_cols;
+    for (const Converter& conv : tree.converters()) {
+      if (conv.type != ConverterType::kSixPort || conv.row != row) continue;
+      if (conv.pod.value() != 1 || conv.col >= half) continue;
+      peer_cols.insert(tree.converter(conv.side_peer).col);
+    }
+    EXPECT_EQ(peer_cols.size(), half);
+  }
+}
+
+TEST(FlatTreeWiring, CoreForSlotCoversGroup) {
+  const FlatTree tree{testbed_params()};
+  const std::uint32_t g = tree.clos().core_connectors_per_edge();
+  // Within a (pod, column) the g slots hit g distinct cores.
+  for (std::uint32_t pod = 0; pod < tree.clos().pods; ++pod) {
+    for (std::uint32_t col = 0; col < tree.clos().edge_per_pod; ++col) {
+      std::set<std::uint32_t> cores;
+      for (std::uint32_t slot = 0; slot < g; ++slot) {
+        cores.insert(tree.core_for_slot(pod, col, slot));
+      }
+      EXPECT_EQ(cores.size(), g);
+    }
+  }
+}
+
+TEST(FlatTreeWiring, PatternsDiffer) {
+  FlatTreeParams p1 = topo1_params();
+  FlatTreeParams p2 = topo1_params();
+  p2.pattern = WiringPattern::kPattern2;
+  const FlatTree t1{p1};
+  const FlatTree t2{p2};
+  bool any_difference = false;
+  // Pod 0 is wired identically (offset 0); later pods rotate differently.
+  for (std::uint32_t col = 0; col < p1.clos.edge_per_pod && !any_difference;
+       ++col) {
+    for (std::uint32_t slot = 0; slot < p1.clos.core_connectors_per_edge();
+         ++slot) {
+      if (t1.core_for_slot(2, col, slot) != t2.core_for_slot(2, col, slot)) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// ---------- mode configuration ---------------------------------------------
+
+TEST(FlatTreeModes, ClosModeAllDefault) {
+  const FlatTree tree{testbed_params()};
+  const auto configs = tree.configs_for(
+      ModeAssignment::uniform(tree.clos().pods, PodMode::kClos));
+  for (const ConverterConfig c : configs) {
+    EXPECT_EQ(c, ConverterConfig::kDefault);
+  }
+}
+
+TEST(FlatTreeModes, GlobalModeConfigs) {
+  const FlatTree tree{topo1_params()};
+  const auto configs = tree.configs_for(
+      ModeAssignment::uniform(tree.clos().pods, PodMode::kGlobal));
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Converter& conv = tree.converters()[i];
+    if (conv.type == ConverterType::kFourPort) {
+      EXPECT_EQ(configs[i], ConverterConfig::kLocal);
+    } else {
+      EXPECT_EQ(configs[i], conv.row % 2 == 0 ? ConverterConfig::kSide
+                                              : ConverterConfig::kCross);
+    }
+  }
+}
+
+TEST(FlatTreeModes, LocalModeRelocatesHalfTheServers) {
+  const FlatTree tree{topo1_params()};
+  const Graph g = tree.realize_uniform(PodMode::kLocal);
+  const ClosParams& c = tree.clos();
+  // m+n = 4 relocatable per edge, target = spe/2 = 16 > 4 => all relocate.
+  std::size_t at_agg = 0;
+  for (NodeId sw : g.nodes_with_role(NodeRole::kAgg)) {
+    at_agg += g.attached_servers(sw).size();
+  }
+  EXPECT_EQ(at_agg, static_cast<std::size_t>(c.total_edges()) *
+                        (tree.params().m() + tree.params().n()));
+  // Local mode keeps servers off the cores.
+  for (NodeId sw : g.nodes_with_role(NodeRole::kCore)) {
+    EXPECT_TRUE(g.attached_servers(sw).empty());
+  }
+}
+
+TEST(FlatTreeModes, LocalModeHonorsHalfTarget) {
+  // Testbed: spe=3, target=1; the 4-port converter relocates it, the 6-port
+  // stays default.
+  const FlatTree tree{testbed_params()};
+  const auto configs = tree.configs_for(
+      ModeAssignment::uniform(tree.clos().pods, PodMode::kLocal));
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Converter& conv = tree.converters()[i];
+    if (conv.type == ConverterType::kFourPort) {
+      EXPECT_EQ(configs[i], ConverterConfig::kLocal);
+    } else {
+      EXPECT_EQ(configs[i], ConverterConfig::kDefault);
+    }
+  }
+}
+
+TEST(FlatTreeModes, WrongModeCountThrows) {
+  const FlatTree tree{testbed_params()};
+  ModeAssignment bad;
+  bad.pod_modes = {PodMode::kClos};
+  EXPECT_THROW((void)tree.configs_for(bad), std::invalid_argument);
+}
+
+TEST(FlatTreeModes, HybridBoundaryFallsBackToLocal) {
+  // One global pod sandwiched between Clos pods: its 6-port converters
+  // cannot use side bundles and must fall back to local.
+  const FlatTree tree{testbed_params()};
+  ModeAssignment assignment =
+      ModeAssignment::uniform(tree.clos().pods, PodMode::kClos);
+  assignment.pod_modes[1] = PodMode::kGlobal;
+  const auto configs = tree.configs_for(assignment);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Converter& conv = tree.converters()[i];
+    if (conv.pod.value() != 1) continue;
+    if (conv.type == ConverterType::kSixPort) {
+      EXPECT_EQ(configs[i], ConverterConfig::kLocal);
+    }
+  }
+}
+
+TEST(FlatTreeModes, AdjacentGlobalPodsUseSideBundles) {
+  const FlatTree tree{testbed_params()};
+  ModeAssignment assignment =
+      ModeAssignment::uniform(tree.clos().pods, PodMode::kClos);
+  assignment.pod_modes[1] = PodMode::kGlobal;
+  assignment.pod_modes[2] = PodMode::kGlobal;
+  const auto configs = tree.configs_for(assignment);
+  bool any_side = false;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Converter& conv = tree.converters()[i];
+    if (conv.pod.value() == 2 && conv.type == ConverterType::kSixPort &&
+        !conv.left_blade(tree.clos().edge_per_pod)) {
+      // Right blade of pod 2 pairs with pod 3 (Clos): fallback.
+      EXPECT_EQ(configs[i], ConverterConfig::kLocal);
+    }
+    if (configs[i] == ConverterConfig::kSide ||
+        configs[i] == ConverterConfig::kCross) {
+      any_side = true;
+      // Side/cross only between the two global pods.
+      const Converter& peer = tree.converter(conv.side_peer);
+      const std::set<std::uint32_t> global_pods{1, 2};
+      EXPECT_TRUE(global_pods.contains(conv.pod.value()));
+      EXPECT_TRUE(global_pods.contains(peer.pod.value()));
+    }
+  }
+  EXPECT_TRUE(any_side);
+}
+
+// ---------- realization: port conservation ---------------------------------
+
+class RealizeModeTest
+    : public ::testing::TestWithParam<std::tuple<const char*, PodMode>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologiesAllModes, RealizeModeTest,
+    ::testing::Combine(::testing::Values("testbed", "topo-1", "topo-2",
+                                         "topo-3", "topo-4", "topo-5",
+                                         "topo-6"),
+                       ::testing::Values(PodMode::kClos, PodMode::kLocal,
+                                         PodMode::kGlobal)),
+    [](const auto& info) {
+      std::string n = std::get<0>(info.param);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n + "_" + to_string(std::get<1>(info.param));
+    });
+
+FlatTreeParams params_for_name(const std::string& name) {
+  if (name == "testbed") {
+    FlatTreeParams p;
+    p.clos = ClosParams::testbed();
+    p.six_port_per_column = 1;
+    p.four_port_per_column = 1;
+    return p;
+  }
+  return FlatTreeParams::defaults_for(ClosParams::preset(name));
+}
+
+TEST_P(RealizeModeTest, PortConservation) {
+  const auto& [name, mode] = GetParam();
+  const FlatTree tree{params_for_name(name)};
+  const ClosParams& c = tree.clos();
+  const Graph g = tree.realize_uniform(mode);
+
+  // Converter switches are passive: degrees must equal the Clos budget in
+  // every mode (§2.2: links are repurposed, never added).
+  for (NodeId n : g.nodes_with_role(NodeRole::kServer)) {
+    EXPECT_EQ(g.degree(n), 1u);
+  }
+  for (NodeId n : g.nodes_with_role(NodeRole::kEdge)) {
+    EXPECT_EQ(g.degree(n), c.edge_uplinks + c.servers_per_edge);
+  }
+  const std::uint32_t agg_down = c.edge_per_pod * c.edge_uplinks / c.agg_per_pod;
+  for (NodeId n : g.nodes_with_role(NodeRole::kAgg)) {
+    EXPECT_EQ(g.degree(n), agg_down + c.agg_uplinks);
+  }
+  for (NodeId n : g.nodes_with_role(NodeRole::kCore)) {
+    EXPECT_EQ(g.degree(n), c.core_ports);
+  }
+}
+
+TEST_P(RealizeModeTest, Connected) {
+  const auto& [name, mode] = GetParam();
+  const FlatTree tree{params_for_name(name)};
+  EXPECT_TRUE(tree.realize_uniform(mode).connected());
+}
+
+TEST_P(RealizeModeTest, TotalLinkCountConserved) {
+  const auto& [name, mode] = GetParam();
+  const FlatTree tree{params_for_name(name)};
+  const Graph g = tree.realize_uniform(mode);
+  const Graph clos = build_clos(tree.clos());
+  EXPECT_EQ(g.link_count(), clos.link_count());
+}
+
+TEST_P(RealizeModeTest, NodeIdsStableAcrossModes) {
+  const auto& [name, mode] = GetParam();
+  const FlatTree tree{params_for_name(name)};
+  const Graph g = tree.realize_uniform(mode);
+  const Graph clos = tree.realize_uniform(PodMode::kClos);
+  ASSERT_EQ(g.node_count(), clos.node_count());
+  for (std::uint32_t i = 0; i < g.node_count(); ++i) {
+    EXPECT_EQ(g.node(NodeId{i}).role, clos.node(NodeId{i}).role);
+    EXPECT_EQ(g.node(NodeId{i}).pod, clos.node(NodeId{i}).pod);
+  }
+}
+
+// ---------- mode semantics ---------------------------------------------------
+
+TEST(FlatTreeRealize, ClosModeMatchesClosLinkTypes) {
+  const FlatTree tree{testbed_params()};
+  const Graph g = tree.realize_uniform(PodMode::kClos);
+  for (std::size_t i = 0; i < g.link_count(); ++i) {
+    const Link& l = g.link(LinkId{static_cast<std::uint32_t>(i)});
+    const NodeRole ra = g.node(l.a).role;
+    const NodeRole rb = g.node(l.b).role;
+    const bool hierarchical =
+        (ra == NodeRole::kServer && rb == NodeRole::kEdge) ||
+        (ra == NodeRole::kEdge && rb == NodeRole::kServer) ||
+        (ra == NodeRole::kEdge && rb == NodeRole::kAgg) ||
+        (ra == NodeRole::kAgg && rb == NodeRole::kEdge) ||
+        (ra == NodeRole::kAgg && rb == NodeRole::kCore) ||
+        (ra == NodeRole::kCore && rb == NodeRole::kAgg);
+    EXPECT_TRUE(hierarchical) << g.label(l.a) << " -- " << g.label(l.b);
+  }
+}
+
+TEST(FlatTreeRealize, GlobalModeServerDistribution) {
+  const FlatTree tree{topo1_params()};
+  const ClosParams& c = tree.clos();
+  const Graph g = tree.realize_uniform(PodMode::kGlobal);
+  // m servers per column to cores, n to aggs, rest stay on edges.
+  std::size_t at_core = 0, at_agg = 0, at_edge = 0;
+  for (NodeId s : g.servers()) {
+    switch (g.node(g.attachment_switch(s)).role) {
+      case NodeRole::kCore: ++at_core; break;
+      case NodeRole::kAgg: ++at_agg; break;
+      case NodeRole::kEdge: ++at_edge; break;
+      default: FAIL();
+    }
+  }
+  EXPECT_EQ(at_core, static_cast<std::size_t>(c.total_edges()) * tree.params().m());
+  EXPECT_EQ(at_agg, static_cast<std::size_t>(c.total_edges()) * tree.params().n());
+  EXPECT_EQ(at_edge, static_cast<std::size_t>(c.total_edges()) *
+                         (c.servers_per_edge - tree.params().m() -
+                          tree.params().n()));
+}
+
+TEST(FlatTreeRealize, Property1ServersUniformAcrossCores) {
+  // §3.2 Property 1: in global mode, servers are distributed uniformly
+  // across the core switches (both wiring patterns).
+  for (const WiringPattern pattern :
+       {WiringPattern::kPattern1, WiringPattern::kPattern2}) {
+    FlatTreeParams p = topo1_params();
+    p.pattern = pattern;
+    const FlatTree tree{p};
+    const Graph g = tree.realize_uniform(PodMode::kGlobal);
+    const auto per_core = servers_per_switch(g, NodeRole::kCore);
+    const std::size_t expected = static_cast<std::size_t>(
+        tree.clos().total_edges()) * tree.params().m() / tree.clos().cores;
+    for (const std::size_t c : per_core) {
+      EXPECT_EQ(c, expected);
+    }
+  }
+}
+
+TEST(FlatTreeRealize, Property2EqualLinkTypesPerCore) {
+  // §3.2 Property 2: every core switch has an equal number of links of each
+  // type (to servers, to edges, to aggs) in global mode.
+  for (const WiringPattern pattern :
+       {WiringPattern::kPattern1, WiringPattern::kPattern2}) {
+    FlatTreeParams p = topo1_params();
+    p.pattern = pattern;
+    const FlatTree tree{p};
+    const Graph g = tree.realize_uniform(PodMode::kGlobal);
+    for (const NodeRole peer :
+         {NodeRole::kServer, NodeRole::kEdge, NodeRole::kAgg}) {
+      const auto counts = links_by_peer_role(g, NodeRole::kCore, peer);
+      for (const std::size_t c : counts) {
+        EXPECT_EQ(c, counts.front()) << to_string(peer);
+      }
+    }
+  }
+}
+
+TEST(FlatTreeRealize, GlobalModeHasCrossPodFlatLinks) {
+  const FlatTree tree{testbed_params()};
+  const Graph g = tree.realize_uniform(PodMode::kGlobal);
+  std::size_t edge_edge = 0, agg_agg = 0, edge_agg_cross = 0;
+  for (std::size_t i = 0; i < g.link_count(); ++i) {
+    const Link& l = g.link(LinkId{static_cast<std::uint32_t>(i)});
+    const Node& na = g.node(l.a);
+    const Node& nb = g.node(l.b);
+    if (!na.pod.valid() || !nb.pod.valid() || na.pod == nb.pod) continue;
+    if (na.role == NodeRole::kEdge && nb.role == NodeRole::kEdge) ++edge_edge;
+    if (na.role == NodeRole::kAgg && nb.role == NodeRole::kAgg) ++agg_agg;
+    if ((na.role == NodeRole::kEdge && nb.role == NodeRole::kAgg) ||
+        (na.role == NodeRole::kAgg && nb.role == NodeRole::kEdge)) {
+      ++edge_agg_cross;
+    }
+  }
+  // Testbed: m=1 (row 0, even) so all bundles are "side": peer-wise links.
+  EXPECT_GT(edge_edge, 0u);
+  EXPECT_GT(agg_agg, 0u);
+  EXPECT_EQ(edge_agg_cross, 0u);
+}
+
+TEST(FlatTreeRealize, CrossConfigProducesEdgeAggLinks) {
+  // topo-1 defaults have m=2: row 1 bundles are "cross".
+  const FlatTree tree{topo1_params()};
+  const Graph g = tree.realize_uniform(PodMode::kGlobal);
+  std::size_t edge_agg_cross = 0;
+  for (std::size_t i = 0; i < g.link_count(); ++i) {
+    const Link& l = g.link(LinkId{static_cast<std::uint32_t>(i)});
+    const Node& na = g.node(l.a);
+    const Node& nb = g.node(l.b);
+    if (!na.pod.valid() || !nb.pod.valid() || na.pod == nb.pod) continue;
+    if ((na.role == NodeRole::kEdge && nb.role == NodeRole::kAgg) ||
+        (na.role == NodeRole::kAgg && nb.role == NodeRole::kEdge)) {
+      ++edge_agg_cross;
+    }
+  }
+  EXPECT_GT(edge_agg_cross, 0u);
+}
+
+TEST(FlatTreeRealize, GlobalModeEdgeCoreLinksExist) {
+  // 4-port "local" config connects core and edge switches directly.
+  const FlatTree tree{testbed_params()};
+  const Graph g = tree.realize_uniform(PodMode::kGlobal);
+  std::size_t edge_core = 0;
+  for (std::size_t i = 0; i < g.link_count(); ++i) {
+    const Link& l = g.link(LinkId{static_cast<std::uint32_t>(i)});
+    const NodeRole ra = g.node(l.a).role;
+    const NodeRole rb = g.node(l.b).role;
+    if ((ra == NodeRole::kEdge && rb == NodeRole::kCore) ||
+        (ra == NodeRole::kCore && rb == NodeRole::kEdge)) {
+      ++edge_core;
+    }
+  }
+  // One per 4-port converter: pods * d * n = 4 * 2 * 1.
+  EXPECT_EQ(edge_core, 8u);
+}
+
+TEST(FlatTreeRealize, IllegalConfigThrows) {
+  const FlatTree tree{testbed_params()};
+  auto configs = tree.configs_for(
+      ModeAssignment::uniform(tree.clos().pods, PodMode::kClos));
+  // Force a 4-port converter to "side".
+  for (std::size_t i = 0; i < tree.converters().size(); ++i) {
+    if (tree.converters()[i].type == ConverterType::kFourPort) {
+      configs[i] = ConverterConfig::kSide;
+      break;
+    }
+  }
+  EXPECT_THROW((void)tree.realize(configs), std::invalid_argument);
+}
+
+TEST(FlatTreeRealize, MismatchedBundleThrows) {
+  const FlatTree tree{testbed_params()};
+  auto configs = tree.configs_for(
+      ModeAssignment::uniform(tree.clos().pods, PodMode::kGlobal));
+  // Break one side bundle: flip a single six-port side to local.
+  for (std::size_t i = 0; i < tree.converters().size(); ++i) {
+    if (configs[i] == ConverterConfig::kSide) {
+      configs[i] = ConverterConfig::kLocal;
+      break;
+    }
+  }
+  EXPECT_THROW((void)tree.realize(configs), std::logic_error);
+}
+
+TEST(FlatTreeRealize, ConfigSizeMismatchThrows) {
+  const FlatTree tree{testbed_params()};
+  EXPECT_THROW((void)tree.realize(std::vector<ConverterConfig>{}),
+               std::invalid_argument);
+}
+
+TEST(FlatTreeRealize, GlobalShortensPaths) {
+  // The whole point: the flattened network has shorter average paths than
+  // the Clos mode on the same hardware.
+  const FlatTree tree{topo1_params()};
+  const auto clos_stats =
+      compute_path_length_stats(tree.realize_uniform(PodMode::kClos));
+  const auto global_stats =
+      compute_path_length_stats(tree.realize_uniform(PodMode::kGlobal));
+  EXPECT_LT(global_stats.avg_server_pair_hops,
+            clos_stats.avg_server_pair_hops);
+}
+
+TEST(FlatTreeRealize, LocalBetweenClosAndGlobal) {
+  const FlatTree tree{topo1_params()};
+  const auto clos_stats =
+      compute_path_length_stats(tree.realize_uniform(PodMode::kClos));
+  const auto local_stats =
+      compute_path_length_stats(tree.realize_uniform(PodMode::kLocal));
+  EXPECT_LE(local_stats.avg_server_pair_hops,
+            clos_stats.avg_server_pair_hops + 1e-9);
+}
+
+}  // namespace
+}  // namespace flattree

@@ -1,0 +1,154 @@
+#include "net/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace flattree {
+namespace {
+
+// Small fixture: a 2-switch dumbbell with two servers per switch.
+class DumbbellGraph : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s0_ = g_.add_node(NodeRole::kServer, PodId{0});
+    s1_ = g_.add_node(NodeRole::kServer, PodId{0});
+    s2_ = g_.add_node(NodeRole::kServer, PodId{1});
+    s3_ = g_.add_node(NodeRole::kServer, PodId{1});
+    e0_ = g_.add_node(NodeRole::kEdge, PodId{0});
+    e1_ = g_.add_node(NodeRole::kEdge, PodId{1});
+    g_.add_link(s0_, e0_, 10e9);
+    g_.add_link(s1_, e0_, 10e9);
+    g_.add_link(s2_, e1_, 10e9);
+    g_.add_link(s3_, e1_, 10e9);
+    mid_ = g_.add_link(e0_, e1_, 10e9);
+  }
+  Graph g_;
+  NodeId s0_, s1_, s2_, s3_, e0_, e1_;
+  LinkId mid_;
+};
+
+TEST_F(DumbbellGraph, Counts) {
+  EXPECT_EQ(g_.node_count(), 6u);
+  EXPECT_EQ(g_.link_count(), 5u);
+  EXPECT_EQ(g_.count_role(NodeRole::kServer), 4u);
+  EXPECT_EQ(g_.count_role(NodeRole::kEdge), 2u);
+  EXPECT_EQ(g_.count_role(NodeRole::kCore), 0u);
+}
+
+TEST_F(DumbbellGraph, IndexInRole) {
+  EXPECT_EQ(g_.node(s0_).index_in_role, 0u);
+  EXPECT_EQ(g_.node(s3_).index_in_role, 3u);
+  EXPECT_EQ(g_.node(e0_).index_in_role, 0u);
+  EXPECT_EQ(g_.node(e1_).index_in_role, 1u);
+}
+
+TEST_F(DumbbellGraph, Adjacency) {
+  EXPECT_EQ(g_.degree(e0_), 3u);
+  EXPECT_EQ(g_.degree(s0_), 1u);
+  EXPECT_EQ(g_.peer(mid_, e0_), e1_);
+  EXPECT_EQ(g_.peer(mid_, e1_), e0_);
+  EXPECT_THROW((void)g_.peer(mid_, s0_), std::logic_error);
+}
+
+TEST_F(DumbbellGraph, AttachmentSwitch) {
+  EXPECT_EQ(g_.attachment_switch(s0_), e0_);
+  EXPECT_EQ(g_.attachment_switch(s2_), e1_);
+  EXPECT_THROW((void)g_.attachment_switch(e0_), std::logic_error);
+}
+
+TEST_F(DumbbellGraph, AttachedServers) {
+  const auto servers = g_.attached_servers(e0_);
+  EXPECT_EQ(servers.size(), 2u);
+  EXPECT_EQ(g_.attached_servers(s0_).size(), 0u);
+}
+
+TEST_F(DumbbellGraph, BfsDistances) {
+  const auto dist = g_.bfs_distances(s0_);
+  EXPECT_EQ(dist[s0_.index()], 0u);
+  EXPECT_EQ(dist[e0_.index()], 1u);
+  EXPECT_EQ(dist[s1_.index()], 2u);
+  EXPECT_EQ(dist[e1_.index()], 2u);
+  EXPECT_EQ(dist[s3_.index()], 3u);
+}
+
+TEST_F(DumbbellGraph, BfsNeverTransitsServers) {
+  // Remove the middle link's alternative: the only e0-e1 path is direct, so
+  // distances via servers must not appear. Build a graph where transiting a
+  // server would be shorter and verify it is not taken.
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kEdge);
+  const NodeId b = g.add_node(NodeRole::kEdge);
+  const NodeId s = g.add_node(NodeRole::kServer);
+  g.add_link(a, s, 1e9);
+  g.add_link(b, s, 1e9);  // a "dual-homed" server: still not a transit node
+  const auto dist = g.bfs_distances(a);
+  EXPECT_EQ(dist[s.index()], 1u);
+  EXPECT_EQ(dist[b.index()], Graph::kUnreachable);
+}
+
+TEST_F(DumbbellGraph, Connected) {
+  EXPECT_TRUE(g_.connected());
+  Graph g2;
+  g2.add_node(NodeRole::kEdge);
+  g2.add_node(NodeRole::kEdge);
+  EXPECT_FALSE(g2.connected());
+}
+
+TEST_F(DumbbellGraph, EmptyGraphIsConnected) {
+  Graph g;
+  EXPECT_TRUE(g.connected());
+}
+
+TEST_F(DumbbellGraph, Labels) {
+  EXPECT_EQ(g_.label(e0_), "edge0(pod0)");
+  EXPECT_EQ(g_.label(s2_), "server2(pod1)");
+}
+
+TEST(GraphErrors, SelfLoopRejected) {
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kEdge);
+  EXPECT_THROW(g.add_link(a, a, 1e9), std::invalid_argument);
+}
+
+TEST(GraphErrors, BadCapacityRejected) {
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kEdge);
+  const NodeId b = g.add_node(NodeRole::kEdge);
+  EXPECT_THROW(g.add_link(a, b, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_link(a, b, -5), std::invalid_argument);
+}
+
+TEST(GraphErrors, OutOfRangeIds) {
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kEdge);
+  EXPECT_THROW(g.add_link(a, NodeId{5}, 1e9), std::invalid_argument);
+  EXPECT_THROW((void)g.node(NodeId{9}), std::out_of_range);
+  EXPECT_THROW((void)g.link(LinkId{0}), std::out_of_range);
+  EXPECT_THROW((void)g.neighbors(NodeId{9}), std::out_of_range);
+}
+
+TEST(GraphParallel, ParallelLinksAllowed) {
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kEdge);
+  const NodeId b = g.add_node(NodeRole::kAgg);
+  g.add_link(a, b, 1e9);
+  g.add_link(a, b, 1e9);
+  EXPECT_EQ(g.link_count(), 2u);
+  EXPECT_EQ(g.degree(a), 2u);
+}
+
+TEST(GraphRole, SwitchPredicate) {
+  EXPECT_FALSE(is_switch(NodeRole::kServer));
+  EXPECT_TRUE(is_switch(NodeRole::kEdge));
+  EXPECT_TRUE(is_switch(NodeRole::kAgg));
+  EXPECT_TRUE(is_switch(NodeRole::kCore));
+}
+
+TEST(GraphRole, RoleNames) {
+  EXPECT_STREQ(to_string(NodeRole::kServer), "server");
+  EXPECT_STREQ(to_string(NodeRole::kEdge), "edge");
+  EXPECT_STREQ(to_string(NodeRole::kAgg), "agg");
+  EXPECT_STREQ(to_string(NodeRole::kCore), "core");
+}
+
+}  // namespace
+}  // namespace flattree

@@ -1,0 +1,52 @@
+#include "net/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace flattree {
+namespace {
+
+TEST(Ids, DefaultConstructedIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NodeId::invalid());
+}
+
+TEST(Ids, ExplicitValueIsValid) {
+  NodeId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+  EXPECT_EQ(id.index(), 42u);
+}
+
+TEST(Ids, ZeroIsValid) {
+  EXPECT_TRUE(NodeId{0}.valid());
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(NodeId{1}, NodeId{2});
+  EXPECT_GT(NodeId{3}, NodeId{2});
+  EXPECT_LE(NodeId{2}, NodeId{2});
+  EXPECT_GE(NodeId{2}, NodeId{2});
+  EXPECT_NE(NodeId{1}, NodeId{2});
+  EXPECT_EQ(NodeId{7}, NodeId{7});
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, LinkId>);
+  static_assert(!std::is_same_v<PodId, FlowId>);
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId{1});
+  set.insert(NodeId{2});
+  set.insert(NodeId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(NodeId{2}));
+  EXPECT_FALSE(set.contains(NodeId{3}));
+}
+
+}  // namespace
+}  // namespace flattree

@@ -1,0 +1,248 @@
+// Cross-module integration tests: the paper's headline behaviours at test
+// scale. These are the "does the system actually deliver the claims"
+// checks — core bandwidth gain from conversion, per-workload mode ranking,
+// and the full controller -> simulator pipeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "control/controller.h"
+#include "core/flat_tree.h"
+#include "net/stats.h"
+#include "routing/ecmp.h"
+#include "routing/ksp.h"
+#include "sim/fluid.h"
+#include "sim/packet.h"
+#include "topo/clos.h"
+#include "traffic/patterns.h"
+#include "traffic/traces.h"
+
+namespace flattree {
+namespace {
+
+FlatTree testbed_tree() {
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  return FlatTree{p};
+}
+
+PathProvider ksp_provider(const Graph& g, std::uint32_t k) {
+  auto cache = std::make_shared<PathCache>(g, k);
+  return [cache](NodeId src, NodeId dst, std::uint32_t) {
+    return cache->server_paths(src, dst);
+  };
+}
+
+PathProvider ecmp_provider(const Graph& g) {
+  auto router = std::make_shared<EcmpRouter>(g);
+  return [router](NodeId src, NodeId dst, std::uint32_t flow) {
+    return std::vector<Path>{router->flow_path(src, dst, flow)};
+  };
+}
+
+double total_rate(const Graph& g, const Workload& flows, std::uint32_t k) {
+  FluidSimulator sim{g, ksp_provider(g, k)};
+  const auto rates = sim.measure_rates(flows);
+  return std::accumulate(rates.begin(), rates.end(), 0.0);
+}
+
+// ---- §5.3 headline: global mode raises core bandwidth over Clos ----------
+
+TEST(Integration, GlobalModeRaisesCoreBandwidth) {
+  const FlatTree tree = testbed_tree();
+  const Graph clos = tree.realize_uniform(PodMode::kClos);
+  const Graph global = tree.realize_uniform(PodMode::kGlobal);
+  // iPerf pattern of §5.3: every server sends to its counterparts in the
+  // other pods (6 servers per pod -> pod-stride x3).
+  Workload flows;
+  for (std::uint32_t s = 0; s < 24; ++s) {
+    for (std::uint32_t stride = 1; stride < 4; ++stride) {
+      flows.push_back(Flow{s, (s + 6 * stride) % 24});
+    }
+  }
+  const double clos_bw = total_rate(clos, flows, 4);
+  const double global_bw = total_rate(global, flows, 4);
+  // The paper measures +27.6%; at fluid granularity we demand a clear gain.
+  EXPECT_GT(global_bw, clos_bw * 1.1);
+  // And the Clos mode cannot exceed its oversubscribed core: 160 Gb/s.
+  EXPECT_LE(clos_bw, 160e9 + 1e6);
+}
+
+TEST(Integration, LocalModeMatchesClosForCoreTraffic) {
+  // §5.3: "the local mode rearranges servers within Pods only, so there is
+  // no change to the core bandwidth" — within a modest tolerance.
+  const FlatTree tree = testbed_tree();
+  const Graph clos = tree.realize_uniform(PodMode::kClos);
+  const Graph local = tree.realize_uniform(PodMode::kLocal);
+  Workload flows;
+  for (std::uint32_t s = 0; s < 24; ++s) {
+    flows.push_back(Flow{s, (s + 6) % 24});
+  }
+  const double clos_bw = total_rate(clos, flows, 4);
+  const double local_bw = total_rate(local, flows, 4);
+  EXPECT_NEAR(local_bw / clos_bw, 1.0, 0.25);
+}
+
+// ---- §5.2 behaviour: mode ranking follows traffic locality ----------------
+
+TEST(Integration, RackLocalTrafficFavorsClos) {
+  // All-to-all within each rack (3 servers per edge switch in the testbed).
+  const FlatTree tree = testbed_tree();
+  const Workload flows = clustered_all_to_all(24, 3);
+  const double clos_bw =
+      total_rate(tree.realize_uniform(PodMode::kClos), flows, 4);
+  const double global_bw =
+      total_rate(tree.realize_uniform(PodMode::kGlobal), flows, 4);
+  EXPECT_GE(clos_bw, global_bw);
+}
+
+TEST(Integration, NetworkWideTrafficFavorsGlobal) {
+  const FlatTree tree = testbed_tree();
+  Rng rng{21};
+  const Workload flows = permutation_traffic(24, rng);
+  const double clos_bw =
+      total_rate(tree.realize_uniform(PodMode::kClos), flows, 4);
+  const double global_bw =
+      total_rate(tree.realize_uniform(PodMode::kGlobal), flows, 4);
+  // A single permutation leaves every NIC under-committed, so the Clos core
+  // never saturates and convertibility buys nothing — the paper's gain
+  // appears when the core is the bottleneck (covered by
+  // GlobalModeRaisesCoreBandwidth). Here we only require global mode to
+  // stay within a small margin at light load (§5.4: "their network
+  // structures are not hugely different at this small scale").
+  EXPECT_GE(global_bw, clos_bw * 0.85);
+  // Under a saturating cross-pod load (3 permutations stacked), the ranking
+  // must flip to global.
+  Workload heavy;
+  Rng rng2{22};
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const Flow& f : permutation_traffic(24, rng2)) {
+      if (f.src / 6 != f.dst / 6) heavy.push_back(f);
+    }
+  }
+  const double clos_heavy =
+      total_rate(tree.realize_uniform(PodMode::kClos), heavy, 4);
+  const double global_heavy =
+      total_rate(tree.realize_uniform(PodMode::kGlobal), heavy, 4);
+  EXPECT_GT(global_heavy, clos_heavy);
+}
+
+// ---- ECMP vs k-shortest-path + MPTCP ---------------------------------------
+
+TEST(Integration, EcmpSinglePathUnderperformsMptcp) {
+  const FlatTree tree = testbed_tree();
+  const Graph clos = tree.realize_uniform(PodMode::kClos);
+  Workload flows;
+  for (std::uint32_t s = 0; s < 24; ++s) {
+    flows.push_back(Flow{s, (s + 6) % 24});
+  }
+  FluidSimulator ecmp_sim{clos, ecmp_provider(clos)};
+  FluidSimulator mptcp_sim{clos, ksp_provider(clos, 4)};
+  const auto ecmp_rates = ecmp_sim.measure_rates(flows);
+  const auto mptcp_rates = mptcp_sim.measure_rates(flows);
+  const double ecmp_total =
+      std::accumulate(ecmp_rates.begin(), ecmp_rates.end(), 0.0);
+  const double mptcp_total =
+      std::accumulate(mptcp_rates.begin(), mptcp_rates.end(), 0.0);
+  EXPECT_GE(mptcp_total, ecmp_total);
+}
+
+// ---- trace-driven FCT ranking (Figure 8 shape at test scale) --------------
+
+TEST(Integration, CacheTrafficFavorsLocalMode) {
+  // Pod-local traffic: local mode should not lose to Clos mode on mean FCT.
+  const FlatTree tree = testbed_tree();
+  TraceParams params = TraceParams::cache();
+  params.duration_s = 0.4;
+  params.flows_per_s = 500;
+  params.mean_flow_bytes = 2e6;
+  const Workload flows = generate_trace(tree.clos(), params);
+
+  const auto mean_fct = [&](const Graph& g) {
+    FluidSimulator sim{g, ksp_provider(g, 4)};
+    const auto results = sim.run(flows);
+    double total = 0;
+    std::size_t done = 0;
+    for (const auto& r : results) {
+      if (r.completed) {
+        total += r.fct_s();
+        ++done;
+      }
+    }
+    EXPECT_GT(done, flows.size() * 9 / 10);
+    return total / static_cast<double>(done);
+  };
+  const double local_fct = mean_fct(tree.realize_uniform(PodMode::kLocal));
+  const double clos_fct = mean_fct(tree.realize_uniform(PodMode::kClos));
+  EXPECT_LE(local_fct, clos_fct * 1.2);
+}
+
+// ---- controller + packet sim end to end ------------------------------------
+
+TEST(Integration, RuntimeConversionPipeline) {
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.clos.link_bps = 50e6;  // scaled for test speed
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  ControllerOptions options;
+  options.k_global = 4;
+  options.k_clos = 4;
+  options.k_local = 4;
+  const Controller ctl{FlatTree{p}, options};
+
+  const CompiledMode clos = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode global = ctl.compile_uniform(PodMode::kGlobal);
+  const ConversionReport report = ctl.plan_conversion(clos, global);
+  ASSERT_GT(report.total_s(), 0.0);
+
+  PacketSim sim;
+  sim.set_network(clos.graph());
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (std::uint32_t s = 0; s < 6; ++s) {
+    pairs.emplace_back(s, s + 6);
+    sim.add_flow(s, s + 6, 0, 0.0,
+                 clos.paths().server_paths(NodeId{s}, NodeId{s + 6}));
+  }
+  sim.run_until(1.0);
+  const std::uint64_t before = sim.total_bytes_acked();
+  EXPECT_GT(before, 0u);
+
+  sim.apply_conversion(
+      global.graph(),
+      [&](std::uint32_t flow) {
+        return global.paths().server_paths(NodeId{pairs[flow].first},
+                                           NodeId{pairs[flow].second});
+      },
+      report.total_s());
+  sim.run_until(4.0);
+  EXPECT_GT(sim.total_bytes_acked(), before);
+  // Traffic is flowing again after the conversion window.
+  const std::uint64_t at_4s = sim.total_bytes_acked();
+  sim.run_until(5.0);
+  EXPECT_GT(sim.total_bytes_acked(), at_4s);
+}
+
+// ---- hybrid zones -----------------------------------------------------------
+
+TEST(Integration, HybridZonesServeBothWorkloads) {
+  const FlatTree tree = testbed_tree();
+  ModeAssignment hybrid = ModeAssignment::uniform(4, PodMode::kGlobal);
+  hybrid.pod_modes[0] = PodMode::kClos;  // rack-local zone
+  const Graph g = tree.realize(hybrid);
+  EXPECT_TRUE(g.connected());
+  // Rack-local flows in pod 0 and cross-pod flows among pods 1..3.
+  Workload flows = clustered_all_to_all(6, 3);  // servers 0..5 = pod 0
+  for (std::uint32_t s = 6; s < 12; ++s) {
+    flows.push_back(Flow{s, s + 6});
+  }
+  FluidSimulator sim{g, ksp_provider(g, 4)};
+  const auto rates = sim.measure_rates(flows);
+  for (double r : rates) EXPECT_GT(r, 0.0);
+}
+
+}  // namespace
+}  // namespace flattree

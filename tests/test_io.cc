@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/flat_tree.h"
+#include "net/dot.h"
+#include "topo/clos.h"
+#include "traffic/apps.h"
+#include "traffic/io.h"
+#include "traffic/traces.h"
+
+namespace flattree {
+namespace {
+
+// ---------- workload CSV -----------------------------------------------------
+
+TEST(WorkloadCsv, RoundTripSimpleFlows) {
+  Workload flows;
+  flows.push_back(Flow{1, 2, 1000.0, 0.5});
+  flows.push_back(Flow{3, 4, 2e6, 1.25});
+  const Workload parsed = workload_from_csv(workload_to_csv(flows));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].src, 1u);
+  EXPECT_EQ(parsed[0].dst, 2u);
+  EXPECT_DOUBLE_EQ(parsed[0].bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(parsed[1].start_s, 1.25);
+}
+
+TEST(WorkloadCsv, RoundTripDependencies) {
+  BroadcastParams p;
+  p.num_workers = 6;
+  p.iterations = 2;
+  const Workload flows = spark_broadcast(p);
+  const Workload parsed = workload_from_csv(workload_to_csv(flows));
+  ASSERT_EQ(parsed.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(parsed[i].src, flows[i].src);
+    EXPECT_EQ(parsed[i].dst, flows[i].dst);
+    EXPECT_EQ(parsed[i].depends_on, flows[i].depends_on);
+    EXPECT_DOUBLE_EQ(parsed[i].dep_delay_s, flows[i].dep_delay_s);
+  }
+}
+
+TEST(WorkloadCsv, RoundTripGeneratedTrace) {
+  TraceParams params = TraceParams::web();
+  params.duration_s = 0.05;
+  const Workload flows = generate_trace(ClosParams::topo2(), params);
+  const Workload parsed = workload_from_csv(workload_to_csv(flows));
+  ASSERT_EQ(parsed.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); i += 7) {
+    EXPECT_DOUBLE_EQ(parsed[i].bytes, flows[i].bytes);
+  }
+}
+
+TEST(WorkloadCsv, SkipsCommentsAndBlankLines) {
+  const Workload parsed = workload_from_csv(
+      "# header\n"
+      "\n"
+      "0,1,100,0\n"
+      "# trailing comment\n"
+      "1,0,200,0.5\n");
+  EXPECT_EQ(parsed.size(), 2u);
+}
+
+TEST(WorkloadCsv, MinimalFourFieldForm) {
+  const Workload parsed = workload_from_csv("7,9,5e6,2.0\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed[0].bytes, 5e6);
+  EXPECT_TRUE(parsed[0].depends_on.empty());
+}
+
+TEST(WorkloadCsv, WindowsLineEndings) {
+  const Workload parsed = workload_from_csv("0,1,100,0\r\n1,0,100,0\r\n");
+  EXPECT_EQ(parsed.size(), 2u);
+}
+
+TEST(WorkloadCsv, RejectsBadFieldCounts) {
+  EXPECT_THROW((void)workload_from_csv("1,2,3\n"), std::invalid_argument);
+  EXPECT_THROW((void)workload_from_csv("1,2,3,4,5,6,7\n"),
+               std::invalid_argument);
+}
+
+TEST(WorkloadCsv, RejectsGarbage) {
+  EXPECT_THROW((void)workload_from_csv("a,2,3,4\n"), std::invalid_argument);
+  EXPECT_THROW((void)workload_from_csv("1,2,xyz,4\n"), std::invalid_argument);
+}
+
+TEST(WorkloadCsv, RejectsForwardDependencies) {
+  EXPECT_THROW((void)workload_from_csv("0,1,100,0,0,1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)workload_from_csv("0,1,100,0,0,7\n0,2,100,0\n"),
+               std::invalid_argument);
+}
+
+TEST(WorkloadCsv, ErrorMessagesNameTheLine) {
+  try {
+    (void)workload_from_csv("0,1,100,0\nbroken\n");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+// ---------- DOT export -------------------------------------------------------
+
+TEST(DotExport, ContainsAllNodesAndLinks) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("graph flattree {"), std::string::npos);
+  // 20 switches labeled by role.
+  EXPECT_NE(dot.find("core0"), std::string::npos);
+  EXPECT_NE(dot.find("edge7"), std::string::npos);
+  EXPECT_NE(dot.find("agg7"), std::string::npos);
+  // Count edges: one " -- " per link.
+  std::size_t count = 0;
+  for (std::size_t pos = dot.find(" -- "); pos != std::string::npos;
+       pos = dot.find(" -- ", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, g.link_count());
+}
+
+TEST(DotExport, PodClusters) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("subgraph cluster_pod0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_pod3"), std::string::npos);
+}
+
+TEST(DotExport, ServerlessView) {
+  const Graph g = build_clos(ClosParams::testbed());
+  DotOptions options;
+  options.include_servers = false;
+  const std::string dot = to_dot(g, options);
+  std::size_t count = 0;
+  for (std::size_t pos = dot.find(" -- "); pos != std::string::npos;
+       pos = dot.find(" -- ", pos + 1)) {
+    ++count;
+  }
+  // Only the 32 switch-switch links remain (16 edge-agg + 16 agg-core).
+  EXPECT_EQ(count, 32u);
+}
+
+TEST(DotExport, FlatTreeModesDiffer) {
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  const FlatTree tree{p};
+  DotOptions options;
+  options.include_servers = false;
+  EXPECT_NE(to_dot(tree.realize_uniform(PodMode::kClos), options),
+            to_dot(tree.realize_uniform(PodMode::kGlobal), options));
+}
+
+}  // namespace
+}  // namespace flattree

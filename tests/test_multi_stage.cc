@@ -1,0 +1,257 @@
+#include "core/multi_stage.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/dot.h"
+#include "net/stats.h"
+#include "routing/ksp.h"
+#include "sim/fluid.h"
+#include "traffic/patterns.h"
+
+namespace flattree {
+namespace {
+
+// Lower: 4 Pods x (4 edge + 4 agg), 8 servers/edge, 16 "cores".
+// Upper: 4 switch-only Pods x (4 edge + 4 agg), 16 top cores.
+MultiStageParams small_params() {
+  MultiStageParams p;
+  p.lower.clos = ClosParams{/*pods=*/4, /*edge_per_pod=*/4, /*agg_per_pod=*/4,
+                            /*edge_uplinks=*/4, /*servers_per_edge=*/8,
+                            /*agg_uplinks=*/4, /*cores=*/16, /*core_ports=*/4};
+  p.lower.six_port_per_column = 1;
+  p.lower.four_port_per_column = 1;
+  p.upper_pods = 4;
+  p.upper_edge_per_pod = 4;
+  p.upper_agg_per_pod = 4;
+  p.upper_edge_uplinks = 4;
+  p.upper_agg_uplinks = 4;
+  p.top_cores = 16;
+  p.top_core_ports = 4;
+  p.upper_m = 1;
+  p.upper_n = 1;
+  return p;
+}
+
+TEST(MultiStageParams, Validates) {
+  EXPECT_NO_THROW(small_params().validate());
+}
+
+TEST(MultiStageParams, RejectsCoreMismatch) {
+  MultiStageParams p = small_params();
+  p.upper_pods = 2;  // 2 * 4 != 16 lower cores
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(MultiStageParams, RejectsOverfullUpperBlades) {
+  MultiStageParams p = small_params();
+  p.upper_m = 3;
+  p.upper_n = 3;  // 6 > min(h_u/r_u = 4, connectors = 4)
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(MultiStageParams, UpperAsFlatTree) {
+  const FlatTreeParams upper = small_params().upper_as_flat_tree();
+  EXPECT_EQ(upper.clos.servers_per_edge, 4u);  // = lower core_ports
+  EXPECT_EQ(upper.clos.total_servers(), 64u);  // = 16 cores x 4 connectors
+  EXPECT_NO_THROW(upper.validate());
+}
+
+class MultiStageRealizeTest
+    : public ::testing::TestWithParam<std::pair<PodMode, PodMode>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    ModeCombos, MultiStageRealizeTest,
+    ::testing::Values(std::pair{PodMode::kClos, PodMode::kClos},
+                      std::pair{PodMode::kGlobal, PodMode::kClos},
+                      std::pair{PodMode::kClos, PodMode::kGlobal},
+                      std::pair{PodMode::kGlobal, PodMode::kGlobal},
+                      std::pair{PodMode::kLocal, PodMode::kLocal},
+                      std::pair{PodMode::kGlobal, PodMode::kLocal}),
+    [](const auto& info) {
+      return std::string(to_string(info.param.first)) + "_" +
+             to_string(info.param.second);
+    });
+
+TEST_P(MultiStageRealizeTest, NodeCounts) {
+  const auto& [lower_mode, upper_mode] = GetParam();
+  const MultiStageFlatTree tree{small_params()};
+  const Graph g = tree.realize_uniform(lower_mode, upper_mode);
+  EXPECT_EQ(g.count_role(NodeRole::kServer), 128u);
+  EXPECT_EQ(g.count_role(NodeRole::kEdge), 16u);
+  EXPECT_EQ(g.count_role(NodeRole::kAgg), 16u);
+  EXPECT_EQ(g.count_role(NodeRole::kCore), 16u);   // upper edges
+  EXPECT_EQ(g.count_role(NodeRole::kAgg2), 16u);
+  EXPECT_EQ(g.count_role(NodeRole::kCore2), 16u);
+}
+
+TEST_P(MultiStageRealizeTest, Connected) {
+  const auto& [lower_mode, upper_mode] = GetParam();
+  const MultiStageFlatTree tree{small_params()};
+  EXPECT_TRUE(tree.realize_uniform(lower_mode, upper_mode).connected());
+}
+
+TEST_P(MultiStageRealizeTest, PortConservation) {
+  const auto& [lower_mode, upper_mode] = GetParam();
+  const MultiStageParams p = small_params();
+  const MultiStageFlatTree tree{p};
+  const Graph g = tree.realize_uniform(lower_mode, upper_mode);
+  for (NodeId n : g.nodes_with_role(NodeRole::kServer)) {
+    EXPECT_EQ(g.degree(n), 1u);
+  }
+  for (NodeId n : g.nodes_with_role(NodeRole::kEdge)) {
+    EXPECT_EQ(g.degree(n),
+              p.lower.clos.edge_uplinks + p.lower.clos.servers_per_edge);
+  }
+  // Upper edge switches ("cores"): lower connectors + uplinks to kAgg2.
+  for (NodeId n : g.nodes_with_role(NodeRole::kCore)) {
+    EXPECT_EQ(g.degree(n),
+              p.lower.clos.core_ports + p.upper_edge_uplinks);
+  }
+  for (NodeId n : g.nodes_with_role(NodeRole::kCore2)) {
+    EXPECT_EQ(g.degree(n), p.top_core_ports);
+  }
+}
+
+TEST_P(MultiStageRealizeTest, NodeIdsStableAcrossModes) {
+  const auto& [lower_mode, upper_mode] = GetParam();
+  const MultiStageFlatTree tree{small_params()};
+  const Graph a = tree.realize_uniform(lower_mode, upper_mode);
+  const Graph b = tree.realize_uniform(PodMode::kClos, PodMode::kClos);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (std::uint32_t i = 0; i < a.node_count(); ++i) {
+    EXPECT_EQ(a.node(NodeId{i}).role, b.node(NodeId{i}).role);
+  }
+}
+
+TEST(MultiStage, FullClosHasNoServersAboveEdge) {
+  const MultiStageFlatTree tree{small_params()};
+  const Graph g = tree.realize_uniform(PodMode::kClos, PodMode::kClos);
+  for (const NodeRole role :
+       {NodeRole::kAgg, NodeRole::kCore, NodeRole::kAgg2, NodeRole::kCore2}) {
+    for (NodeId sw : g.nodes_with_role(role)) {
+      EXPECT_TRUE(g.attached_servers(sw).empty()) << g.label(sw);
+    }
+  }
+}
+
+TEST(MultiStage, FullGlobalSpreadsServersToAllLayers) {
+  // Lower global relocates servers to aggs and "cores" (upper edges); upper
+  // global forwards some of those to agg2 and the top cores — the deepest
+  // flattening the paper sketches.
+  const MultiStageFlatTree tree{small_params()};
+  const Graph g = tree.realize_uniform(PodMode::kGlobal, PodMode::kGlobal);
+  std::size_t by_role[6] = {0, 0, 0, 0, 0, 0};
+  for (NodeId s : g.servers()) {
+    by_role[static_cast<std::size_t>(g.node(g.attachment_switch(s)).role)]++;
+  }
+  const MultiStageParams p = small_params();
+  // Lower global mode keeps spe - m - n servers per edge...
+  EXPECT_EQ(by_role[static_cast<std::size_t>(NodeRole::kEdge)],
+            p.lower.clos.total_edges() *
+                (p.lower.clos.servers_per_edge - p.lower.m() - p.lower.n()));
+  // ...relocates n per column to lower aggs...
+  EXPECT_EQ(by_role[static_cast<std::size_t>(NodeRole::kAgg)],
+            p.lower.clos.total_edges() * p.lower.n());
+  // ...and sends m per column upward, where the upper stage re-distributes
+  // them across its own layers (upper edges / kAgg2 / top cores).
+  const std::size_t upward = p.lower.clos.total_edges() * p.lower.m();
+  EXPECT_EQ(by_role[static_cast<std::size_t>(NodeRole::kCore)] +
+                by_role[static_cast<std::size_t>(NodeRole::kAgg2)] +
+                by_role[static_cast<std::size_t>(NodeRole::kCore2)],
+            upward);
+  // The deepest flattening reaches the top: some servers land on kAgg2 and
+  // some on the top-level cores.
+  EXPECT_GT(by_role[static_cast<std::size_t>(NodeRole::kAgg2)], 0u);
+  EXPECT_GT(by_role[static_cast<std::size_t>(NodeRole::kCore2)], 0u);
+}
+
+TEST(MultiStage, DeeperFlatteningShortensPaths) {
+  const MultiStageFlatTree tree{small_params()};
+  const auto clos_stats = compute_path_length_stats(
+      tree.realize_uniform(PodMode::kClos, PodMode::kClos));
+  const auto lower_only_stats = compute_path_length_stats(
+      tree.realize_uniform(PodMode::kGlobal, PodMode::kClos));
+  const auto full_stats = compute_path_length_stats(
+      tree.realize_uniform(PodMode::kGlobal, PodMode::kGlobal));
+  EXPECT_LT(lower_only_stats.avg_server_pair_hops,
+            clos_stats.avg_server_pair_hops);
+  EXPECT_LT(full_stats.avg_server_pair_hops,
+            clos_stats.avg_server_pair_hops);
+}
+
+TEST(MultiStage, CrossStagePodTrafficFlows) {
+  // End-to-end sanity: route and allocate a permutation across the full
+  // two-stage network in its deepest mode.
+  const MultiStageFlatTree tree{small_params()};
+  const Graph g = tree.realize_uniform(PodMode::kGlobal, PodMode::kGlobal);
+  auto cache = std::make_shared<PathCache>(g, 4);
+  FluidSimulator sim{g, [cache](NodeId s, NodeId d, std::uint32_t) {
+                       return cache->server_paths(s, d);
+                     }};
+  Rng rng{12};
+  const Workload flows = permutation_traffic(tree.total_servers(), rng);
+  const auto rates = sim.measure_rates(flows);
+  for (double r : rates) EXPECT_GT(r, 0.0);
+}
+
+TEST(MultiStage, LinkBudgetConservedAcrossModes) {
+  const MultiStageFlatTree tree{small_params()};
+  const std::size_t clos_links =
+      tree.realize_uniform(PodMode::kClos, PodMode::kClos).link_count();
+  for (const PodMode lower : {PodMode::kLocal, PodMode::kGlobal}) {
+    for (const PodMode upper : {PodMode::kLocal, PodMode::kGlobal}) {
+      EXPECT_EQ(tree.realize_uniform(lower, upper).link_count(), clos_links);
+    }
+  }
+}
+
+TEST(MultiStage, StatsCoverUpperRoles) {
+  // The graph-statistics helpers must see the upper layers through their
+  // dedicated roles.
+  const MultiStageFlatTree tree{small_params()};
+  const Graph g = tree.realize_uniform(PodMode::kGlobal, PodMode::kGlobal);
+  const auto per_core2 = servers_per_switch(g, NodeRole::kCore2);
+  ASSERT_EQ(per_core2.size(), 16u);
+  std::size_t total = 0;
+  for (std::size_t c : per_core2) total += c;
+  EXPECT_GT(total, 0u);
+  // In the all-Clos baseline, by contrast, top cores link exclusively to
+  // upper aggregation switches (the strict hierarchy).
+  const Graph clos_g = tree.realize_uniform(PodMode::kClos, PodMode::kClos);
+  const auto agg2_links = links_by_peer_role(clos_g, NodeRole::kCore2,
+                                             NodeRole::kAgg2);
+  const MultiStageParams p = small_params();
+  for (std::size_t c : agg2_links) {
+    EXPECT_EQ(c, p.top_core_ports);
+  }
+}
+
+TEST(MultiStage, DotExportShowsAllLayers) {
+  const MultiStageFlatTree tree{small_params()};
+  const Graph g = tree.realize_uniform(PodMode::kClos, PodMode::kClos);
+  DotOptions options;
+  options.include_servers = false;
+  const std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("agg2"), std::string::npos);
+  EXPECT_NE(dot.find("core2"), std::string::npos);
+}
+
+TEST(MultiStage, UniformUpperServerLoad) {
+  // Every upper edge receives exactly the lower stage's core_ports
+  // connectors, so the spliced "server" load is uniform by construction.
+  const MultiStageParams p = small_params();
+  const MultiStageFlatTree tree{p};
+  const Graph g = tree.realize_uniform(PodMode::kGlobal, PodMode::kClos);
+  // In (global, clos): all upward-relocated servers sit on upper edges.
+  const auto per_upper_edge = servers_per_switch(g, NodeRole::kCore);
+  const std::size_t expected =
+      p.lower.clos.total_edges() * p.lower.m() / p.lower.clos.cores;
+  for (std::size_t c : per_upper_edge) {
+    EXPECT_EQ(c, expected);
+  }
+}
+
+}  // namespace
+}  // namespace flattree

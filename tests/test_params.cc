@@ -1,0 +1,116 @@
+#include "topo/params.h"
+
+#include <gtest/gtest.h>
+
+namespace flattree {
+namespace {
+
+struct PresetCase {
+  const char* name;
+  std::uint32_t edges, aggs, cores, servers;
+  double edge_or, agg_or;
+};
+
+class PresetTest : public ::testing::TestWithParam<PresetCase> {};
+
+// Table 2 of the paper, including the topo-6 reinterpretation (DESIGN.md).
+INSTANTIATE_TEST_SUITE_P(
+    Table2, PresetTest,
+    ::testing::Values(
+        PresetCase{"topo-1", 128, 128, 64, 4096, 4.0, 1.0},
+        // topo-2 is "a proportional down-scale of topo-1" (§5.1), so its
+        // edge oversubscription is 4:1 like topo-1's (the Table 2 text is
+        // garbled in extraction; 24 downlinks / 6 uplinks = 4).
+        PresetCase{"topo-2", 72, 72, 36, 1728, 4.0, 1.0},
+        PresetCase{"topo-3", 128, 128, 64, 8192, 8.0, 1.0},
+        PresetCase{"topo-4", 128, 64, 32, 4096, 4.0, 1.0},
+        PresetCase{"topo-5", 128, 128, 64, 4096, 2.0, 2.0},
+        PresetCase{"topo-6", 128, 64, 32, 4096, 2.0, 2.0}),
+    [](const auto& info) {
+      std::string n = info.param.name;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST_P(PresetTest, MatchesTable2) {
+  const PresetCase& c = GetParam();
+  const ClosParams p = ClosParams::preset(c.name);
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.total_edges(), c.edges);
+  EXPECT_EQ(p.total_aggs(), c.aggs);
+  EXPECT_EQ(p.cores, c.cores);
+  EXPECT_EQ(p.total_servers(), c.servers);
+  EXPECT_DOUBLE_EQ(p.edge_oversubscription(), c.edge_or);
+  EXPECT_DOUBLE_EQ(p.agg_oversubscription(), c.agg_or);
+}
+
+TEST_P(PresetTest, PortBudgetsBalance) {
+  const ClosParams p = ClosParams::preset(GetParam().name);
+  EXPECT_EQ(static_cast<std::uint64_t>(p.total_aggs()) * p.agg_uplinks,
+            static_cast<std::uint64_t>(p.cores) * p.core_ports);
+  EXPECT_EQ(p.edge_per_pod % p.agg_per_pod, 0u);
+  EXPECT_EQ(p.agg_uplinks % p.r(), 0u);
+}
+
+TEST(ClosParams, UnknownPresetThrows) {
+  EXPECT_THROW((void)ClosParams::preset("topo-9"), std::invalid_argument);
+}
+
+TEST(ClosParams, Testbed) {
+  const ClosParams p = ClosParams::testbed();
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.total_servers(), 24u);
+  EXPECT_EQ(p.total_switches(), 20u);  // 8 edge + 8 agg + 4 core
+  EXPECT_DOUBLE_EQ(p.edge_oversubscription(), 1.5);  // §5.3: 1.5:1
+}
+
+TEST(ClosParams, FatTree) {
+  const ClosParams p = ClosParams::fat_tree(16);
+  EXPECT_NO_THROW(p.validate());
+  // §2.1: k=16 fat-tree has 8 servers per edge switch, 64 per Pod.
+  EXPECT_EQ(p.servers_per_edge, 8u);
+  EXPECT_EQ(p.servers_per_edge * p.edge_per_pod, 64u);
+  EXPECT_EQ(p.total_servers(), 1024u);
+  EXPECT_EQ(p.total_switches(), 320u);
+  EXPECT_DOUBLE_EQ(p.edge_oversubscription(), 1.0);
+}
+
+TEST(ClosParams, FatTreeRejectsOddK) {
+  EXPECT_THROW((void)ClosParams::fat_tree(5), std::invalid_argument);
+  EXPECT_THROW((void)ClosParams::fat_tree(0), std::invalid_argument);
+}
+
+TEST(ClosParams, ValidateRejectsImbalance) {
+  ClosParams p = ClosParams::testbed();
+  p.cores = 5;  // 5*4 != 4*2*2*... port budget broken
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ClosParams, ValidateRejectsZeroLayers) {
+  ClosParams p = ClosParams::testbed();
+  p.pods = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ClosParams, ValidateRejectsNonDividingAggs) {
+  ClosParams p = ClosParams::testbed();
+  p.agg_per_pod = 3;  // edge_per_pod=2 not a multiple
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ClosParams, ValidateRejectsBadLinkRate) {
+  ClosParams p = ClosParams::testbed();
+  p.link_bps = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ClosParams, CoreConnectorsPerEdge) {
+  // topo-4: h=16, r=2 -> 8 connectors per edge column.
+  EXPECT_EQ(ClosParams::topo4().core_connectors_per_edge(), 8u);
+  EXPECT_EQ(ClosParams::testbed().core_connectors_per_edge(), 2u);
+}
+
+}  // namespace
+}  // namespace flattree

@@ -1,0 +1,67 @@
+#include "core/profiling.h"
+
+#include <gtest/gtest.h>
+
+#include "net/stats.h"
+
+namespace flattree {
+namespace {
+
+TEST(ProfileMn, TestbedSweepIsTrivial) {
+  // Testbed: h/r = 2, so (m, n) = (1, 1) is the only candidate.
+  const MnProfile profile =
+      profile_mn(ClosParams::testbed(), WiringPattern::kPattern1);
+  ASSERT_EQ(profile.candidates.size(), 1u);
+  EXPECT_EQ(profile.best.m, 1u);
+  EXPECT_EQ(profile.best.n, 1u);
+  EXPECT_GT(profile.best.avg_server_pair_hops, 0.0);
+}
+
+TEST(ProfileMn, SweepCoversGrid) {
+  // topo-2: h/r = 6 -> candidates (m,n) with m,n >= 1, m+n <= 6: 15 pairs.
+  const MnProfile profile =
+      profile_mn(ClosParams::topo2(), WiringPattern::kPattern1, /*stride=*/1);
+  EXPECT_EQ(profile.candidates.size(), 15u);
+}
+
+TEST(ProfileMn, BestIsMinimal) {
+  const MnProfile profile =
+      profile_mn(ClosParams::topo2(), WiringPattern::kPattern1);
+  for (const MnCandidate& c : profile.candidates) {
+    EXPECT_LE(profile.best.avg_server_pair_hops,
+              c.avg_server_pair_hops + 1e-12);
+  }
+}
+
+TEST(ProfileMn, StrideSubsamples) {
+  const MnProfile full =
+      profile_mn(ClosParams::topo2(), WiringPattern::kPattern1, 1);
+  const MnProfile coarse =
+      profile_mn(ClosParams::topo2(), WiringPattern::kPattern1, 2);
+  EXPECT_LT(coarse.candidates.size(), full.candidates.size());
+}
+
+TEST(ProfileMn, ZeroStrideThrows) {
+  EXPECT_THROW(
+      (void)profile_mn(ClosParams::testbed(), WiringPattern::kPattern1, 0),
+      std::invalid_argument);
+}
+
+TEST(ProfileMn, BestBeatsClosBaseline) {
+  // Any profiled global-mode layout must beat the Clos baseline's average
+  // path length — the motivation for flattening.
+  const ClosParams clos = ClosParams::topo2();
+  const MnProfile profile = profile_mn(clos, WiringPattern::kPattern1, 2);
+  FlatTreeParams params;
+  params.clos = clos;
+  params.six_port_per_column = profile.best.m;
+  params.four_port_per_column = profile.best.n;
+  const FlatTree tree{params};
+  const auto clos_stats =
+      compute_path_length_stats(tree.realize_uniform(PodMode::kClos));
+  EXPECT_LT(profile.best.avg_server_pair_hops,
+            clos_stats.avg_server_pair_hops);
+}
+
+}  // namespace
+}  // namespace flattree

@@ -1,0 +1,172 @@
+#include "topo/random_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace flattree {
+namespace {
+
+RandomGraphParams small_rg() {
+  RandomGraphParams p;
+  p.switches = 40;
+  p.ports_per_switch = 12;
+  p.servers = 120;
+  p.seed = 42;
+  return p;
+}
+
+TEST(RandomGraph, NodeCounts) {
+  const Graph g = build_random_graph(small_rg());
+  EXPECT_EQ(g.count_role(NodeRole::kServer), 120u);
+  EXPECT_EQ(g.switches().size(), 40u);
+}
+
+TEST(RandomGraph, ServerDistributionUniform) {
+  const Graph g = build_random_graph(small_rg());
+  for (NodeId sw : g.switches()) {
+    EXPECT_EQ(g.attached_servers(sw).size(), 3u);  // 120 / 40
+  }
+}
+
+TEST(RandomGraph, PortBudgetRespected) {
+  const auto p = small_rg();
+  const Graph g = build_random_graph(p);
+  for (NodeId sw : g.switches()) {
+    EXPECT_LE(g.degree(sw), p.ports_per_switch);
+    // At most one dark port from odd stub counts (none here: budget even).
+    EXPECT_GE(g.degree(sw) + 1, p.ports_per_switch);
+  }
+}
+
+TEST(RandomGraph, Connected) {
+  EXPECT_TRUE(build_random_graph(small_rg()).connected());
+}
+
+TEST(RandomGraph, DeterministicBySeed) {
+  const Graph a = build_random_graph(small_rg());
+  const Graph b = build_random_graph(small_rg());
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (std::size_t i = 0; i < a.link_count(); ++i) {
+    const Link& la = a.link(LinkId{static_cast<std::uint32_t>(i)});
+    const Link& lb = b.link(LinkId{static_cast<std::uint32_t>(i)});
+    EXPECT_EQ(la.a, lb.a);
+    EXPECT_EQ(la.b, lb.b);
+  }
+}
+
+TEST(RandomGraph, DifferentSeedsDiffer) {
+  auto p1 = small_rg();
+  auto p2 = small_rg();
+  p2.seed = 43;
+  const Graph a = build_random_graph(p1);
+  const Graph b = build_random_graph(p2);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < std::min(a.link_count(), b.link_count()); ++i) {
+    const Link& la = a.link(LinkId{static_cast<std::uint32_t>(i)});
+    const Link& lb = b.link(LinkId{static_cast<std::uint32_t>(i)});
+    if (la.a == lb.a && la.b == lb.b) ++same;
+  }
+  EXPECT_LT(same, a.link_count() / 2);
+}
+
+TEST(RandomGraph, MostlySimpleGraph) {
+  // The repair pass should leave at most a handful of parallel links.
+  const Graph g = build_random_graph(small_rg());
+  std::size_t parallel = 0;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (std::size_t i = 0; i < g.link_count(); ++i) {
+    const Link& l = g.link(LinkId{static_cast<std::uint32_t>(i)});
+    if (g.node(l.a).role == NodeRole::kServer ||
+        g.node(l.b).role == NodeRole::kServer) {
+      continue;
+    }
+    const auto key = std::make_pair(std::min(l.a.value(), l.b.value()),
+                                    std::max(l.a.value(), l.b.value()));
+    if (!seen.insert(key).second) ++parallel;
+  }
+  EXPECT_LE(parallel, 3u);
+}
+
+TEST(RandomGraph, RejectsOverfullServers) {
+  RandomGraphParams p;
+  p.switches = 2;
+  p.ports_per_switch = 4;
+  p.servers = 20;
+  EXPECT_THROW((void)build_random_graph(p), std::invalid_argument);
+}
+
+TEST(RandomGraph, FromClosDeviceBudget) {
+  const ClosParams clos = ClosParams::testbed();
+  const Graph g = build_random_graph_from_clos(clos, 7);
+  EXPECT_EQ(g.count_role(NodeRole::kServer), clos.total_servers());
+  EXPECT_EQ(g.switches().size(), clos.total_switches());
+  EXPECT_TRUE(g.connected());
+  // Port budgets: no switch exceeds its Clos port count.
+  for (NodeId sw : g.nodes_with_role(NodeRole::kEdge)) {
+    EXPECT_LE(g.degree(sw), clos.edge_uplinks + clos.servers_per_edge);
+  }
+  for (NodeId sw : g.nodes_with_role(NodeRole::kCore)) {
+    EXPECT_LE(g.degree(sw), clos.core_ports);
+  }
+}
+
+TEST(TwoStage, NodeCountsAndLocality) {
+  const ClosParams clos = ClosParams::testbed();
+  const TwoStageParams p = TwoStageParams::from_clos(clos);
+  const Graph g = build_two_stage_random_graph(p);
+  EXPECT_EQ(g.count_role(NodeRole::kServer), clos.total_servers());
+  EXPECT_TRUE(g.connected());
+  // Core switches take no servers (§2.1).
+  for (NodeId core : g.nodes_with_role(NodeRole::kCore)) {
+    EXPECT_TRUE(g.attached_servers(core).empty());
+  }
+  // Servers are uniform within each pod.
+  for (NodeId sw : g.nodes_with_role(NodeRole::kEdge)) {
+    const std::size_t expected =
+        clos.total_servers() / clos.pods / p.switches_per_pod;
+    const std::size_t got = g.attached_servers(sw).size();
+    EXPECT_GE(got + 1, expected);
+    EXPECT_LE(got, expected + 1);
+  }
+}
+
+TEST(TwoStage, PodLocalLinksStayInPod) {
+  const TwoStageParams p = TwoStageParams::from_clos(ClosParams::testbed());
+  const Graph g = build_two_stage_random_graph(p);
+  // Count switch-switch links within pods vs across; local random graphs
+  // must exist (some intra-pod links) and the global stage must connect
+  // pods (some links touching cores or crossing pods).
+  std::size_t intra = 0, cross = 0;
+  for (std::size_t i = 0; i < g.link_count(); ++i) {
+    const Link& l = g.link(LinkId{static_cast<std::uint32_t>(i)});
+    const Node& na = g.node(l.a);
+    const Node& nb = g.node(l.b);
+    if (na.role == NodeRole::kServer || nb.role == NodeRole::kServer) continue;
+    if (na.pod.valid() && nb.pod.valid() && na.pod == nb.pod) {
+      ++intra;
+    } else {
+      ++cross;
+    }
+  }
+  EXPECT_GT(intra, 0u);
+  EXPECT_GT(cross, 0u);
+}
+
+TEST(TwoStage, RejectsNonDividingServers) {
+  TwoStageParams p = TwoStageParams::from_clos(ClosParams::testbed());
+  p.servers = 25;  // not divisible by 4 pods
+  EXPECT_THROW((void)build_two_stage_random_graph(p), std::invalid_argument);
+}
+
+TEST(TwoStage, Deterministic) {
+  const TwoStageParams p = TwoStageParams::from_clos(ClosParams::testbed());
+  const Graph a = build_two_stage_random_graph(p);
+  const Graph b = build_two_stage_random_graph(p);
+  EXPECT_EQ(a.link_count(), b.link_count());
+}
+
+}  // namespace
+}  // namespace flattree

@@ -1,0 +1,141 @@
+#include "net/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace flattree {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng{7};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowApproximatelyUniform) {
+  Rng rng{99};
+  std::vector<int> counts(10, 0);
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) ++counts[rng.next_below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, samples / 10, samples / 100);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng{11};
+  const double rate = 4.0;
+  double sum = 0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) sum += rng.next_exponential(rate);
+  EXPECT_NEAR(sum / samples, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsBadRate) {
+  Rng rng{1};
+  EXPECT_THROW(rng.next_exponential(0), std::invalid_argument);
+  EXPECT_THROW(rng.next_exponential(-1), std::invalid_argument);
+}
+
+TEST(Rng, ParetoAtLeastMinimum) {
+  Rng rng{13};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.next_pareto(1.5, 2.0), 2.0);
+  }
+}
+
+TEST(Rng, ParetoMeanApproximately) {
+  Rng rng{17};
+  const double alpha = 2.5, xm = 1.0;
+  double sum = 0;
+  const int samples = 400000;
+  for (int i = 0; i < samples; ++i) sum += rng.next_pareto(alpha, xm);
+  // mean = alpha*xm/(alpha-1) = 5/3
+  EXPECT_NEAR(sum / samples, alpha * xm / (alpha - 1), 0.05);
+}
+
+TEST(Rng, ParetoRejectsBadParams) {
+  Rng rng{1};
+  EXPECT_THROW(rng.next_pareto(0, 1), std::invalid_argument);
+  EXPECT_THROW(rng.next_pareto(1, 0), std::invalid_argument);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  Rng parent{42};
+  Rng child_a = parent.fork(3);
+  Rng child_b = Rng{42}.fork(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child_a(), child_b());
+}
+
+TEST(Rng, ForkStreamsDiffer) {
+  Rng parent{42};
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{3};
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  shuffle(v, rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ShuffleDeterministic) {
+  std::vector<int> a(50), b(50);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Rng ra{9}, rb{9};
+  shuffle(a, ra);
+  shuffle(b, rb);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, Mix64Deterministic) {
+  EXPECT_EQ(mix64(1, 2, 3), mix64(1, 2, 3));
+  EXPECT_NE(mix64(1, 2, 3), mix64(1, 2, 4));
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+}  // namespace
+}  // namespace flattree

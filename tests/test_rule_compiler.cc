@@ -1,0 +1,184 @@
+#include "control/rule_compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "core/flat_tree.h"
+#include "routing/rules.h"
+
+namespace flattree {
+namespace {
+
+FlatTree testbed_tree() {
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  return FlatTree{p};
+}
+
+struct Compiled {
+  Graph graph;
+  std::unique_ptr<PathCache> paths;
+  std::unique_ptr<AddressPlan> plan;
+  std::unique_ptr<CompiledRuleTables> tables;
+
+  Compiled(const FlatTree& tree, PodMode mode, std::uint32_t k)
+      : graph{tree.realize_uniform(mode)} {
+    paths = std::make_unique<PathCache>(graph, k);
+    plan = std::make_unique<AddressPlan>(graph, code_for(mode), k);
+    tables = std::make_unique<CompiledRuleTables>(graph, *paths, *plan);
+  }
+};
+
+class RuleCompilerModeTest : public ::testing::TestWithParam<PodMode> {};
+INSTANTIATE_TEST_SUITE_P(Modes, RuleCompilerModeTest,
+                         ::testing::Values(PodMode::kClos, PodMode::kLocal,
+                                           PodMode::kGlobal),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST_P(RuleCompilerModeTest, EveryRoutablePairDelivers) {
+  const FlatTree tree = testbed_tree();
+  const Compiled c{tree, GetParam(), 4};
+  const std::uint32_t addresses = c.plan->addresses_per_server();  // 2 for k=4
+  const auto servers = c.graph.servers();
+  for (NodeId src : servers) {
+    for (NodeId dst : servers) {
+      if (src == dst) continue;
+      for (std::uint32_t i = 0; i < addresses; ++i) {
+        for (std::uint32_t j = 0; j < addresses; ++j) {
+          const FlatTreeAddress sa = c.plan->addresses(src)[i];
+          const FlatTreeAddress da = c.plan->addresses(dst)[j];
+          const auto walk = c.tables->forward(sa, da);
+          ASSERT_TRUE(walk.has_value())
+              << c.graph.label(src) << " -> " << c.graph.label(dst)
+              << " combo " << i << "," << j;
+          EXPECT_EQ(walk->back(), dst);
+          EXPECT_EQ(walk->front(), c.graph.attachment_switch(src));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RuleCompilerModeTest, WalksMatchComputedPaths) {
+  const FlatTree tree = testbed_tree();
+  const Compiled c{tree, GetParam(), 4};
+  const auto servers = c.graph.servers();
+  const NodeId src = servers[0];
+  const NodeId dst = servers[20];
+  const NodeId src_sw = c.graph.attachment_switch(src);
+  const NodeId dst_sw = c.graph.attachment_switch(dst);
+  const auto& path_set = c.paths->switch_paths(src_sw, dst_sw);
+  const std::uint32_t addresses = c.plan->addresses_per_server();
+  for (std::uint32_t i = 0; i < addresses; ++i) {
+    for (std::uint32_t j = 0; j < addresses; ++j) {
+      const std::uint32_t combo = i * addresses + j;
+      const auto walk = c.tables->forward(c.plan->addresses(src)[i],
+                                          c.plan->addresses(dst)[j]);
+      ASSERT_TRUE(walk.has_value());
+      // The walk is the selected switch path plus the final server hop.
+      const Path& expected = path_set[combo % path_set.size()];
+      ASSERT_EQ(walk->size(), expected.size() + 1);
+      for (std::size_t h = 0; h < expected.size(); ++h) {
+        EXPECT_EQ((*walk)[h], expected[h]);
+      }
+    }
+  }
+}
+
+TEST(RuleCompiler, UnnecessarySubflowsAreUnroutable) {
+  // k = 8 needs 3 addresses -> 9 combos; combo 8 gets no rules (§4.1).
+  const FlatTree tree = testbed_tree();
+  const Compiled c{tree, PodMode::kClos, 8};
+  ASSERT_EQ(c.plan->addresses_per_server(), 3u);
+  const auto servers = c.graph.servers();
+  const NodeId src = servers[0];
+  const NodeId dst = servers[20];
+  const auto walk = c.tables->forward(c.plan->addresses(src)[2],
+                                      c.plan->addresses(dst)[2]);
+  EXPECT_FALSE(walk.has_value());
+  // ...but combo (2, 1) = index 7 < 8 routes fine.
+  EXPECT_TRUE(c.tables->forward(c.plan->addresses(src)[2],
+                                c.plan->addresses(dst)[1])
+                  .has_value());
+}
+
+TEST(RuleCompiler, OtherModesAddressesAreUnroutable) {
+  // Load global-mode tables; a Clos-mode address of a relocated server must
+  // not be deliverable (its exact-match delivery entry only exists in the
+  // Clos plan).
+  const FlatTree tree = testbed_tree();
+  const Compiled global{tree, PodMode::kGlobal, 4};
+  const Graph clos_graph = tree.realize_uniform(PodMode::kClos);
+  const AddressPlan clos_plan{clos_graph, TopoCode::kClos, 4};
+
+  // Find a server that moved between the modes.
+  NodeId moved = NodeId::invalid();
+  for (NodeId s : global.graph.servers()) {
+    if (global.graph.attachment_switch(s) != clos_graph.attachment_switch(s)) {
+      moved = s;
+      break;
+    }
+  }
+  ASSERT_TRUE(moved.valid());
+  const NodeId src = global.graph.servers()[0] == moved
+                         ? global.graph.servers()[1]
+                         : global.graph.servers()[0];
+  const auto walk = global.tables->forward(global.plan->addresses(src)[0],
+                                           clos_plan.addresses(moved)[0]);
+  EXPECT_FALSE(walk.has_value());
+}
+
+TEST(RuleCompiler, SameRackDeliveryNeedsNoPrefixRules) {
+  const FlatTree tree = testbed_tree();
+  const Compiled c{tree, PodMode::kClos, 4};
+  const auto servers = c.graph.servers();
+  // Servers 0 and 1 share edge 0 in Clos mode.
+  const auto walk = c.tables->forward(c.plan->addresses(servers[0])[0],
+                                      c.plan->addresses(servers[1])[0]);
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_EQ(walk->size(), 2u);  // ingress switch -> server
+}
+
+TEST(RuleCompiler, RuleCountsTrackStateAnalysis) {
+  // The materialized tables track the analytical aggregated counts: they
+  // differ only at the margins (the analyzer counts the egress switch as
+  // holding a per-path rule where the compiler installs exact-match
+  // delivery entries instead; conversely, address combos that reuse a path
+  // add extra prefix pairs over the same hops).
+  const FlatTree tree = testbed_tree();
+  const Compiled c{tree, PodMode::kGlobal, 4};
+  const auto pairs = all_ingress_pairs(c.graph);
+  const PortMap ports{c.graph};
+  const StateCounts counts =
+      analyze_states(c.graph, *c.paths, pairs, ports.max_port_count(), 5);
+  EXPECT_GE(c.tables->max_prefix_rules(), counts.aggregated_max / 2);
+  EXPECT_LE(c.tables->max_prefix_rules(), counts.aggregated_max * 3);
+  EXPECT_GT(c.tables->total_prefix_rules(), 0u);
+}
+
+TEST(RuleCompiler, DeliveryRulesCoverEveryAddress) {
+  const FlatTree tree = testbed_tree();
+  const Compiled c{tree, PodMode::kLocal, 4};
+  std::size_t delivery_total = 0;
+  for (NodeId sw : c.graph.switches()) {
+    delivery_total += c.tables->delivery_rules_at(sw);
+  }
+  // 24 servers x 2 addresses.
+  EXPECT_EQ(delivery_total, 48u);
+}
+
+TEST(RuleCompiler, BogusAddressRejected) {
+  const FlatTree tree = testbed_tree();
+  const Compiled c{tree, PodMode::kClos, 4};
+  FlatTreeAddress bogus;
+  bogus.switch_id = 8000;
+  EXPECT_FALSE(
+      c.tables->forward(bogus, c.plan->addresses(c.graph.servers()[0])[0])
+          .has_value());
+}
+
+}  // namespace
+}  // namespace flattree

@@ -1,0 +1,96 @@
+#include "routing/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "core/flat_tree.h"
+#include "net/stats.h"
+#include "routing/source_routing.h"
+#include "topo/clos.h"
+
+namespace flattree {
+namespace {
+
+StateCounts analyze(const Graph& g, std::uint32_t k) {
+  PathCache cache{g, k};
+  const auto pairs = all_ingress_pairs(g);
+  const PortMap ports{g};
+  const auto stats = compute_path_length_stats(g);
+  return analyze_states(g, cache, pairs, ports.max_port_count(),
+                        stats.diameter);
+}
+
+TEST(AllIngressPairs, ClosOnlyEdgesAreIngress) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const auto pairs = all_ingress_pairs(g);
+  // 8 edge switches -> 8*7 ordered pairs.
+  EXPECT_EQ(pairs.size(), 56u);
+}
+
+TEST(AllIngressPairs, GlobalModeAllSwitchesAreIngress) {
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  const FlatTree tree{p};
+  const Graph g = tree.realize_uniform(PodMode::kGlobal);
+  // All 20 switches carry servers in global mode.
+  EXPECT_EQ(all_ingress_pairs(g).size(), 20u * 19u);
+}
+
+TEST(StateCounts, ReductionHierarchy) {
+  // §4.2: naive >> aggregated >= source-routing ingress state.
+  const Graph g = build_clos(ClosParams::testbed());
+  const StateCounts counts = analyze(g, 4);
+  EXPECT_GT(counts.naive_avg, counts.aggregated_avg);
+  EXPECT_GE(counts.aggregated_max, counts.ingress_max);
+  EXPECT_GT(counts.path_count, 0u);
+}
+
+TEST(StateCounts, NaiveScalesWithServerFan) {
+  // Testbed racks hold 3 servers; naive state multiplies by 3*3 per pair.
+  const Graph g = build_clos(ClosParams::testbed());
+  const StateCounts counts = analyze(g, 4);
+  EXPECT_NEAR(counts.naive_avg / counts.aggregated_avg, 9.0, 1e-9);
+}
+
+TEST(StateCounts, FormulaTracksExactCounts) {
+  // The paper's closed-form S^2 k L / N should be within a factor ~2 of the
+  // measured per-switch average (it ignores endpoint effects).
+  const Graph g = build_clos(ClosParams::testbed());
+  const StateCounts counts = analyze(g, 4);
+  EXPECT_GT(counts.formula_aggregated_avg, counts.aggregated_avg * 0.4);
+  EXPECT_LT(counts.formula_aggregated_avg, counts.aggregated_avg * 2.5);
+}
+
+TEST(StateCounts, TransitStaticIsDxC) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const StateCounts counts = analyze(g, 4);
+  const PortMap ports{g};
+  const auto stats = compute_path_length_stats(g);
+  EXPECT_EQ(counts.transit_static, stats.diameter * ports.max_port_count());
+}
+
+TEST(StateCounts, MoreIngressSwitchesMoreRules) {
+  // Global mode (20 ingress switches) needs more aggregated rules than
+  // Clos mode (8) — the §5.3 testbed observation (242 vs 76).
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  const FlatTree tree{p};
+  const StateCounts global = analyze(tree.realize_uniform(PodMode::kGlobal), 4);
+  const StateCounts local = analyze(tree.realize_uniform(PodMode::kLocal), 4);
+  const StateCounts clos = analyze(tree.realize_uniform(PodMode::kClos), 4);
+  EXPECT_GT(global.aggregated_max, local.aggregated_max);
+  EXPECT_GT(local.aggregated_max, clos.aggregated_max);
+}
+
+TEST(StateCounts, KScalesIngressState) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const StateCounts k2 = analyze(g, 2);
+  const StateCounts k4 = analyze(g, 4);
+  EXPECT_GT(k4.ingress_avg, k2.ingress_avg);
+}
+
+}  // namespace
+}  // namespace flattree

@@ -1,0 +1,102 @@
+#include "routing/segment_routing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/flat_tree.h"
+#include "routing/ksp.h"
+#include "topo/clos.h"
+
+namespace flattree {
+namespace {
+
+TEST(SegmentRouting, EncodeReplayRoundTrip) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const PortMap ports{g};
+  PathCache cache{g, 4};
+  const auto servers = g.servers();
+  for (const Path& path : cache.server_paths(servers[0], servers[20])) {
+    const LabelStack stack = encode_label_stack(ports, path);
+    const auto visited = replay_label_stack(g, ports, stack, path[1]);
+    ASSERT_EQ(visited.size() + 1, path.size());
+    for (std::size_t i = 0; i < visited.size(); ++i) {
+      EXPECT_EQ(visited[i], path[i + 1]);
+    }
+  }
+}
+
+TEST(SegmentRouting, AgreesWithMacEncodingOnShortPaths) {
+  // The two source-routing schemes must drive packets over the same hops.
+  const Graph g = build_clos(ClosParams::testbed());
+  const PortMap ports{g};
+  const KspSolver solver{g};
+  const auto edges = g.nodes_with_role(NodeRole::kEdge);
+  for (const Path& path : solver.k_shortest_paths(edges[0], edges[7], 4)) {
+    const auto mac_walk =
+        replay_route(g, ports, encode_route(ports, path), path.front());
+    const auto mpls_walk =
+        replay_label_stack(g, ports, encode_label_stack(ports, path),
+                           path.front());
+    EXPECT_EQ(mac_walk, mpls_walk);
+  }
+}
+
+TEST(SegmentRouting, NoDepthLimit) {
+  // A 10-hop chain overflows the 48-bit MAC scheme but not a label stack.
+  Graph g;
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 11; ++i) chain.push_back(g.add_node(NodeRole::kEdge));
+  for (int i = 0; i + 1 < 11; ++i) g.add_link(chain[i], chain[i + 1], 1e9);
+  const PortMap ports{g};
+  const Path path(chain.begin(), chain.end());
+  EXPECT_THROW((void)encode_route(ports, path), std::invalid_argument);
+  const LabelStack stack = encode_label_stack(ports, path);
+  EXPECT_EQ(stack.depth(), 10u);
+  const auto visited = replay_label_stack(g, ports, stack, chain.front());
+  EXPECT_EQ(visited.back(), chain.back());
+}
+
+TEST(SegmentRouting, ShortPathRejected) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const PortMap ports{g};
+  EXPECT_THROW((void)encode_label_stack(ports, Path{g.switches().front()}),
+               std::invalid_argument);
+}
+
+TEST(SegmentRouting, BadLabelThrows) {
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kEdge);
+  const NodeId b = g.add_node(NodeRole::kEdge);
+  g.add_link(a, b, 1e9);
+  const PortMap ports{g};
+  LabelStack stack;
+  stack.labels = {42};  // no such port
+  EXPECT_THROW((void)replay_label_stack(g, ports, stack, a),
+               std::logic_error);
+}
+
+TEST(SegmentRouting, TransitRulesIndependentOfDiameter) {
+  // C rules per transit switch, vs D x C for the TTL-masked MAC scheme.
+  EXPECT_EQ(segment_transit_rule_count(48), 48u);
+  EXPECT_LT(segment_transit_rule_count(48), transit_rule_count(4, 48));
+}
+
+TEST(SegmentRouting, FlatTreeGlobalModeAllPairs) {
+  const FlatTree tree{FlatTreeParams::defaults_for(ClosParams::testbed())};
+  const Graph g = tree.realize_uniform(PodMode::kGlobal);
+  const PortMap ports{g};
+  PathCache cache{g, 4};
+  const auto switches = g.switches();
+  for (std::size_t i = 0; i < switches.size(); i += 4) {
+    for (std::size_t j = 1; j < switches.size(); j += 4) {
+      if (switches[i] == switches[j]) continue;
+      for (const Path& path : cache.switch_paths(switches[i], switches[j])) {
+        const auto visited = replay_label_stack(
+            g, ports, encode_label_stack(ports, path), path.front());
+        EXPECT_EQ(visited.back(), switches[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flattree

@@ -1,0 +1,146 @@
+#include "routing/source_routing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/flat_tree.h"
+#include "routing/ksp.h"
+#include "topo/clos.h"
+
+namespace flattree {
+namespace {
+
+TEST(PortMap, PortsAreStableAndInvertible) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const PortMap ports{g};
+  for (NodeId sw : g.switches()) {
+    for (const Adjacency& adj : g.neighbors(sw)) {
+      const std::uint8_t port = ports.port_to(sw, adj.peer);
+      const auto back = ports.neighbor_at(sw, port);
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(*back, adj.peer);
+    }
+  }
+}
+
+TEST(PortMap, UnusedPortIsEmpty) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const PortMap ports{g};
+  const NodeId sw = g.switches().front();
+  EXPECT_FALSE(ports.neighbor_at(sw, 200).has_value());
+}
+
+TEST(PortMap, NotAdjacentThrows) {
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kEdge);
+  const NodeId b = g.add_node(NodeRole::kEdge);
+  const NodeId c = g.add_node(NodeRole::kEdge);
+  g.add_link(a, b, 1e9);
+  const PortMap ports{g};
+  EXPECT_THROW((void)ports.port_to(a, c), std::logic_error);
+}
+
+TEST(PortMap, ParallelLinksShareOnePort) {
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kEdge);
+  const NodeId b = g.add_node(NodeRole::kEdge);
+  g.add_link(a, b, 1e9);
+  g.add_link(a, b, 1e9);
+  const PortMap ports{g};
+  EXPECT_EQ(ports.port_count(a), 1u);
+}
+
+TEST(PortMap, MaxPortCount) {
+  const ClosParams p = ClosParams::testbed();
+  const Graph g = build_clos(p);
+  const PortMap ports{g};
+  // Edge switches have the most ports: servers + uplinks.
+  EXPECT_EQ(ports.max_port_count(), p.servers_per_edge + p.edge_uplinks);
+}
+
+TEST(SourceRoute, EncodeReplayRoundTrip) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const PortMap ports{g};
+  PathCache cache{g, 4};
+  const auto servers = g.servers();
+  // Cross-pod server pair.
+  for (const Path& path : cache.server_paths(servers[0], servers[20])) {
+    const SourceRoute route = encode_route(ports, path);
+    const std::vector<NodeId> visited =
+        replay_route(g, ports, route, path[1]);
+    // The replay must traverse exactly the path's switch+destination tail.
+    ASSERT_EQ(visited.size() + 1, path.size());
+    for (std::size_t i = 0; i < visited.size(); ++i) {
+      EXPECT_EQ(visited[i], path[i + 1]);
+    }
+  }
+}
+
+TEST(SourceRoute, SwitchToSwitchPathEncodes) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const PortMap ports{g};
+  const KspSolver solver{g};
+  const auto edges = g.nodes_with_role(NodeRole::kEdge);
+  const auto path = solver.shortest_path(edges[0], edges[7]);
+  ASSERT_TRUE(path.has_value());
+  const SourceRoute route = encode_route(ports, *path);
+  EXPECT_EQ(route.hop_count, path_length(*path));
+  const auto visited = replay_route(g, ports, route, (*path)[0]);
+  EXPECT_EQ(visited.back(), edges[7]);
+}
+
+TEST(SourceRoute, TooManyHopsRejected) {
+  // A long chain exceeds the 6-hop MAC budget.
+  Graph g;
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 10; ++i) chain.push_back(g.add_node(NodeRole::kEdge));
+  for (int i = 0; i + 1 < 10; ++i) g.add_link(chain[i], chain[i + 1], 1e9);
+  const PortMap ports{g};
+  Path path(chain.begin(), chain.end());
+  EXPECT_THROW((void)encode_route(ports, path), std::invalid_argument);
+}
+
+TEST(SourceRoute, ShortPathRejected) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const PortMap ports{g};
+  EXPECT_THROW((void)encode_route(ports, Path{g.switches().front()}),
+               std::invalid_argument);
+}
+
+TEST(SourceRoute, TtlCursorMatchesPaperExample) {
+  // §4.2.2: TTL 253 = third hop = byte 2 of the MAC.
+  SourceRoute route;
+  route.mac = 0x0102030405060000ULL >> 16;  // bytes: 01 02 03 04 05 06
+  route.hop_count = 6;
+  EXPECT_EQ(route_port_at(route, 255), 0x01);
+  EXPECT_EQ(route_port_at(route, 253), 0x03);
+  EXPECT_EQ(route_port_at(route, 250), 0x06);
+  EXPECT_THROW((void)route_port_at(route, 249), std::invalid_argument);
+}
+
+TEST(SourceRoute, TransitRuleCountIsDxC) {
+  EXPECT_EQ(transit_rule_count(3, 48), 144u);
+  EXPECT_EQ(transit_rule_count(6, 256), 1536u);  // "at most a thousand"-ish
+}
+
+TEST(SourceRoute, FlatTreeGlobalModeAllPairsEncode) {
+  // Every k-shortest switch path in the testbed's global mode fits the
+  // 6-hop source-route budget (flat-tree is a small-diameter network).
+  const FlatTree tree{FlatTreeParams::defaults_for(ClosParams::testbed())};
+  const Graph g = tree.realize_uniform(PodMode::kGlobal);
+  const PortMap ports{g};
+  PathCache cache{g, 4};
+  const auto switches = g.switches();
+  for (std::size_t i = 0; i < switches.size(); i += 3) {
+    for (std::size_t j = 0; j < switches.size(); j += 3) {
+      if (i == j) continue;
+      for (const Path& path : cache.switch_paths(switches[i], switches[j])) {
+        const SourceRoute route = encode_route(ports, path);
+        const auto visited = replay_route(g, ports, route, path.front());
+        EXPECT_EQ(visited.back(), switches[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flattree

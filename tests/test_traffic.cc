@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "traffic/apps.h"
+#include "traffic/patterns.h"
+#include "traffic/traces.h"
+
+namespace flattree {
+namespace {
+
+// ---------- synthetic patterns ----------------------------------------------
+
+TEST(Permutation, IsDerangementAndCovers) {
+  Rng rng{1};
+  const Workload flows = permutation_traffic(100, rng);
+  EXPECT_EQ(flows.size(), 100u);
+  std::set<std::uint32_t> sources, destinations;
+  for (const Flow& f : flows) {
+    EXPECT_NE(f.src, f.dst);
+    sources.insert(f.src);
+    destinations.insert(f.dst);
+  }
+  EXPECT_EQ(sources.size(), 100u);
+  EXPECT_EQ(destinations.size(), 100u);
+}
+
+TEST(Permutation, DeterministicBySeed) {
+  Rng r1{5}, r2{5};
+  const Workload a = permutation_traffic(64, r1);
+  const Workload b = permutation_traffic(64, r2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dst, b[i].dst);
+  }
+}
+
+TEST(Permutation, RejectsTinyNetworks) {
+  Rng rng{1};
+  EXPECT_THROW((void)permutation_traffic(1, rng), std::invalid_argument);
+}
+
+TEST(PodStride, CounterpartInNextPod) {
+  const Workload flows = pod_stride_traffic(24, 6);
+  EXPECT_EQ(flows.size(), 24u);
+  for (const Flow& f : flows) {
+    EXPECT_EQ(f.dst, (f.src + 6) % 24);
+    EXPECT_NE(f.src / 6, f.dst / 6);  // always crosses a pod boundary
+  }
+}
+
+TEST(PodStride, RejectsBadDivision) {
+  EXPECT_THROW((void)pod_stride_traffic(25, 6), std::invalid_argument);
+  EXPECT_THROW((void)pod_stride_traffic(6, 6), std::invalid_argument);
+}
+
+TEST(HotSpot, OneBroadcasterPerCluster) {
+  const Workload flows = hot_spot_traffic(300, 100);
+  EXPECT_EQ(flows.size(), 3u * 99u);
+  std::set<std::uint32_t> broadcasters;
+  for (const Flow& f : flows) broadcasters.insert(f.src);
+  EXPECT_EQ(broadcasters.size(), 3u);
+  EXPECT_TRUE(broadcasters.contains(0u));
+  EXPECT_TRUE(broadcasters.contains(100u));
+  EXPECT_TRUE(broadcasters.contains(200u));
+}
+
+TEST(HotSpot, PartialTailClusterDropped) {
+  const Workload flows = hot_spot_traffic(250, 100);
+  EXPECT_EQ(flows.size(), 2u * 99u);
+}
+
+TEST(ManyToMany, AllToAllWithinClusters) {
+  const Workload flows = many_to_many_traffic(40, 20);
+  EXPECT_EQ(flows.size(), 2u * 20u * 19u);
+  for (const Flow& f : flows) {
+    EXPECT_EQ(f.src / 20, f.dst / 20);
+    EXPECT_NE(f.src, f.dst);
+  }
+}
+
+TEST(ClusteredAllToAll, MaxClustersLimit) {
+  const Workload flows = clustered_all_to_all(1000, 8, 2);
+  EXPECT_EQ(flows.size(), 2u * 8u * 7u);
+}
+
+TEST(ClusteredAllToAll, RejectsTooSmall) {
+  EXPECT_THROW((void)clustered_all_to_all(4, 8), std::invalid_argument);
+  EXPECT_THROW((void)clustered_all_to_all(100, 1), std::invalid_argument);
+}
+
+// ---------- traces -----------------------------------------------------------
+
+class TracePresetTest : public ::testing::TestWithParam<TraceParams> {};
+
+INSTANTIATE_TEST_SUITE_P(Facebook, TracePresetTest,
+                         ::testing::Values(TraceParams::hadoop1(),
+                                           TraceParams::hadoop2(),
+                                           TraceParams::web(),
+                                           TraceParams::cache()),
+                         [](const auto& info) {
+                           std::string n = info.param.name;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST_P(TracePresetTest, LocalityMatchesTarget) {
+  TraceParams params = GetParam();
+  params.duration_s = 5.0;
+  params.flows_per_s = 4000;
+  const ClosParams layout = ClosParams::topo1();
+  const Workload flows = generate_trace(layout, params);
+  const LocalityMix mix = measure_locality(layout, flows);
+  EXPECT_NEAR(mix.intra_rack, params.intra_rack_frac, 0.02) << params.name;
+  EXPECT_NEAR(mix.intra_pod, params.intra_pod_frac, 0.02) << params.name;
+  EXPECT_NEAR(mix.inter_pod,
+              1.0 - params.intra_rack_frac - params.intra_pod_frac, 0.03);
+}
+
+TEST_P(TracePresetTest, ArrivalsArePoissonish) {
+  TraceParams params = GetParam();
+  params.duration_s = 4.0;
+  params.flows_per_s = 1000;
+  const Workload flows = generate_trace(ClosParams::topo1(), params);
+  EXPECT_NEAR(static_cast<double>(flows.size()),
+              params.duration_s * params.flows_per_s,
+              4 * std::sqrt(params.duration_s * params.flows_per_s));
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    EXPECT_GE(flows[i].start_s, flows[i - 1].start_s);
+  }
+}
+
+TEST_P(TracePresetTest, SizesHeavyTailedWithRightMean) {
+  TraceParams params = GetParam();
+  params.duration_s = 20.0;
+  params.flows_per_s = 2000;
+  const Workload flows = generate_trace(ClosParams::topo1(), params);
+  double total = 0;
+  for (const Flow& f : flows) {
+    EXPECT_GT(f.bytes, 0.0);
+    total += f.bytes;
+  }
+  // Pareto mean converges slowly; accept a wide band.
+  EXPECT_NEAR(total / flows.size() / params.mean_flow_bytes, 1.0, 0.5);
+}
+
+TEST(Trace, Deterministic) {
+  const TraceParams p = TraceParams::web();
+  const Workload a = generate_trace(ClosParams::topo1(), p);
+  const Workload b = generate_trace(ClosParams::topo1(), p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_DOUBLE_EQ(a[i].bytes, b[i].bytes);
+  }
+}
+
+TEST(Trace, RejectsBadFractions) {
+  TraceParams p = TraceParams::web();
+  p.intra_rack_frac = 0.8;
+  p.intra_pod_frac = 0.8;
+  EXPECT_THROW((void)generate_trace(ClosParams::topo1(), p),
+               std::invalid_argument);
+}
+
+TEST(Trace, NoSelfFlows) {
+  TraceParams p = TraceParams::hadoop2();
+  p.duration_s = 2.0;
+  for (const Flow& f : generate_trace(ClosParams::topo1(), p)) {
+    EXPECT_NE(f.src, f.dst);
+  }
+}
+
+// ---------- application models ----------------------------------------------
+
+TEST(SparkBroadcast, EveryWorkerReceivesEachIteration) {
+  BroadcastParams p;
+  p.num_workers = 23;
+  p.iterations = 2;
+  p.chunks = 1;
+  const Workload flows = spark_broadcast(p);
+  EXPECT_EQ(flows.size(), 2u * 23u);
+  for (std::uint32_t iter = 0; iter < 2; ++iter) {
+    std::set<std::uint32_t> receivers;
+    for (std::size_t i = iter * 23; i < (iter + 1) * 23; ++i) {
+      receivers.insert(flows[i].dst);
+    }
+    EXPECT_EQ(receivers.size(), 23u);
+  }
+}
+
+TEST(SparkBroadcast, SendersAlreadyHaveTheBlock) {
+  // Torrent invariant: a sender is the master or a receiver of an earlier
+  // flow in the same iteration.
+  BroadcastParams p;
+  p.num_workers = 16;
+  p.iterations = 1;
+  p.chunks = 1;
+  const Workload flows = spark_broadcast(p);
+  std::set<std::uint32_t> holders{p.master};
+  for (const Flow& f : flows) {
+    EXPECT_TRUE(holders.contains(f.src)) << "server " << f.src;
+    holders.insert(f.dst);
+  }
+}
+
+TEST(SparkBroadcast, DependenciesFormTree) {
+  BroadcastParams p;
+  p.num_workers = 8;
+  p.iterations = 1;
+  p.chunks = 1;
+  const Workload flows = spark_broadcast(p);
+  // First flow (from master) has no deps; all others depend on the flow
+  // that delivered the block to their sender.
+  EXPECT_TRUE(flows[0].depends_on.empty());
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    if (flows[i].src == p.master) continue;
+    ASSERT_EQ(flows[i].depends_on.size(), 1u);
+    const Flow& dep = flows[flows[i].depends_on[0]];
+    EXPECT_EQ(dep.dst, flows[i].src);
+  }
+}
+
+TEST(SparkBroadcast, IterationsAreChained) {
+  BroadcastParams p;
+  p.num_workers = 4;
+  p.iterations = 2;
+  p.chunks = 1;
+  const Workload flows = spark_broadcast(p);
+  // The second iteration's first flow depends on the first iteration.
+  const Flow& first_of_second = flows[4];
+  EXPECT_FALSE(first_of_second.depends_on.empty());
+}
+
+TEST(SparkBroadcast, ChunksMultiplyFlows) {
+  BroadcastParams p;
+  p.num_workers = 10;
+  p.iterations = 2;
+  p.chunks = 4;
+  const Workload flows = spark_broadcast(p);
+  EXPECT_EQ(flows.size(), 2u * 4u * 10u);
+  // Chunk size is the block divided by the chunk count.
+  for (const Flow& f : flows) {
+    EXPECT_DOUBLE_EQ(f.bytes, p.block_bytes / 4);
+  }
+}
+
+TEST(SparkBroadcast, PerChunkHolderInvariant) {
+  // Within one iteration, each chunk's flows form their own valid torrent
+  // tree: a chunk's sender already holds that chunk.
+  BroadcastParams p;
+  p.num_workers = 12;
+  p.iterations = 1;
+  p.chunks = 3;
+  const Workload flows = spark_broadcast(p);
+  ASSERT_EQ(flows.size(), 3u * 12u);
+  for (std::uint32_t chunk = 0; chunk < 3; ++chunk) {
+    std::set<std::uint32_t> holders{p.master};
+    for (std::size_t i = chunk * 12; i < (chunk + 1) * 12; ++i) {
+      EXPECT_TRUE(holders.contains(flows[i].src));
+      holders.insert(flows[i].dst);
+    }
+  }
+}
+
+TEST(SparkBroadcast, ZeroChunksRejected) {
+  BroadcastParams p;
+  p.chunks = 0;
+  EXPECT_THROW((void)spark_broadcast(p), std::invalid_argument);
+}
+
+TEST(CoflowJobs, GroupsAndShapes) {
+  CoflowJobsParams p;
+  p.num_servers = 64;
+  p.jobs = 5;
+  p.mappers_per_job = 4;
+  p.reducers_per_job = 2;
+  const Workload flows = coflow_jobs(p);
+  EXPECT_EQ(flows.size(), 5u * 4u * 2u);
+  for (const Flow& f : flows) {
+    EXPECT_LT(f.group, 5u);
+    EXPECT_NE(f.src, f.dst);  // mapper and reducer sets are disjoint
+    EXPECT_GT(f.bytes, 0.0);
+  }
+  // Members of one job share an arrival time; jobs arrive in order.
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    if (flows[i].group == flows[i - 1].group) {
+      EXPECT_DOUBLE_EQ(flows[i].start_s, flows[i - 1].start_s);
+    } else {
+      EXPECT_GT(flows[i].start_s, flows[i - 1].start_s);
+    }
+  }
+}
+
+TEST(CoflowJobs, Deterministic) {
+  CoflowJobsParams p;
+  p.num_servers = 64;
+  p.jobs = 3;
+  const Workload a = coflow_jobs(p);
+  const Workload b = coflow_jobs(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+  }
+}
+
+TEST(CoflowJobs, RejectsImpossibleShapes) {
+  CoflowJobsParams p;
+  p.num_servers = 4;
+  p.mappers_per_job = 4;
+  p.reducers_per_job = 2;
+  EXPECT_THROW((void)coflow_jobs(p), std::invalid_argument);
+  p.num_servers = 64;
+  p.jobs = 0;
+  EXPECT_THROW((void)coflow_jobs(p), std::invalid_argument);
+}
+
+TEST(HadoopShuffle, MapperReducerMesh) {
+  ShuffleParams p;
+  p.num_mappers = 23;
+  p.num_reducers = 8;
+  const Workload flows = hadoop_shuffle(p);
+  // 23 mappers x 8 reducers minus the 8 self-pairs.
+  EXPECT_EQ(flows.size(), 23u * 8u - 8u);
+  for (const Flow& f : flows) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_GE(f.src, p.first_worker);
+    EXPECT_LT(f.dst, p.first_worker + p.num_reducers);
+  }
+}
+
+TEST(HadoopShuffle, RejectsBadShapes) {
+  ShuffleParams p;
+  p.num_mappers = 4;
+  p.num_reducers = 8;
+  EXPECT_THROW((void)hadoop_shuffle(p), std::invalid_argument);
+  p.num_mappers = 0;
+  EXPECT_THROW((void)hadoop_shuffle(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flattree

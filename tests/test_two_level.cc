@@ -1,0 +1,135 @@
+#include "routing/two_level.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/flat_tree.h"
+#include "topo/clos.h"
+
+namespace flattree {
+namespace {
+
+class TwoLevelPresetTest : public ::testing::TestWithParam<const char*> {};
+INSTANTIATE_TEST_SUITE_P(Presets, TwoLevelPresetTest,
+                         ::testing::Values("topo-2", "topo-4"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST_P(TwoLevelPresetTest, AllSampledPairsRouteValidly) {
+  const ClosParams p = ClosParams::preset(GetParam());
+  const Graph g = build_clos(p);
+  const TwoLevelRouter router{g, p};
+  const std::uint32_t servers = p.total_servers();
+  for (std::uint32_t src = 0; src < servers; src += 37) {
+    for (std::uint32_t dst = 0; dst < servers; dst += 41) {
+      if (src == dst) continue;
+      const Path path = router.route(NodeId{src}, NodeId{dst});
+      EXPECT_TRUE(is_valid_path(g, path))
+          << src << " -> " << dst;
+      EXPECT_EQ(path.front(), NodeId{src});
+      EXPECT_EQ(path.back(), NodeId{dst});
+    }
+  }
+}
+
+TEST_P(TwoLevelPresetTest, PathsAreShortest) {
+  const ClosParams p = ClosParams::preset(GetParam());
+  const Graph g = build_clos(p);
+  const TwoLevelRouter router{g, p};
+  // Same rack: 2 hops; same pod: 4; cross pod: 6.
+  const std::uint32_t spe = p.servers_per_edge;
+  const std::uint32_t per_pod = spe * p.edge_per_pod;
+  EXPECT_EQ(path_length(router.route(NodeId{0}, NodeId{1})), 2u);
+  EXPECT_EQ(path_length(router.route(NodeId{0}, NodeId{spe})), 4u);
+  EXPECT_EQ(path_length(router.route(NodeId{0}, NodeId{per_pod})), 6u);
+}
+
+TEST(TwoLevel, Deterministic) {
+  const ClosParams p = ClosParams::testbed();
+  const Graph g = build_clos(p);
+  const TwoLevelRouter router{g, p};
+  EXPECT_EQ(router.route(NodeId{0}, NodeId{20}),
+            router.route(NodeId{0}, NodeId{20}));
+}
+
+TEST(TwoLevel, SuffixSpreadsAcrossCores) {
+  // Destinations with different host suffixes in another pod must use
+  // different cores — the deterministic load spreading of the scheme.
+  const ClosParams p = ClosParams::fat_tree(8);
+  const Graph g = build_clos(p);
+  const TwoLevelRouter router{g, p};
+  std::set<NodeId> cores_used;
+  const std::uint32_t per_pod = p.servers_per_edge * p.edge_per_pod;
+  for (std::uint32_t dst = per_pod; dst < per_pod + per_pod; ++dst) {
+    const Path path = router.route(NodeId{0}, NodeId{dst});
+    for (NodeId n : path) {
+      if (g.node(n).role == NodeRole::kCore) cores_used.insert(n);
+    }
+  }
+  // A whole pod's worth of destinations should fan over many cores.
+  EXPECT_GE(cores_used.size(), p.agg_per_pod);
+}
+
+TEST(TwoLevel, AllTrafficToOneHostConverges) {
+  // The defining property (and weakness) of destination-suffix routing:
+  // everyone sends to host X over the same core.
+  const ClosParams p = ClosParams::fat_tree(8);
+  const Graph g = build_clos(p);
+  const TwoLevelRouter router{g, p};
+  const NodeId dst{100};  // pod 6 (128 servers total)
+  std::set<NodeId> cores_used;
+  for (std::uint32_t src = 0; src < 16; ++src) {
+    if (src == dst.value()) continue;
+    for (NodeId n : router.route(NodeId{src}, dst)) {
+      if (g.node(n).role == NodeRole::kCore) cores_used.insert(n);
+    }
+  }
+  EXPECT_EQ(cores_used.size(), 1u);
+}
+
+TEST(TwoLevel, TinyStateFootprint) {
+  const ClosParams p = ClosParams::topo1();
+  const Graph g = build_clos(p);
+  const TwoLevelRouter router{g, p};
+  for (NodeId sw : g.switches()) {
+    // O(pod size) state, orders of magnitude below per-pair rules.
+    EXPECT_LE(router.prefix_entries(sw) + router.suffix_entries(sw), 64u);
+  }
+}
+
+TEST(TwoLevel, RejectsMismatchedGraph) {
+  const Graph g = build_clos(ClosParams::testbed());
+  EXPECT_THROW((TwoLevelRouter{g, ClosParams::topo1()}),
+               std::invalid_argument);
+}
+
+TEST(TwoLevel, RejectsConvertedTopologies) {
+  // Two-level routing presumes canonical Clos server placement; flat-tree
+  // global mode relocates servers and must be rejected.
+  FlatTreeParams params;
+  params.clos = ClosParams::testbed();
+  params.six_port_per_column = 1;
+  params.four_port_per_column = 1;
+  const FlatTree tree{params};
+  const Graph global = tree.realize_uniform(PodMode::kGlobal);
+  EXPECT_THROW((TwoLevelRouter{global, params.clos}), std::invalid_argument);
+}
+
+TEST(TwoLevel, RejectsSelfRoute) {
+  const ClosParams p = ClosParams::testbed();
+  const Graph g = build_clos(p);
+  const TwoLevelRouter router{g, p};
+  EXPECT_THROW((void)router.route(NodeId{3}, NodeId{3}),
+               std::invalid_argument);
+  EXPECT_THROW((void)router.route(NodeId{3}, NodeId{5000}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flattree
