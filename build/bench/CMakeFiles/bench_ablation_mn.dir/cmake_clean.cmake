@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mn.dir/bench_ablation_mn.cc.o"
+  "CMakeFiles/bench_ablation_mn.dir/bench_ablation_mn.cc.o.d"
+  "bench_ablation_mn"
+  "bench_ablation_mn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

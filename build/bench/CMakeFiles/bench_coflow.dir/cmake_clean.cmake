@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coflow.dir/bench_coflow.cc.o"
+  "CMakeFiles/bench_coflow.dir/bench_coflow.cc.o.d"
+  "bench_coflow"
+  "bench_coflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

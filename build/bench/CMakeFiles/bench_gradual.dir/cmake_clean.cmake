@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gradual.dir/bench_gradual.cc.o"
+  "CMakeFiles/bench_gradual.dir/bench_gradual.cc.o.d"
+  "bench_gradual"
+  "bench_gradual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gradual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_packet_validation.dir/bench_packet_validation.cc.o"
+  "CMakeFiles/bench_packet_validation.dir/bench_packet_validation.cc.o.d"
+  "bench_packet_validation"
+  "bench_packet_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packet_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_states.dir/bench_states.cc.o"
+  "CMakeFiles/bench_states.dir/bench_states.cc.o.d"
+  "bench_states"
+  "bench_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

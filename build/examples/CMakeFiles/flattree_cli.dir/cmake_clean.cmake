@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flattree_cli.dir/flattree_cli.cpp.o"
+  "CMakeFiles/flattree_cli.dir/flattree_cli.cpp.o.d"
+  "flattree_cli"
+  "flattree_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flattree_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

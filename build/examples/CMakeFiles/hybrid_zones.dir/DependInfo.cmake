@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hybrid_zones.cpp" "examples/CMakeFiles/hybrid_zones.dir/hybrid_zones.cpp.o" "gcc" "examples/CMakeFiles/hybrid_zones.dir/hybrid_zones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ft_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ft_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ft_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/ft_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/ft_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ft_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistage_tour.dir/multistage_tour.cpp.o"
+  "CMakeFiles/multistage_tour.dir/multistage_tour.cpp.o.d"
+  "multistage_tour"
+  "multistage_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistage_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

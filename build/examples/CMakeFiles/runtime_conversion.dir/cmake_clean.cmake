@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_conversion.dir/runtime_conversion.cpp.o"
+  "CMakeFiles/runtime_conversion.dir/runtime_conversion.cpp.o.d"
+  "runtime_conversion"
+  "runtime_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

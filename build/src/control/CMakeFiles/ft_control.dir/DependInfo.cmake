@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/advisor.cc" "src/control/CMakeFiles/ft_control.dir/advisor.cc.o" "gcc" "src/control/CMakeFiles/ft_control.dir/advisor.cc.o.d"
+  "/root/repo/src/control/controller.cc" "src/control/CMakeFiles/ft_control.dir/controller.cc.o" "gcc" "src/control/CMakeFiles/ft_control.dir/controller.cc.o.d"
+  "/root/repo/src/control/rule_compiler.cc" "src/control/CMakeFiles/ft_control.dir/rule_compiler.cc.o" "gcc" "src/control/CMakeFiles/ft_control.dir/rule_compiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ft_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ft_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

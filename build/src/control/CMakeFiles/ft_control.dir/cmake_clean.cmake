@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_control.dir/advisor.cc.o"
+  "CMakeFiles/ft_control.dir/advisor.cc.o.d"
+  "CMakeFiles/ft_control.dir/controller.cc.o"
+  "CMakeFiles/ft_control.dir/controller.cc.o.d"
+  "CMakeFiles/ft_control.dir/rule_compiler.cc.o"
+  "CMakeFiles/ft_control.dir/rule_compiler.cc.o.d"
+  "libft_control.a"
+  "libft_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/addressing.cc" "src/core/CMakeFiles/ft_core.dir/addressing.cc.o" "gcc" "src/core/CMakeFiles/ft_core.dir/addressing.cc.o.d"
+  "/root/repo/src/core/flat_tree.cc" "src/core/CMakeFiles/ft_core.dir/flat_tree.cc.o" "gcc" "src/core/CMakeFiles/ft_core.dir/flat_tree.cc.o.d"
+  "/root/repo/src/core/multi_stage.cc" "src/core/CMakeFiles/ft_core.dir/multi_stage.cc.o" "gcc" "src/core/CMakeFiles/ft_core.dir/multi_stage.cc.o.d"
+  "/root/repo/src/core/profiling.cc" "src/core/CMakeFiles/ft_core.dir/profiling.cc.o" "gcc" "src/core/CMakeFiles/ft_core.dir/profiling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ft_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_core.dir/addressing.cc.o"
+  "CMakeFiles/ft_core.dir/addressing.cc.o.d"
+  "CMakeFiles/ft_core.dir/flat_tree.cc.o"
+  "CMakeFiles/ft_core.dir/flat_tree.cc.o.d"
+  "CMakeFiles/ft_core.dir/multi_stage.cc.o"
+  "CMakeFiles/ft_core.dir/multi_stage.cc.o.d"
+  "CMakeFiles/ft_core.dir/profiling.cc.o"
+  "CMakeFiles/ft_core.dir/profiling.cc.o.d"
+  "libft_core.a"
+  "libft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

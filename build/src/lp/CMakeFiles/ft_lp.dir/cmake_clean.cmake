@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_lp.dir/mcf.cc.o"
+  "CMakeFiles/ft_lp.dir/mcf.cc.o.d"
+  "CMakeFiles/ft_lp.dir/simplex.cc.o"
+  "CMakeFiles/ft_lp.dir/simplex.cc.o.d"
+  "CMakeFiles/ft_lp.dir/throughput.cc.o"
+  "CMakeFiles/ft_lp.dir/throughput.cc.o.d"
+  "libft_lp.a"
+  "libft_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

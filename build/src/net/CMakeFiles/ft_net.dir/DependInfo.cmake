@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/capacity.cc" "src/net/CMakeFiles/ft_net.dir/capacity.cc.o" "gcc" "src/net/CMakeFiles/ft_net.dir/capacity.cc.o.d"
+  "/root/repo/src/net/dot.cc" "src/net/CMakeFiles/ft_net.dir/dot.cc.o" "gcc" "src/net/CMakeFiles/ft_net.dir/dot.cc.o.d"
+  "/root/repo/src/net/failures.cc" "src/net/CMakeFiles/ft_net.dir/failures.cc.o" "gcc" "src/net/CMakeFiles/ft_net.dir/failures.cc.o.d"
+  "/root/repo/src/net/graph.cc" "src/net/CMakeFiles/ft_net.dir/graph.cc.o" "gcc" "src/net/CMakeFiles/ft_net.dir/graph.cc.o.d"
+  "/root/repo/src/net/rng.cc" "src/net/CMakeFiles/ft_net.dir/rng.cc.o" "gcc" "src/net/CMakeFiles/ft_net.dir/rng.cc.o.d"
+  "/root/repo/src/net/stats.cc" "src/net/CMakeFiles/ft_net.dir/stats.cc.o" "gcc" "src/net/CMakeFiles/ft_net.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

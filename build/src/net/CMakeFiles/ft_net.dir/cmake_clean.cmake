@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_net.dir/capacity.cc.o"
+  "CMakeFiles/ft_net.dir/capacity.cc.o.d"
+  "CMakeFiles/ft_net.dir/dot.cc.o"
+  "CMakeFiles/ft_net.dir/dot.cc.o.d"
+  "CMakeFiles/ft_net.dir/failures.cc.o"
+  "CMakeFiles/ft_net.dir/failures.cc.o.d"
+  "CMakeFiles/ft_net.dir/graph.cc.o"
+  "CMakeFiles/ft_net.dir/graph.cc.o.d"
+  "CMakeFiles/ft_net.dir/rng.cc.o"
+  "CMakeFiles/ft_net.dir/rng.cc.o.d"
+  "CMakeFiles/ft_net.dir/stats.cc.o"
+  "CMakeFiles/ft_net.dir/stats.cc.o.d"
+  "libft_net.a"
+  "libft_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

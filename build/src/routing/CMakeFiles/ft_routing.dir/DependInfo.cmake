@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/ecmp.cc" "src/routing/CMakeFiles/ft_routing.dir/ecmp.cc.o" "gcc" "src/routing/CMakeFiles/ft_routing.dir/ecmp.cc.o.d"
+  "/root/repo/src/routing/ksp.cc" "src/routing/CMakeFiles/ft_routing.dir/ksp.cc.o" "gcc" "src/routing/CMakeFiles/ft_routing.dir/ksp.cc.o.d"
+  "/root/repo/src/routing/path.cc" "src/routing/CMakeFiles/ft_routing.dir/path.cc.o" "gcc" "src/routing/CMakeFiles/ft_routing.dir/path.cc.o.d"
+  "/root/repo/src/routing/rules.cc" "src/routing/CMakeFiles/ft_routing.dir/rules.cc.o" "gcc" "src/routing/CMakeFiles/ft_routing.dir/rules.cc.o.d"
+  "/root/repo/src/routing/segment_routing.cc" "src/routing/CMakeFiles/ft_routing.dir/segment_routing.cc.o" "gcc" "src/routing/CMakeFiles/ft_routing.dir/segment_routing.cc.o.d"
+  "/root/repo/src/routing/source_routing.cc" "src/routing/CMakeFiles/ft_routing.dir/source_routing.cc.o" "gcc" "src/routing/CMakeFiles/ft_routing.dir/source_routing.cc.o.d"
+  "/root/repo/src/routing/two_level.cc" "src/routing/CMakeFiles/ft_routing.dir/two_level.cc.o" "gcc" "src/routing/CMakeFiles/ft_routing.dir/two_level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ft_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

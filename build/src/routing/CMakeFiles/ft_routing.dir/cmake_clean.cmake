@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_routing.dir/ecmp.cc.o"
+  "CMakeFiles/ft_routing.dir/ecmp.cc.o.d"
+  "CMakeFiles/ft_routing.dir/ksp.cc.o"
+  "CMakeFiles/ft_routing.dir/ksp.cc.o.d"
+  "CMakeFiles/ft_routing.dir/path.cc.o"
+  "CMakeFiles/ft_routing.dir/path.cc.o.d"
+  "CMakeFiles/ft_routing.dir/rules.cc.o"
+  "CMakeFiles/ft_routing.dir/rules.cc.o.d"
+  "CMakeFiles/ft_routing.dir/segment_routing.cc.o"
+  "CMakeFiles/ft_routing.dir/segment_routing.cc.o.d"
+  "CMakeFiles/ft_routing.dir/source_routing.cc.o"
+  "CMakeFiles/ft_routing.dir/source_routing.cc.o.d"
+  "CMakeFiles/ft_routing.dir/two_level.cc.o"
+  "CMakeFiles/ft_routing.dir/two_level.cc.o.d"
+  "libft_routing.a"
+  "libft_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

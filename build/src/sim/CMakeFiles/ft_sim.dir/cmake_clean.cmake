@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_sim.dir/fluid.cc.o"
+  "CMakeFiles/ft_sim.dir/fluid.cc.o.d"
+  "CMakeFiles/ft_sim.dir/packet.cc.o"
+  "CMakeFiles/ft_sim.dir/packet.cc.o.d"
+  "libft_sim.a"
+  "libft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_topo.dir/clos.cc.o"
+  "CMakeFiles/ft_topo.dir/clos.cc.o.d"
+  "CMakeFiles/ft_topo.dir/params.cc.o"
+  "CMakeFiles/ft_topo.dir/params.cc.o.d"
+  "CMakeFiles/ft_topo.dir/random_graph.cc.o"
+  "CMakeFiles/ft_topo.dir/random_graph.cc.o.d"
+  "libft_topo.a"
+  "libft_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

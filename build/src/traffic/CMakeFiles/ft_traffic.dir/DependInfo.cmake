@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/apps.cc" "src/traffic/CMakeFiles/ft_traffic.dir/apps.cc.o" "gcc" "src/traffic/CMakeFiles/ft_traffic.dir/apps.cc.o.d"
+  "/root/repo/src/traffic/io.cc" "src/traffic/CMakeFiles/ft_traffic.dir/io.cc.o" "gcc" "src/traffic/CMakeFiles/ft_traffic.dir/io.cc.o.d"
+  "/root/repo/src/traffic/patterns.cc" "src/traffic/CMakeFiles/ft_traffic.dir/patterns.cc.o" "gcc" "src/traffic/CMakeFiles/ft_traffic.dir/patterns.cc.o.d"
+  "/root/repo/src/traffic/traces.cc" "src/traffic/CMakeFiles/ft_traffic.dir/traces.cc.o" "gcc" "src/traffic/CMakeFiles/ft_traffic.dir/traces.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ft_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_traffic.dir/apps.cc.o"
+  "CMakeFiles/ft_traffic.dir/apps.cc.o.d"
+  "CMakeFiles/ft_traffic.dir/io.cc.o"
+  "CMakeFiles/ft_traffic.dir/io.cc.o.d"
+  "CMakeFiles/ft_traffic.dir/patterns.cc.o"
+  "CMakeFiles/ft_traffic.dir/patterns.cc.o.d"
+  "CMakeFiles/ft_traffic.dir/traces.cc.o"
+  "CMakeFiles/ft_traffic.dir/traces.cc.o.d"
+  "libft_traffic.a"
+  "libft_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clos.dir/test_clos.cc.o"
+  "CMakeFiles/test_clos.dir/test_clos.cc.o.d"
+  "test_clos"
+  "test_clos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecmp.dir/test_ecmp.cc.o"
+  "CMakeFiles/test_ecmp.dir/test_ecmp.cc.o.d"
+  "test_ecmp"
+  "test_ecmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flat_tree.dir/test_flat_tree.cc.o"
+  "CMakeFiles/test_flat_tree.dir/test_flat_tree.cc.o.d"
+  "test_flat_tree"
+  "test_flat_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flat_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gradual.dir/test_gradual.cc.o"
+  "CMakeFiles/test_gradual.dir/test_gradual.cc.o.d"
+  "test_gradual"
+  "test_gradual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gradual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

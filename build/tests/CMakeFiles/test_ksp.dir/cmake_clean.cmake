@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ksp.dir/test_ksp.cc.o"
+  "CMakeFiles/test_ksp.dir/test_ksp.cc.o.d"
+  "test_ksp"
+  "test_ksp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ksp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

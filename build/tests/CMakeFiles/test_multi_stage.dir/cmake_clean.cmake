@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_stage.dir/test_multi_stage.cc.o"
+  "CMakeFiles/test_multi_stage.dir/test_multi_stage.cc.o.d"
+  "test_multi_stage"
+  "test_multi_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiling.dir/test_profiling.cc.o"
+  "CMakeFiles/test_profiling.dir/test_profiling.cc.o.d"
+  "test_profiling"
+  "test_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

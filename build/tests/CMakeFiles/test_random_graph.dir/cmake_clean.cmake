@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_graph.dir/test_random_graph.cc.o"
+  "CMakeFiles/test_random_graph.dir/test_random_graph.cc.o.d"
+  "test_random_graph"
+  "test_random_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

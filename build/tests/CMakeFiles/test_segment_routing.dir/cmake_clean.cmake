@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_segment_routing.dir/test_segment_routing.cc.o"
+  "CMakeFiles/test_segment_routing.dir/test_segment_routing.cc.o.d"
+  "test_segment_routing"
+  "test_segment_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_segment_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

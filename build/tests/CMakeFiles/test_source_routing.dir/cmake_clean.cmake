@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_source_routing.dir/test_source_routing.cc.o"
+  "CMakeFiles/test_source_routing.dir/test_source_routing.cc.o.d"
+  "test_source_routing"
+  "test_source_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_source_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
