@@ -29,6 +29,22 @@ CompiledMode::CompiledMode(const FlatTree& tree, ModeAssignment assignment,
   }
 }
 
+RepairApplication CompiledMode::apply_repair(
+    std::shared_ptr<const Graph> graph, std::vector<ConverterConfig> configs,
+    std::span<const NodeId> failed_switches) {
+  RepairApplication application;
+  // The outgoing realization must outlive the rebind: the cache still points
+  // at it and checks node-id compatibility against it.
+  const std::shared_ptr<const Graph> outgoing = std::move(graph_);
+  graph_ = std::move(graph);
+  configs_ = std::move(configs);
+  application.pairs_invalidated =
+      paths_->rebind_and_invalidate(*graph_, failed_switches,
+                                    &application.evicted);
+  application.pairs_retained = paths_->cached_pairs();
+  return application;
+}
+
 Controller::Controller(FlatTree tree, ControllerOptions options)
     : tree_{std::move(tree)}, options_{options} {}
 
@@ -80,6 +96,76 @@ ConversionReport Controller::plan_conversion(const CompiledMode& from,
   report.add_s = static_cast<double>(report.rules_added) *
                  options_.delay.rule_add_s / controllers;
   return report;
+}
+
+RepairPlan Controller::plan_repair(CompiledMode& mode,
+                                   const FailureSet& failures,
+                                   const RepairOptions& repair_options) const {
+  const Graph& old_graph = mode.graph();
+  RepairPlan plan;
+  plan.configs = mode.configs();
+
+  // Repair-by-reconfiguration: a side/cross 6-port converter breaks its
+  // server out onto a core switch; if that core died, the server is
+  // stranded behind a dead box. Flipping the converter — and its side peer,
+  // since bundles configure pairwise — to local re-homes both servers onto
+  // their aggregation switches through circuits that avoid the failure.
+  const auto cores = old_graph.nodes_with_role(NodeRole::kCore);
+  std::vector<bool> core_dead(cores.size(), false);
+  for (NodeId id : failures.switches) {
+    if (id.index() < old_graph.node_count() &&
+        old_graph.node(id).role == NodeRole::kCore) {
+      core_dead[id.value() - cores.front().value()] = true;
+    }
+  }
+  if (repair_options.allow_converter_rewire) {
+    const auto converters = tree_.converters();
+    for (std::size_t i = 0; i < converters.size(); ++i) {
+      const bool on_core = plan.configs[i] == ConverterConfig::kSide ||
+                           plan.configs[i] == ConverterConfig::kCross;
+      if (!on_core || !core_dead[converters[i].core]) continue;
+      plan.configs[i] = ConverterConfig::kLocal;
+      plan.configs[converters[i].side_peer.index()] = ConverterConfig::kLocal;
+      plan.used_converter_rewire = true;
+    }
+  }
+  for (std::size_t i = 0; i < plan.configs.size(); ++i) {
+    if (plan.configs[i] != mode.configs()[i]) ++plan.converters_changed;
+  }
+
+  // The post-repair operating topology: re-realize if circuits moved (the
+  // failure set's link ids then need node-pair resolution against the old
+  // realization), otherwise degrade in place.
+  if (plan.used_converter_rewire) {
+    plan.graph = std::make_shared<const Graph>(
+        degrade_mapped(tree_.realize(plan.configs), old_graph, failures));
+  } else {
+    plan.graph = std::make_shared<const Graph>(degrade(old_graph, failures));
+  }
+
+  // Incremental routing update: evict exactly the broken pairs, re-solve
+  // them on the repaired topology, and price the rule delta per evicted
+  // pair — recovery latency scales with the blast radius, not the network.
+  RepairApplication application =
+      mode.apply_repair(plan.graph, plan.configs, failures.switches);
+  plan.pairs_invalidated = application.pairs_invalidated;
+  plan.pairs_retained = application.pairs_retained;
+  for (const EvictedPair& pair : application.evicted) {
+    plan.rules_deleted += pair.rules;
+    for (const Path& path : mode.paths().switch_paths(pair.src, pair.dst)) {
+      if (!path.empty()) plan.rules_added += path.size() - 1;
+    }
+  }
+
+  plan.ocs_s = plan.converters_changed > 0 ? options_.delay.ocs_reconfigure_s
+                                           : 0.0;
+  const double controllers =
+      std::max<std::uint32_t>(1, options_.delay.controllers);
+  plan.delete_s = static_cast<double>(plan.rules_deleted) *
+                  options_.delay.rule_delete_s / controllers;
+  plan.add_s = static_cast<double>(plan.rules_added) *
+               options_.delay.rule_add_s / controllers;
+  return plan;
 }
 
 std::vector<ModeAssignment> Controller::gradual_plan(

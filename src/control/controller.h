@@ -16,10 +16,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/addressing.h"
 #include "core/flat_tree.h"
+#include "net/failures.h"
 #include "net/graph.h"
 #include "routing/ksp.h"
 #include "routing/rules.h"
@@ -54,6 +56,13 @@ struct ConversionReport {
   [[nodiscard]] double total_s() const { return ocs_s + delete_s + add_s; }
 };
 
+// What a repair did to a CompiledMode's routing state (see apply_repair).
+struct RepairApplication {
+  std::size_t pairs_invalidated{0};  // cache entries evicted
+  std::size_t pairs_retained{0};     // cache entries that survived
+  std::vector<EvictedPair> evicted;  // the evicted pairs + old rule counts
+};
+
 // Everything the network needs to operate one mode assignment.
 class CompiledMode {
  public:
@@ -68,6 +77,19 @@ class CompiledMode {
   [[nodiscard]] std::shared_ptr<const Graph> graph_ptr() const { return graph_; }
   [[nodiscard]] PathCache& paths() const { return *paths_; }
   [[nodiscard]] std::uint32_t k() const { return k_; }
+
+  // Switches the live mode to a repaired operating topology without a full
+  // recompile: replaces the graph and converter configs, then incrementally
+  // invalidates the path cache — only pairs whose paths traverse a failed
+  // switch or a severed adjacency are evicted; everything else keeps
+  // serving. `graph` must share node ids with the current graph (every
+  // flat-tree realization and every degrade() of one does). The rule-count
+  // statistics are NOT recomputed — they keep describing the last full
+  // compile; the incremental delta lives in the returned application and
+  // the RepairPlan built from it.
+  RepairApplication apply_repair(std::shared_ptr<const Graph> graph,
+                                 std::vector<ConverterConfig> configs,
+                                 std::span<const NodeId> failed_switches);
 
   // Prefix-aggregated rule statistics (only if compiled with count_rules).
   [[nodiscard]] bool has_rule_counts() const { return has_rule_counts_; }
@@ -97,6 +119,36 @@ struct ControllerOptions {
   bool count_rules{true};  // disable for large topologies
 };
 
+struct RepairOptions {
+  // Consider converter reconfiguration as a repair action: a side/cross
+  // converter whose core switch died has its broken-out server stranded on
+  // the dead box; flipping the converter pair to local re-homes both
+  // servers onto their aggregation switches (costing one OCS pass).
+  bool allow_converter_rewire{true};
+};
+
+// An incremental recovery plan: the post-repair operating topology, the
+// converter reconfigurations, and the rule-table delta priced with the
+// same Table-3 delay model as full conversions. Unlike a ConversionReport
+// (busiest-switch table rewritten wholesale), the rule counts here are the
+// exact per-pair delta: only rules for path-cache entries broken by the
+// failure are deleted and replaced.
+struct RepairPlan {
+  std::uint32_t converters_changed{0};
+  std::uint64_t rules_deleted{0};
+  std::uint64_t rules_added{0};
+  double ocs_s{0.0};
+  double delete_s{0.0};
+  double add_s{0.0};
+  [[nodiscard]] double total_s() const { return ocs_s + delete_s + add_s; }
+
+  std::size_t pairs_invalidated{0};
+  std::size_t pairs_retained{0};
+  bool used_converter_rewire{false};
+  std::vector<ConverterConfig> configs;   // post-repair converter configs
+  std::shared_ptr<const Graph> graph;     // post-repair operating topology
+};
+
 class Controller {
  public:
   Controller(FlatTree tree, ControllerOptions options);
@@ -113,6 +165,20 @@ class Controller {
 
   [[nodiscard]] ConversionReport plan_conversion(const CompiledMode& from,
                                                  const CompiledMode& to) const;
+
+  // Recovery after `failures` strike while `mode` is live. Recomputes
+  // routing state excluding the failed elements *incrementally*: the mode's
+  // path cache keeps every entry untouched by the failure and re-solves
+  // only the broken pairs on the degraded topology, so the rule delta (and
+  // hence the recovery latency) scales with the blast radius instead of the
+  // network size. With allow_converter_rewire, servers stranded on a failed
+  // core switch are rescued by flipping their converter pair to local —
+  // repair-by-reconfiguration, the flat-tree-native recovery action. `mode`
+  // is mutated: after the call its graph() is the repaired topology and its
+  // paths() serve routes around the failure.
+  [[nodiscard]] RepairPlan plan_repair(
+      CompiledMode& mode, const FailureSet& failures,
+      const RepairOptions& repair_options = RepairOptions{}) const;
 
   // §4.3: "they can convert the topology gradually involving some of the
   // network devices... e.g. draining parts of the network incrementally

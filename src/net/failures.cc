@@ -1,17 +1,82 @@
 #include "net/failures.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace flattree {
 
-Graph remove_links(const Graph& graph, const std::vector<LinkId>& failed) {
-  std::vector<bool> dead(graph.link_count(), false);
-  for (LinkId id : failed) {
-    if (id.index() >= graph.link_count()) {
-      throw std::invalid_argument("remove_links: link id out of range");
+void FailureSet::merge(const FailureSet& other) {
+  links.insert(links.end(), other.links.begin(), other.links.end());
+  switches.insert(switches.end(), other.switches.begin(),
+                  other.switches.end());
+}
+
+void FailureSchedule::insert(FailureEvent event) {
+  if (!(event.time_s >= 0.0)) {
+    throw std::invalid_argument("FailureSchedule: event time must be >= 0");
+  }
+  // Stable insertion keeps equal-time events in the order they were added.
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event.time_s,
+      [](double t, const FailureEvent& e) { return t < e.time_s; });
+  events_.insert(pos, std::move(event));
+}
+
+FailureSchedule& FailureSchedule::fail_at(double time_s,
+                                          FailureSet elements) {
+  insert(FailureEvent{time_s, false, std::move(elements)});
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::recover_at(double time_s,
+                                             FailureSet elements) {
+  insert(FailureEvent{time_s, true, std::move(elements)});
+  return *this;
+}
+
+FailureSet FailureSchedule::active_at(double time_s) const {
+  std::unordered_set<LinkId> links;
+  std::unordered_set<NodeId> switches;
+  for (const FailureEvent& event : events_) {
+    if (event.time_s > time_s) break;
+    for (LinkId id : event.elements.links) {
+      if (event.recover) links.erase(id); else links.insert(id);
     }
-    dead[id.index()] = true;
+    for (NodeId id : event.elements.switches) {
+      if (event.recover) switches.erase(id); else switches.insert(id);
+    }
+  }
+  FailureSet active;
+  active.links.assign(links.begin(), links.end());
+  active.switches.assign(switches.begin(), switches.end());
+  std::sort(active.links.begin(), active.links.end());
+  std::sort(active.switches.begin(), active.switches.end());
+  return active;
+}
+
+Graph remove_links(const Graph& graph, const std::vector<LinkId>& failed) {
+  return degrade(graph, FailureSet{failed, {}});
+}
+
+Graph degrade(const Graph& graph, const FailureSet& failures) {
+  std::vector<bool> dead_link(graph.link_count(), false);
+  for (LinkId id : failures.links) {
+    if (id.index() >= graph.link_count()) {
+      throw std::invalid_argument("degrade: link id out of range");
+    }
+    dead_link[id.index()] = true;
+  }
+  std::vector<bool> dead_switch(graph.node_count(), false);
+  for (NodeId id : failures.switches) {
+    if (id.index() >= graph.node_count()) {
+      throw std::invalid_argument("degrade: node id out of range");
+    }
+    if (!is_switch(graph.node(id).role)) {
+      throw std::invalid_argument("degrade: failed node is not a switch");
+    }
+    dead_switch[id.index()] = true;
   }
   Graph out;
   for (std::uint32_t i = 0; i < graph.node_count(); ++i) {
@@ -19,16 +84,49 @@ Graph remove_links(const Graph& graph, const std::vector<LinkId>& failed) {
     out.add_node(n.role, n.pod);
   }
   for (std::uint32_t i = 0; i < graph.link_count(); ++i) {
-    if (dead[i]) continue;
+    if (dead_link[i]) continue;
     const Link& l = graph.link(LinkId{i});
+    // A failed switch severs its fabric links; server access links survive
+    // (the server stays cabled to the dead box, unreachable through it).
+    const bool fabric =
+        is_switch(graph.node(l.a).role) && is_switch(graph.node(l.b).role);
+    if (fabric && (dead_switch[l.a.index()] || dead_switch[l.b.index()])) {
+      continue;
+    }
     out.add_link(l.a, l.b, l.capacity_bps);
   }
   return out;
 }
 
+Graph degrade_mapped(const Graph& graph, const Graph& reference,
+                     const FailureSet& failures) {
+  const auto pair_key = [](NodeId a, NodeId b) {
+    const auto lo = std::min(a.value(), b.value());
+    const auto hi = std::max(a.value(), b.value());
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  };
+  std::unordered_set<std::uint64_t> severed;
+  for (LinkId id : failures.links) {
+    if (id.index() >= reference.link_count()) {
+      throw std::invalid_argument("degrade_mapped: link id out of range");
+    }
+    const Link& l = reference.link(id);
+    severed.insert(pair_key(l.a, l.b));
+  }
+  FailureSet mapped;
+  mapped.switches = failures.switches;
+  for (std::uint32_t i = 0; i < graph.link_count(); ++i) {
+    const Link& l = graph.link(LinkId{i});
+    if (severed.contains(pair_key(l.a, l.b))) mapped.links.push_back(LinkId{i});
+  }
+  return degrade(graph, mapped);
+}
+
 std::vector<LinkId> sample_fabric_failures(const Graph& graph,
                                            double fraction, Rng& rng) {
-  if (fraction < 0 || fraction > 1) {
+  // Written as a negated conjunction so NaN (which compares false against
+  // everything) is rejected too.
+  if (!(fraction >= 0.0 && fraction <= 1.0)) {
     throw std::invalid_argument("sample_fabric_failures: bad fraction");
   }
   std::vector<LinkId> fabric;
@@ -42,6 +140,38 @@ std::vector<LinkId> sample_fabric_failures(const Graph& graph,
   fabric.resize(static_cast<std::size_t>(fraction * fabric.size()));
   std::sort(fabric.begin(), fabric.end());
   return fabric;
+}
+
+std::vector<NodeId> sample_switch_failures(const Graph& graph, NodeRole role,
+                                           double fraction, Rng& rng) {
+  if (!(fraction >= 0.0 && fraction <= 1.0)) {
+    throw std::invalid_argument("sample_switch_failures: bad fraction");
+  }
+  if (!is_switch(role)) {
+    throw std::invalid_argument("sample_switch_failures: servers never fail");
+  }
+  std::vector<NodeId> pool = graph.nodes_with_role(role);
+  shuffle(pool, rng);
+  pool.resize(static_cast<std::size_t>(fraction * pool.size()));
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+FailureSet core_column_failure(const Graph& graph, std::uint32_t first_core,
+                               std::uint32_t count) {
+  const std::vector<NodeId> cores = graph.nodes_with_role(NodeRole::kCore);
+  if (cores.empty()) {
+    throw std::invalid_argument("core_column_failure: graph has no cores");
+  }
+  if (count > cores.size()) {
+    throw std::invalid_argument("core_column_failure: count exceeds cores");
+  }
+  FailureSet set;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    set.switches.push_back(cores[(first_core + i) % cores.size()]);
+  }
+  std::sort(set.switches.begin(), set.switches.end());
+  return set;
 }
 
 bool servers_connected(const Graph& graph) {

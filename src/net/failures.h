@@ -1,11 +1,22 @@
-// Link-failure modeling.
+// Failure modeling: static graph surgery and live fail/recover schedules.
 //
 // The paper asserts (§4.2.1, footnote 2) that flat-tree, approximating
 // random graph networks, should inherit their graceful throughput
 // degradation under failure, and leaves the evaluation to future work. This
-// module provides the substrate: derive a degraded copy of a network with a
-// chosen set (or random fraction) of switch-switch links removed, keeping
-// node ids stable so workloads and routing carry over unchanged.
+// module provides the substrate in two tiers:
+//
+//   * Static: derive a degraded copy of a network with a chosen set (or
+//     random fraction) of links and/or switches removed, keeping node ids
+//     stable so workloads and routing carry over unchanged.
+//   * Dynamic: a FailureSchedule of time-stamped fail/recover events that
+//     the simulators consume mid-run (FluidSimulator::run_with_schedule,
+//     PacketSim::apply_failure / run_with_schedule) and the controller
+//     repairs around (Controller::plan_repair).
+//
+// Failed switches keep their node id and their server access links — the
+// servers stay physically cabled to a dead box — but lose every
+// switch-switch link, so traffic through them (and to their servers) dies
+// exactly as it does in a real fabric.
 #pragma once
 
 #include <cstdint>
@@ -16,17 +27,93 @@
 
 namespace flattree {
 
+// A set of simultaneously failed elements. Links and switches compose: a
+// correlated event (a dead core column, a cut cable bundle) is one set.
+struct FailureSet {
+  std::vector<LinkId> links;
+  std::vector<NodeId> switches;
+
+  [[nodiscard]] bool empty() const { return links.empty() && switches.empty(); }
+  [[nodiscard]] std::size_t size() const {
+    return links.size() + switches.size();
+  }
+  void merge(const FailureSet& other);
+};
+
+// One fail or recover event. Events with equal timestamps apply in
+// insertion order.
+struct FailureEvent {
+  double time_s{0.0};
+  bool recover{false};  // false = elements fail, true = elements recover
+  FailureSet elements;
+};
+
+// A time-ordered script of fail/recover events, the unit both simulators
+// and the controller consume. Recovering an element that is not currently
+// failed is a no-op (schedules may be sliced and replayed).
+class FailureSchedule {
+ public:
+  FailureSchedule& fail_at(double time_s, FailureSet elements);
+  FailureSchedule& recover_at(double time_s, FailureSet elements);
+
+  [[nodiscard]] const std::vector<FailureEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  // Cumulative failed set after applying every event with time <= time_s.
+  [[nodiscard]] FailureSet active_at(double time_s) const;
+
+ private:
+  void insert(FailureEvent event);
+
+  std::vector<FailureEvent> events_;  // sorted by time, stable on ties
+};
+
 // A copy of `graph` without the given links. Node ids (and therefore server
 // identities) are preserved; link ids are renumbered. Throws if an id is
 // out of range.
 [[nodiscard]] Graph remove_links(const Graph& graph,
                                  const std::vector<LinkId>& failed);
 
+// A copy of `graph` degraded by `failures`: failed links are removed, and
+// failed switches lose every switch-switch link (their server access links
+// survive, leaving those servers attached but unreachable — see the header
+// comment). Node ids are preserved; link ids are renumbered. Throws
+// std::invalid_argument on out-of-range ids or if a listed switch is a
+// server.
+[[nodiscard]] Graph degrade(const Graph& graph, const FailureSet& failures);
+
+// degrade() for a graph whose link numbering differs from the one the
+// failure set was expressed against (e.g. a converter-rewired repair
+// realization): link ids are resolved to node pairs in `reference`, and
+// every link of `graph` between such a pair is removed — node ids are the
+// stable currency across realizations; link ids are not. Switch failures
+// apply as in degrade().
+[[nodiscard]] Graph degrade_mapped(const Graph& graph, const Graph& reference,
+                                   const FailureSet& failures);
+
 // Uniformly samples `fraction` of the switch-switch links (server access
 // links never fail — the paper's failure discussions concern the fabric).
 [[nodiscard]] std::vector<LinkId> sample_fabric_failures(const Graph& graph,
                                                          double fraction,
                                                          Rng& rng);
+
+// Uniformly samples `fraction` of the switches with the given role.
+[[nodiscard]] std::vector<NodeId> sample_switch_failures(const Graph& graph,
+                                                         NodeRole role,
+                                                         double fraction,
+                                                         Rng& rng);
+
+// Correlated failure: `count` consecutive core switches starting at core
+// index `first_core` (by index_in_role, wrapping modulo the core count).
+// With the flat-tree Pod-core wiring (§3.2), column j's connectors land on
+// the consecutive core group [j*g, (j+1)*g), so first_core = j*g and
+// count = g fails a whole core column. Throws if the graph has no cores or
+// count exceeds the core count.
+[[nodiscard]] FailureSet core_column_failure(const Graph& graph,
+                                             std::uint32_t first_core,
+                                             std::uint32_t count);
 
 // True if every server can still reach every other server.
 [[nodiscard]] bool servers_connected(const Graph& graph);

@@ -70,6 +70,13 @@ NodeId Graph::peer(LinkId link_id, NodeId from) const {
   throw std::logic_error("Graph::peer: node is not an endpoint of link");
 }
 
+bool Graph::adjacent(NodeId a, NodeId b) const {
+  for (const Adjacency& adj : neighbors(a)) {
+    if (adj.peer == b) return true;
+  }
+  return false;
+}
+
 std::vector<NodeId> Graph::nodes_with_role(NodeRole role) const {
   std::vector<NodeId> result;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {

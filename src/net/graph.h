@@ -79,6 +79,9 @@ class Graph {
   // The node on the other end of `link` from `from`.
   [[nodiscard]] NodeId peer(LinkId link, NodeId from) const;
 
+  // True if at least one link connects a and b (O(degree(a))).
+  [[nodiscard]] bool adjacent(NodeId a, NodeId b) const;
+
   [[nodiscard]] std::vector<NodeId> nodes_with_role(NodeRole role) const;
   [[nodiscard]] std::size_t count_role(NodeRole role) const;
 

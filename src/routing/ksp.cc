@@ -132,6 +132,49 @@ const std::vector<Path>& PathCache::switch_paths(NodeId src_switch,
   return cache_.emplace(key, std::move(paths)).first->second;
 }
 
+std::size_t PathCache::rebind_and_invalidate(
+    const Graph& graph, std::span<const NodeId> failed_switches,
+    std::vector<EvictedPair>* evicted_out) {
+  if (graph.node_count() != graph_->node_count()) {
+    throw std::invalid_argument(
+        "PathCache::rebind_and_invalidate: node ids must be shared");
+  }
+  graph_ = &graph;
+  solver_ = KspSolver{graph};
+  std::vector<bool> failed(graph.node_count(), false);
+  for (NodeId id : failed_switches) failed[id.index()] = true;
+  const auto broken = [&](const Path& path) {
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (failed[path[i].index()]) return true;
+      if (i + 1 < path.size() && !graph.adjacent(path[i], path[i + 1])) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::size_t evicted = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    const bool evict = it->second.empty() ||
+                       std::any_of(it->second.begin(), it->second.end(), broken);
+    if (evict) {
+      if (evicted_out != nullptr) {
+        EvictedPair pair;
+        pair.src = NodeId{static_cast<std::uint32_t>(it->first >> 32)};
+        pair.dst = NodeId{static_cast<std::uint32_t>(it->first & 0xffffffffu)};
+        for (const Path& path : it->second) {
+          if (!path.empty()) pair.rules += path.size() - 1;
+        }
+        evicted_out->push_back(pair);
+      }
+      it = cache_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
 std::vector<Path> PathCache::server_paths(NodeId src_server,
                                           NodeId dst_server) {
   const NodeId src_sw = graph_->attachment_switch(src_server);

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -46,6 +47,16 @@ class KspSolver {
   const Graph* graph_;
 };
 
+// One cache entry evicted by PathCache::rebind_and_invalidate, with the
+// forwarding-rule footprint its old paths occupied (one rule per switch
+// hop). This is what lets the controller price an incremental repair
+// without replaying the full rule compilation.
+struct EvictedPair {
+  NodeId src{};
+  NodeId dst{};
+  std::uint64_t rules{0};
+};
+
 // Memoizing façade: computes and caches the k-shortest switch-to-switch
 // paths on demand. Experiments touch only the switch pairs their traffic
 // uses, so lazy computation keeps large topologies tractable.
@@ -66,6 +77,23 @@ class PathCache {
 
   [[nodiscard]] std::uint32_t k() const { return k_; }
   [[nodiscard]] std::size_t cached_pairs() const { return cache_.size(); }
+
+  // Incremental invalidation for failure repair: rebinds the cache (and
+  // future computations) to `graph` — which must share node ids with the
+  // current graph — and evicts exactly the entries broken by the change: a
+  // pair is evicted if an endpoint is in `failed_switches` or any cached
+  // path transits a failed switch or hops across a node pair that is no
+  // longer adjacent. Surviving entries keep their paths, which stay valid
+  // (though possibly no longer globally shortest — a full recompile
+  // restores optimality). Returns the number of evicted pairs; if
+  // `evicted_out` is non-null it receives each evicted pair with its old
+  // rule footprint. The caller owns `graph` and must keep it alive while
+  // the cache is in use.
+  std::size_t rebind_and_invalidate(
+      const Graph& graph, std::span<const NodeId> failed_switches,
+      std::vector<EvictedPair>* evicted_out = nullptr);
+
+  void clear() { cache_.clear(); }
 
  private:
   const Graph* graph_;

@@ -1,9 +1,11 @@
 #include "sim/fluid.h"
 
 #include <algorithm>
-#include <map>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <map>
+#include <memory>
 #include <queue>
 #include <stdexcept>
 
@@ -53,6 +55,13 @@ std::vector<double> FluidSimulator::measure_rates(const Workload& flows) {
 }
 
 std::vector<FluidFlowResult> FluidSimulator::run(const Workload& flows) {
+  return run_with_schedule(flows, FailureSchedule{}, 0.0, nullptr, nullptr);
+}
+
+std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
+    const Workload& flows, const FailureSchedule& schedule,
+    double repair_lag_s, const RoutingRefresh& refresh,
+    ScheduleRunStats* stats_out) {
   struct FlowState {
     double remaining{0.0};
     std::uint32_t deps_remaining{0};
@@ -94,20 +103,115 @@ std::vector<FluidFlowResult> FluidSimulator::run(const Workload& flows) {
   std::vector<double> rates;  // parallel to `active`
   double now = 0.0;
 
+  // ---- live failure state --------------------------------------------------
+  ScheduleRunStats stats;
+  const std::vector<FailureEvent>& events = schedule.events();
+  std::size_t next_event = 0;
+  // Pending routing-state refreshes, one per consumed event, each firing
+  // one repair lag after its event.
+  std::priority_queue<double, std::vector<double>, std::greater<>> refreshes;
+  std::vector<bool> failed_link(graph_->link_count(), false);
+  std::vector<bool> failed_switch(graph_->node_count(), false);
+  // Per-direction capacity of the live topology; failures subtract from the
+  // base value, recovery restores it.
+  std::vector<double> effective(topology_.directed_count(), 0.0);
+  for (std::size_t e = 0; e < effective.size(); ++e) {
+    effective[e] = topology_.capacity(static_cast<std::uint32_t>(e));
+  }
+  // Keeps the degraded graph alive while `current_provider` routes on it.
+  std::shared_ptr<const Graph> degraded_graph;
+  PathProvider current_provider = provider_;
+
+  const auto recompute_effective = [&]() {
+    std::vector<double> undirected(topology_.edge_count(), 0.0);
+    for (std::uint32_t i = 0; i < graph_->link_count(); ++i) {
+      if (failed_link[i]) continue;
+      const Link& l = graph_->link(LinkId{i});
+      const bool fabric = is_switch(graph_->node(l.a).role) &&
+                          is_switch(graph_->node(l.b).role);
+      if (fabric && (failed_switch[l.a.index()] || failed_switch[l.b.index()])) {
+        continue;
+      }
+      undirected[*topology_.edge_between(l.a, l.b)] += l.capacity_bps;
+    }
+    for (std::size_t e = 0; e < effective.size(); ++e) {
+      effective[e] = undirected[e / 2];
+    }
+  };
+
+  const auto apply_event = [&](const FailureEvent& event) {
+    for (LinkId id : event.elements.links) {
+      if (id.index() >= failed_link.size()) {
+        throw std::invalid_argument("run_with_schedule: link id out of range");
+      }
+      failed_link[id.index()] = !event.recover;
+    }
+    for (NodeId id : event.elements.switches) {
+      if (id.index() >= failed_switch.size()) {
+        throw std::invalid_argument("run_with_schedule: node id out of range");
+      }
+      failed_switch[id.index()] = !event.recover;
+    }
+    recompute_effective();
+    if (event.recover) ++stats.recover_events; else ++stats.fail_events;
+    refreshes.push(event.time_s + repair_lag_s);
+  };
+
   const auto reallocate = [&]() {
     McfInstance instance;
-    instance.capacity.assign(topology_.directed_count(), 0.0);
-    for (std::size_t e = 0; e < topology_.directed_count(); ++e) {
-      instance.capacity[e] = topology_.capacity(static_cast<std::uint32_t>(e));
-    }
-    for (std::uint32_t f : active) {
+    instance.capacity = effective;
+    // Flows without a route (black-holed) stay at rate zero and are kept
+    // out of the instance (the allocator rejects empty commodities).
+    std::vector<std::size_t> slot(active.size(), SIZE_MAX);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (state[active[i]].path_edges.empty()) continue;
       McfCommodity commodity;
-      commodity.paths = state[f].path_edges;
+      commodity.paths = state[active[i]].path_edges;
+      slot[i] = instance.commodities.size();
       instance.commodities.push_back(std::move(commodity));
     }
-    rates = options_.rate_model == RateModel::kEqualSplit
-                ? solve_equal_split_fill(instance).flow_rate
-                : solve_max_min_fill(instance).flow_rate;
+    const std::vector<double> solved =
+        options_.rate_model == RateModel::kEqualSplit
+            ? solve_equal_split_fill(instance).flow_rate
+            : solve_max_min_fill(instance).flow_rate;
+    rates.assign(active.size(), 0.0);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (slot[i] != SIZE_MAX) rates[i] = solved[slot[i]];
+    }
+  };
+
+  // Routing state catches up with the live topology: rebuild the provider
+  // over the degraded graph and re-path every unfinished flow through it.
+  const auto do_refresh = [&]() {
+    ++stats.refreshes;
+    if (!refresh) return;
+    FailureSet active_set;
+    for (std::uint32_t i = 0; i < failed_link.size(); ++i) {
+      if (failed_link[i]) active_set.links.push_back(LinkId{i});
+    }
+    for (std::uint32_t i = 0; i < failed_switch.size(); ++i) {
+      if (failed_switch[i]) active_set.switches.push_back(NodeId{i});
+    }
+    degraded_graph =
+        std::make_shared<const Graph>(degrade(*graph_, active_set));
+    current_provider = refresh(*degraded_graph);
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (!state[f].active) continue;
+      const auto paths = current_provider(
+          NodeId{flows[f].src}, NodeId{flows[f].dst},
+          static_cast<std::uint32_t>(f));
+      if (paths.empty()) {
+        ++stats.black_holed;  // disconnected pair: stays stalled
+        continue;
+      }
+      std::vector<std::vector<std::uint32_t>> edges;
+      edges.reserve(paths.size());
+      for (const Path& p : paths) edges.push_back(topology_.path_edges(p));
+      if (edges != state[f].path_edges) {
+        state[f].path_edges = std::move(edges);
+        ++stats.reroutes;
+      }
+    }
   };
 
   const auto complete_flow = [&](std::uint32_t f) {
@@ -126,13 +230,47 @@ std::vector<FluidFlowResult> FluidSimulator::run(const Workload& flows) {
     }
   };
 
-  while (!active.empty() || !arrivals.empty()) {
+  // Non-scheduled runs keep the historical contract that a provider
+  // returning no paths is a logic error; under a schedule an empty path set
+  // is a legitimate black-holed flow.
+  const bool scheduled = !events.empty();
+
+  // Next point at which anything other than a flow completion happens.
+  const auto next_change = [&]() {
+    double t = std::numeric_limits<double>::infinity();
+    if (!arrivals.empty()) t = std::min(t, arrivals.top().first);
+    if (next_event < events.size()) {
+      t = std::min(t, events[next_event].time_s);
+    }
+    if (!refreshes.empty()) t = std::min(t, refreshes.top());
+    return t;
+  };
+
+  while (!active.empty() || !arrivals.empty() || next_event < events.size() ||
+         !refreshes.empty()) {
     if (now > options_.max_time_s) break;
 
-    // Admit every arrival due now (or the earliest future one if idle).
-    if (active.empty() && !arrivals.empty()) {
-      now = std::max(now, arrivals.top().first);
+    // If nothing is flowing, jump to the next change (arrival, failure
+    // event, or routing refresh).
+    if (active.empty() && std::isfinite(next_change())) {
+      now = std::max(now, next_change());
     }
+
+    // Consume every failure event and routing refresh due now.
+    bool changed = false;
+    while (next_event < events.size() &&
+           events[next_event].time_s <= now + 1e-12) {
+      apply_event(events[next_event]);
+      ++next_event;
+      changed = true;
+    }
+    while (!refreshes.empty() && refreshes.top() <= now + 1e-12) {
+      refreshes.pop();
+      do_refresh();
+      changed = true;
+    }
+
+    // Admit every arrival due now.
     bool admitted = false;
     while (!arrivals.empty() && arrivals.top().first <= now + 1e-12) {
       const std::uint32_t f = arrivals.top().second;
@@ -140,13 +278,27 @@ std::vector<FluidFlowResult> FluidSimulator::run(const Workload& flows) {
       if (state[f].released) continue;
       state[f].released = true;
       state[f].active = true;
-      state[f].path_edges = resolve_paths(topology_, provider_, flows[f], f);
+      if (scheduled) {
+        const auto paths = current_provider(NodeId{flows[f].src},
+                                            NodeId{flows[f].dst}, f);
+        state[f].path_edges.clear();
+        if (paths.empty()) {
+          ++stats.black_holed;  // no route yet; re-pathed at a refresh
+        } else {
+          for (const Path& p : paths) {
+            state[f].path_edges.push_back(topology_.path_edges(p));
+          }
+        }
+      } else {
+        state[f].path_edges =
+            resolve_paths(topology_, current_provider, flows[f], f);
+      }
       results[f].started = true;
       results[f].start_s = now;
       active.push_back(f);
       admitted = true;
     }
-    if (admitted || rates.size() != active.size()) reallocate();
+    if (admitted || changed || rates.size() != active.size()) reallocate();
 
     // Time to next completion among active flows.
     double dt_complete = std::numeric_limits<double>::infinity();
@@ -156,14 +308,13 @@ std::vector<FluidFlowResult> FluidSimulator::run(const Workload& flows) {
             std::min(dt_complete, state[active[i]].remaining * 8.0 / rates[i]);
       }
     }
-    double next_arrival = std::numeric_limits<double>::infinity();
-    if (!arrivals.empty()) next_arrival = arrivals.top().first;
+    const double change_t = next_change();
 
-    if (!std::isfinite(dt_complete) && !std::isfinite(next_arrival)) {
-      break;  // starved flows with no future arrivals: give up
+    if (!std::isfinite(dt_complete) && !std::isfinite(change_t)) {
+      break;  // starved flows with nothing left to change that: give up
     }
 
-    double next_time = std::min(now + dt_complete, next_arrival);
+    double next_time = std::min(now + dt_complete, change_t);
     bool horizon_hit = false;
     if (next_time > options_.max_time_s) {
       next_time = options_.max_time_s;
@@ -198,6 +349,7 @@ std::vector<FluidFlowResult> FluidSimulator::run(const Workload& flows) {
     }
   }
 
+  if (stats_out != nullptr) *stats_out = stats;
   return results;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/capacity.h"
+#include "net/failures.h"
 #include "net/graph.h"
 #include "routing/path.h"
 #include "traffic/flow.h"
@@ -64,6 +65,24 @@ struct FluidOptions {
 [[nodiscard]] std::vector<CoflowStats> coflow_completion_times(
     const Workload& flows, const std::vector<FluidFlowResult>& results);
 
+// Called when the control plane refreshes routing state after a failure or
+// recovery event (one repair lag after the event). Receives the currently
+// degraded topology (node ids shared with the base graph; the reference
+// stays valid until the next refresh or the end of the run) and returns the
+// provider all subsequent path lookups use — typically a PathCache over the
+// degraded graph, or a CompiledMode cache repaired incrementally via
+// Controller::plan_repair.
+using RoutingRefresh = std::function<PathProvider(const Graph& degraded)>;
+
+// Observability counters for a scheduled (failure-injected) run.
+struct ScheduleRunStats {
+  std::uint32_t fail_events{0};
+  std::uint32_t recover_events{0};
+  std::uint32_t refreshes{0};    // routing-state refreshes performed
+  std::uint32_t reroutes{0};     // flows whose path set actually changed
+  std::uint32_t black_holed{0};  // flow lookups that found no route
+};
+
 class FluidSimulator {
  public:
   FluidSimulator(const Graph& graph, PathProvider provider,
@@ -71,6 +90,20 @@ class FluidSimulator {
 
   // Event-driven FCT simulation for finite flows (bytes > 0).
   [[nodiscard]] std::vector<FluidFlowResult> run(const Workload& flows);
+
+  // run() under a live failure schedule. At each event the failed elements'
+  // capacity drops to zero immediately (flows crossing them stall — the
+  // data plane breaks at once); `repair_lag_s` later the routing state
+  // refreshes: `refresh` supplies a provider over the degraded topology and
+  // every unfinished flow is re-pathed through it (flows whose pair is
+  // disconnected keep their stalled paths until a recovery event restores a
+  // route). Recovery events restore capacity the same way — data plane
+  // first, routing one repair lag behind. A null `refresh` keeps the
+  // original provider throughout (capacity changes only, no rerouting).
+  [[nodiscard]] std::vector<FluidFlowResult> run_with_schedule(
+      const Workload& flows, const FailureSchedule& schedule,
+      double repair_lag_s, const RoutingRefresh& refresh,
+      ScheduleRunStats* stats = nullptr);
 
   // Steady-state max-min rates (bits/s) for persistent flows: all flows
   // active simultaneously; returns the per-flow rate vector.

@@ -33,12 +33,25 @@ void PacketSim::update_pipes(const Graph& graph, double blackout_s,
       Pipe& pipe = pipes_[pipe_index];
       const auto it = wanted.find(key(from, to));
       if (it == wanted.end()) {
-        // Circuit rewired away: everything queued on it is lost.
+        // Circuit rewired away: everything queued on it is lost. The dead
+        // pipe stays in the map so a later recovery resurrects the same
+        // index — subflows hold pipe indices, and a flow whose route is
+        // unchanged across fail + recover must come back to a live pipe.
         pipe.dead = true;
         drops_ += pipe.queue.size();
         pipe.queue.clear();
         pipe.queued_bytes = 0;
+        if (from < new_map.size()) {
+          new_map[from].emplace_back(to, pipe_index);
+        }
         continue;
+      }
+      if (pipe.dead) {
+        // The circuit is back (failure recovered): revive in place. The
+        // queue is already empty; traffic resumes on the next send.
+        pipe.dead = false;
+        pipe.rate_bps = it->second;
+        pipe.blocked_until = std::max(pipe.blocked_until, stall_until);
       }
       if (pipe.rate_bps != it->second) {
         // Cable re-terminated at a different rate: treat as rewired.
@@ -472,6 +485,20 @@ void PacketSim::apply_conversion(
   }
 }
 
+void PacketSim::apply_failure(const Graph& degraded_graph) {
+  if (!network_set_) {
+    throw std::logic_error("PacketSim: set_network before apply_failure");
+  }
+  // Pipes missing from the degraded graph die (queues dropped) and swallow
+  // everything still routed into them; surviving pipes are untouched — no
+  // blackout and no re-pathing until the controller's repair arrives.
+  update_pipes(degraded_graph, 0.0, ConversionScope::kChangedOnly);
+}
+
+const std::vector<Path>& PacketSim::flow_paths(std::uint32_t flow) const {
+  return flows_.at(flow).current_paths;
+}
+
 std::uint64_t PacketSim::flow_bytes_acked(std::uint32_t flow) const {
   return flows_.at(flow).bytes_acked;
 }
@@ -488,6 +515,58 @@ std::uint64_t PacketSim::total_bytes_acked() const {
   std::uint64_t total = 0;
   for (const SimFlow& flow : flows_) total += flow.bytes_acked;
   return total;
+}
+
+void run_with_schedule(
+    PacketSim& sim, const Graph& base, const FailureSchedule& schedule,
+    const std::function<std::vector<Path>(std::uint32_t, const Graph&)>&
+        repath,
+    double horizon_s, const PacketScheduleOptions& options) {
+  // Two steps per schedule event: the data plane breaks (or heals) at the
+  // event time, the control plane installs refreshed routes one repair lag
+  // later. Ties resolve data-plane first — a repair landing exactly when the
+  // next failure strikes still repairs the pre-failure state.
+  struct Step {
+    double t{0.0};
+    bool repair{false};
+    std::size_t event{0};
+  };
+  const auto& events = schedule.events();
+  std::vector<Step> steps;
+  steps.reserve(2 * events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    steps.push_back({events[i].time_s, false, i});
+    steps.push_back({events[i].time_s + options.repair_lag_s, true, i});
+  }
+  std::stable_sort(steps.begin(), steps.end(),
+                   [](const Step& a, const Step& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     return !a.repair && b.repair;
+                   });
+
+  for (const Step& step : steps) {
+    if (step.t > horizon_s) break;
+    sim.run_until(step.t);
+    // The controller reacts to the event this step belongs to: its repair
+    // reflects the failure state as of that event (later events get their
+    // own, later, repair steps).
+    const FailureSet active = schedule.active_at(events[step.event].time_s);
+    if (!step.repair) {
+      sim.apply_failure(degrade(base, active));
+      continue;
+    }
+    const Graph repaired =
+        options.planner ? options.planner(active) : degrade(base, active);
+    sim.apply_conversion(
+        repaired,
+        [&](std::uint32_t fi) -> std::vector<Path> {
+          auto paths = repath(fi, repaired);
+          if (paths.empty()) return sim.flow_paths(fi);  // pair disconnected
+          return paths;
+        },
+        options.rule_blackout_s, options.scope);
+  }
+  sim.run_until(horizon_s);
 }
 
 }  // namespace flattree

@@ -33,6 +33,7 @@
 #include <set>
 #include <vector>
 
+#include "net/failures.h"
 #include "net/graph.h"
 #include "routing/path.h"
 
@@ -85,9 +86,21 @@ class PacketSim {
       double blackout_s,
       ConversionScope scope = ConversionScope::kFullBlackout);
 
+  // Data-plane failure at the current simulation time: pipes absent from
+  // `degraded_graph` die immediately (queues dropped) and black-hole every
+  // packet still routed into them — no blackout, no re-pathing. Senders
+  // keep retransmitting into the holes and collapse through RTO backoff,
+  // exactly the pre-repair behaviour; routing catches up only when a later
+  // apply_conversion() installs refreshed paths (the controller's repair,
+  // one repair lag behind the failure).
+  void apply_failure(const Graph& degraded_graph);
+
   // -- metrics --------------------------------------------------------------
 
   [[nodiscard]] double now() const { return now_; }
+  // The subflow paths currently installed for a flow (post-conversion they
+  // reflect the newest path set).
+  [[nodiscard]] const std::vector<Path>& flow_paths(std::uint32_t flow) const;
   [[nodiscard]] std::uint64_t flow_bytes_acked(std::uint32_t flow) const;
   [[nodiscard]] bool flow_completed(std::uint32_t flow) const;
   [[nodiscard]] double flow_finish_time(std::uint32_t flow) const;
@@ -222,5 +235,33 @@ class PacketSim {
   std::vector<SimFlow> flows_;
   std::vector<Subflow> subflows_;
 };
+
+// -- failure schedule driver -------------------------------------------------
+
+struct PacketScheduleOptions {
+  double repair_lag_s{0.2};     // failure event -> routing refresh delay
+  double rule_blackout_s{0.0};  // switch-table rewrite stall at each repair
+  ConversionScope scope{ConversionScope::kChangedOnly};
+  // Optional repair planner: maps the active failure set to the post-repair
+  // operating topology (e.g. Controller::plan_repair's converter-rewired
+  // graph). Null = pure rerouting on degrade(base, active). Link ids in the
+  // schedule always refer to `base`'s numbering; a planner that rewires must
+  // keep node ids stable (every FlatTree realization does).
+  std::function<Graph(const FailureSet& active)> planner;
+};
+
+// Drives `sim` through a failure schedule against the realized graph
+// `base`: at each event the data plane degrades (or recovers) immediately
+// via apply_failure(); repair_lag_s later the control plane installs
+// refreshed routes via apply_conversion(). `repath` receives each flow
+// index and the post-repair topology and returns the flow's new subflow
+// paths — returning an empty set keeps the flow's current (possibly
+// black-holed) paths, the fate of a disconnected pair. Finally runs the
+// event loop to `horizon_s`.
+void run_with_schedule(
+    PacketSim& sim, const Graph& base, const FailureSchedule& schedule,
+    const std::function<std::vector<Path>(std::uint32_t, const Graph&)>&
+        repath,
+    double horizon_s, const PacketScheduleOptions& options = {});
 
 }  // namespace flattree

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "net/failures.h"
+
 namespace flattree {
 namespace {
 
@@ -150,6 +154,182 @@ TEST(Controller, DisableRuleCounting) {
   const Controller ctl{FlatTree{p}, options};
   const CompiledMode mode = ctl.compile_uniform(PodMode::kClos);
   EXPECT_FALSE(mode.has_rule_counts());
+}
+
+// Warm every server pair so the repair below sees the full blast radius.
+void warm_all_pairs(CompiledMode& mode) {
+  const auto servers = mode.graph().servers();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    for (std::size_t j = i + 1; j < servers.size(); ++j) {
+      (void)mode.paths().server_paths(servers[i], servers[j]);
+    }
+  }
+}
+
+TEST(Repair, SingleLinkRepairUpdatesFewerRulesThanRecompile) {
+  const Controller ctl = testbed_controller();
+  CompiledMode live = ctl.compile_uniform(PodMode::kGlobal);
+  ASSERT_TRUE(live.has_rule_counts());
+  const std::uint64_t full_rules = live.total_rules();
+  warm_all_pairs(live);
+  const std::size_t warm = live.paths().cached_pairs();
+
+  // Fail one fabric link that some cached path actually uses: the first
+  // switch-switch hop of a multi-hop cached path (paths from server_paths
+  // are server - switch ... switch - server, so hop [1]-[2] is fabric).
+  const Graph& g = live.graph();
+  LinkId victim{};
+  bool found = false;
+  const auto servers = g.servers();
+  for (std::size_t i = 1; i < servers.size() && !found; ++i) {
+    for (const Path& path : live.paths().server_paths(servers[0], servers[i])) {
+      if (path.size() < 4) continue;
+      for (std::uint32_t l = 0; l < g.link_count(); ++l) {
+        const Link& link = g.link(LinkId{l});
+        if ((link.a == path[1] && link.b == path[2]) ||
+            (link.b == path[1] && link.a == path[2])) {
+          victim = LinkId{l};
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+  }
+  ASSERT_TRUE(found);
+  const std::size_t links_before = g.link_count();
+
+  // plan_repair swaps the mode's graph; the old realization (and the `g`
+  // reference) is dead beyond this point.
+  const FailureSet failure{{victim}, {}};
+  const RepairPlan plan = ctl.plan_repair(live, failure);
+
+  // The incremental repair touched only the broken pairs...
+  EXPECT_GT(plan.pairs_invalidated, 0u);
+  EXPECT_GT(plan.pairs_retained, 0u);
+  EXPECT_EQ(plan.pairs_invalidated + plan.pairs_retained, warm);
+  EXPECT_GT(plan.rules_deleted, 0u);
+  EXPECT_GT(plan.rules_added, 0u);
+  // ...so it rewrites strictly fewer rules than recompiling the mode, which
+  // deletes and reinstalls every rule in the network.
+  EXPECT_LT(plan.rules_deleted + plan.rules_added, 2 * full_rules);
+  EXPECT_LT(plan.rules_deleted, full_rules);
+  // No circuits moved for a plain link failure.
+  EXPECT_FALSE(plan.used_converter_rewire);
+  EXPECT_EQ(plan.converters_changed, 0u);
+  EXPECT_DOUBLE_EQ(plan.ocs_s, 0.0);
+  EXPECT_GT(plan.total_s(), 0.0);
+
+  // The mode now operates on the repaired topology: the link is gone and
+  // re-solved paths route around it.
+  EXPECT_EQ(&live.graph(), plan.graph.get());
+  EXPECT_EQ(live.graph().link_count(), links_before - 1);
+  for (std::size_t i = 1; i < servers.size(); ++i) {
+    for (const Path& path : live.paths().server_paths(servers[0], servers[i])) {
+      EXPECT_TRUE(is_valid_path(live.graph(), path));
+    }
+  }
+}
+
+TEST(Repair, ConverterRewireRescuesServersOnDeadCores) {
+  const Controller ctl = testbed_controller();
+  CompiledMode live = ctl.compile_uniform(PodMode::kGlobal);
+  const Graph& g = live.graph();
+  const auto cores = g.nodes_with_role(NodeRole::kCore);
+  const FailureSet column =
+      core_column_failure(g, 0, ctl.tree().clos().core_connectors_per_edge());
+  ASSERT_FALSE(column.switches.empty());
+
+  // Find a server broken out onto one of the dead cores.
+  const auto converters = ctl.tree().converters();
+  NodeId stranded = NodeId::invalid();
+  for (std::size_t i = 0; i < converters.size(); ++i) {
+    if (live.configs()[i] != ConverterConfig::kSide &&
+        live.configs()[i] != ConverterConfig::kCross) {
+      continue;
+    }
+    const NodeId core = cores[converters[i].core];
+    if (std::find(column.switches.begin(), column.switches.end(), core) ==
+        column.switches.end()) {
+      continue;
+    }
+    stranded = g.servers()[converters[i].server];
+    break;
+  }
+  ASSERT_TRUE(stranded.valid());
+  EXPECT_EQ(g.node(g.attachment_switch(stranded)).role, NodeRole::kCore);
+  const NodeId other = g.servers().front() == stranded ? g.servers()[1]
+                                                       : g.servers().front();
+
+  // Without the rewire the server stays cabled to the dead core.
+  {
+    CompiledMode frozen = ctl.compile_uniform(PodMode::kGlobal);
+    RepairOptions no_rewire;
+    no_rewire.allow_converter_rewire = false;
+    const RepairPlan plan = ctl.plan_repair(frozen, column, no_rewire);
+    EXPECT_FALSE(plan.used_converter_rewire);
+    EXPECT_EQ(plan.converters_changed, 0u);
+    EXPECT_DOUBLE_EQ(plan.ocs_s, 0.0);
+    const Graph& repaired = *plan.graph;
+    EXPECT_EQ(repaired.node(repaired.attachment_switch(stranded)).role,
+              NodeRole::kCore);
+    EXPECT_FALSE(servers_connected(repaired));
+  }
+
+  // With the rewire the converter pair flips to local, re-homing the
+  // stranded servers onto their aggregation switches in one OCS pass.
+  // (plan_repair swaps live's graph: `g` is dead beyond this point.)
+  const RepairPlan plan = ctl.plan_repair(live, column);
+  EXPECT_TRUE(plan.used_converter_rewire);
+  EXPECT_GE(plan.converters_changed, 2u);
+  EXPECT_EQ(plan.converters_changed % 2, 0u);  // side bundles flip pairwise
+  EXPECT_DOUBLE_EQ(plan.ocs_s, 0.160);
+  const Graph& repaired = live.graph();
+  EXPECT_EQ(repaired.node(repaired.attachment_switch(stranded)).role,
+            NodeRole::kAgg);
+  EXPECT_TRUE(servers_connected(repaired));
+  // Routes to the rescued server exist and are valid on the repaired graph.
+  const auto paths = live.paths().server_paths(other, stranded);
+  ASSERT_FALSE(paths.empty());
+  for (const Path& path : paths) {
+    EXPECT_TRUE(is_valid_path(repaired, path));
+  }
+}
+
+TEST(Repair, RepairCostScalesWithBlastRadius) {
+  // A one-link failure must price cheaper than a whole dead core column on
+  // the same warm cache — recovery latency tracks the blast radius.
+  const Controller ctl = testbed_controller();
+
+  CompiledMode small = ctl.compile_uniform(PodMode::kClos);
+  warm_all_pairs(small);
+  // One agg-core link.
+  const Graph& g = small.graph();
+  LinkId agg_core{};
+  bool found = false;
+  for (std::uint32_t l = 0; l < g.link_count() && !found; ++l) {
+    const Link& link = g.link(LinkId{l});
+    const auto ra = g.node(link.a).role;
+    const auto rb = g.node(link.b).role;
+    if ((ra == NodeRole::kAgg && rb == NodeRole::kCore) ||
+        (ra == NodeRole::kCore && rb == NodeRole::kAgg)) {
+      agg_core = LinkId{l};
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  const RepairPlan link_plan =
+      ctl.plan_repair(small, FailureSet{{agg_core}, {}});
+
+  CompiledMode big = ctl.compile_uniform(PodMode::kClos);
+  warm_all_pairs(big);
+  const FailureSet column = core_column_failure(
+      big.graph(), 0, ctl.tree().clos().core_connectors_per_edge());
+  const RepairPlan column_plan = ctl.plan_repair(big, column);
+
+  EXPECT_LT(link_plan.pairs_invalidated, column_plan.pairs_invalidated);
+  EXPECT_LE(link_plan.rules_deleted, column_plan.rules_deleted);
+  EXPECT_LT(link_plan.total_s(), column_plan.total_s());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "core/flat_tree.h"
@@ -67,6 +68,141 @@ TEST(SampleFabricFailures, BadFractionThrows) {
                std::invalid_argument);
   EXPECT_THROW((void)sample_fabric_failures(g, -0.1, rng),
                std::invalid_argument);
+  // NaN compares false against every bound, so a naive range check passes
+  // it through; the validation must reject it explicitly.
+  EXPECT_THROW(
+      (void)sample_fabric_failures(g, std::numeric_limits<double>::quiet_NaN(),
+                                   rng),
+      std::invalid_argument);
+}
+
+TEST(SampleSwitchFailures, SamplesOnlyRequestedRole) {
+  const Graph g = build_clos(ClosParams::testbed());
+  Rng rng{7};
+  const auto failed = sample_switch_failures(g, NodeRole::kCore, 0.5, rng);
+  EXPECT_FALSE(failed.empty());
+  for (NodeId id : failed) {
+    EXPECT_EQ(g.node(id).role, NodeRole::kCore);
+  }
+}
+
+TEST(SampleSwitchFailures, RejectsBadInputs) {
+  const Graph g = build_clos(ClosParams::testbed());
+  Rng rng{7};
+  EXPECT_THROW((void)sample_switch_failures(g, NodeRole::kCore, 2.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)sample_switch_failures(
+                   g, NodeRole::kCore, std::numeric_limits<double>::quiet_NaN(),
+                   rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)sample_switch_failures(g, NodeRole::kServer, 0.5, rng),
+               std::invalid_argument);
+}
+
+TEST(Degrade, SwitchFailureSeversFabricKeepsServerLinks) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const NodeId edge = g.nodes_with_role(NodeRole::kEdge).front();
+  const Graph degraded = degrade(g, FailureSet{{}, {edge}});
+  EXPECT_EQ(degraded.node_count(), g.node_count());
+  // Every neighbor left on the dead edge switch is a server: the servers
+  // stay cabled to the dead box, all switch-switch links are gone.
+  std::size_t server_links = 0;
+  for (const Adjacency& adj : degraded.neighbors(edge)) {
+    EXPECT_EQ(degraded.node(adj.peer).role, NodeRole::kServer);
+    ++server_links;
+  }
+  EXPECT_GT(server_links, 0u);
+  // Those servers are attached but unreachable from the rest.
+  EXPECT_FALSE(servers_connected(degraded));
+  EXPECT_EQ(degraded.attachment_switch(degraded.neighbors(edge)[0].peer),
+            edge);
+}
+
+TEST(Degrade, RejectsServerAsFailedSwitch) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const NodeId server = g.servers().front();
+  EXPECT_THROW((void)degrade(g, FailureSet{{}, {server}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)degrade(g, FailureSet{{}, {NodeId{99999}}}),
+               std::invalid_argument);
+}
+
+TEST(DegradeMapped, ResolvesLinksAcrossRealizations) {
+  // The same flat-tree in two modes: link ids differ, node ids are shared.
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  const FlatTree tree{p};
+  const Graph global = tree.realize_uniform(PodMode::kGlobal);
+  const Graph local = tree.realize_uniform(PodMode::kLocal);
+  // Pick a fabric link that exists (as a node pair) in both realizations.
+  for (std::uint32_t i = 0; i < global.link_count(); ++i) {
+    const Link& l = global.link(LinkId{i});
+    if (!is_switch(global.node(l.a).role) || !is_switch(global.node(l.b).role))
+      continue;
+    if (!local.adjacent(l.a, l.b)) continue;
+    const Graph degraded = degrade_mapped(local, global, FailureSet{{LinkId{i}}, {}});
+    EXPECT_LT(degraded.link_count(), local.link_count());
+    EXPECT_FALSE(degraded.adjacent(l.a, l.b));
+    return;
+  }
+  FAIL() << "no shared fabric pair between realizations";
+}
+
+TEST(CoreColumnFailure, SelectsConsecutiveCoresWrapping) {
+  const Graph g = build_clos(ClosParams::testbed());
+  const auto cores = g.nodes_with_role(NodeRole::kCore);
+  ASSERT_GE(cores.size(), 2u);
+  const FailureSet wrap = core_column_failure(
+      g, static_cast<std::uint32_t>(cores.size()) - 1, 2);
+  ASSERT_EQ(wrap.switches.size(), 2u);
+  EXPECT_EQ(wrap.switches.front(), cores.front());
+  EXPECT_EQ(wrap.switches.back(), cores.back());
+  EXPECT_THROW((void)core_column_failure(
+                   g, 0, static_cast<std::uint32_t>(cores.size()) + 1),
+               std::invalid_argument);
+}
+
+TEST(FailureSchedule, EventsSortedStably) {
+  FailureSchedule schedule;
+  schedule.fail_at(2.0, FailureSet{{LinkId{2}}, {}});
+  schedule.fail_at(1.0, FailureSet{{LinkId{0}}, {}});
+  schedule.recover_at(1.0, FailureSet{{LinkId{1}}, {}});
+  ASSERT_EQ(schedule.events().size(), 3u);
+  EXPECT_DOUBLE_EQ(schedule.events()[0].time_s, 1.0);
+  // Equal timestamps keep insertion order: the fail added first stays first.
+  EXPECT_FALSE(schedule.events()[0].recover);
+  EXPECT_TRUE(schedule.events()[1].recover);
+  EXPECT_DOUBLE_EQ(schedule.events()[2].time_s, 2.0);
+}
+
+TEST(FailureSchedule, ActiveAtAccumulates) {
+  FailureSchedule schedule;
+  schedule.fail_at(1.0, FailureSet{{LinkId{0}, LinkId{1}}, {NodeId{9}}});
+  schedule.recover_at(2.0, FailureSet{{LinkId{0}}, {}});
+  EXPECT_TRUE(schedule.active_at(0.5).empty());
+  const FailureSet mid = schedule.active_at(1.5);
+  EXPECT_EQ(mid.links.size(), 2u);
+  EXPECT_EQ(mid.switches.size(), 1u);
+  const FailureSet late = schedule.active_at(3.0);
+  ASSERT_EQ(late.links.size(), 1u);
+  EXPECT_EQ(late.links[0], LinkId{1});
+  EXPECT_EQ(late.switches.size(), 1u);
+}
+
+TEST(FailureSchedule, RecoverWithoutFailIsNoop) {
+  FailureSchedule schedule;
+  schedule.recover_at(1.0, FailureSet{{LinkId{3}}, {NodeId{2}}});
+  EXPECT_TRUE(schedule.active_at(5.0).empty());
+}
+
+TEST(FailureSchedule, NegativeTimeThrows) {
+  FailureSchedule schedule;
+  EXPECT_THROW(schedule.fail_at(-0.1, FailureSet{}), std::invalid_argument);
+  EXPECT_THROW(
+      schedule.fail_at(std::numeric_limits<double>::quiet_NaN(), FailureSet{}),
+      std::invalid_argument);
 }
 
 TEST(ServersConnected, DetectsPartition) {
@@ -133,6 +269,89 @@ TEST(FailureResilience, GlobalDegradesMoreGracefullyThanClos) {
   // The flattened topology's worst flow must not degrade worse than the
   // Clos mode's.
   EXPECT_GE(global_ratio, clos_ratio - 0.05);
+}
+
+TEST(ServersConnected, SingleServerIsTriviallyConnected) {
+  Graph g;
+  const NodeId s = g.add_node(NodeRole::kServer);
+  const NodeId e = g.add_node(NodeRole::kEdge);
+  g.add_link(s, e, 1e9);
+  EXPECT_TRUE(servers_connected(g));
+}
+
+TEST(ServersConnected, SwitchOnlyCutWithServersReachable) {
+  // Two edges joined by two parallel fabric paths through distinct aggs;
+  // cutting one agg's links partitions nothing server-visible.
+  Graph g;
+  const NodeId s0 = g.add_node(NodeRole::kServer);
+  const NodeId s1 = g.add_node(NodeRole::kServer);
+  const NodeId e0 = g.add_node(NodeRole::kEdge);
+  const NodeId e1 = g.add_node(NodeRole::kEdge);
+  const NodeId a0 = g.add_node(NodeRole::kAgg);
+  const NodeId a1 = g.add_node(NodeRole::kAgg);
+  g.add_link(s0, e0, 1e9);
+  g.add_link(s1, e1, 1e9);
+  const LinkId e0a0 = g.add_link(e0, a0, 1e9);
+  g.add_link(e1, a0, 1e9);
+  const LinkId e0a1 = g.add_link(e0, a1, 1e9);
+  const LinkId e1a1 = g.add_link(e1, a1, 1e9);
+  // Isolate a1 entirely: a switch becomes unreachable, but both servers
+  // still reach each other through a0 — the predicate is about servers,
+  // not about graph-wide connectivity.
+  const Graph degraded = remove_links(g, {e0a1, e1a1});
+  EXPECT_FALSE(degraded.connected());
+  EXPECT_TRUE(servers_connected(degraded));
+  // Cutting the remaining e0 uplink partitions the servers.
+  EXPECT_FALSE(servers_connected(remove_links(g, {e0a0, e0a1})));
+}
+
+TEST(ServersConnected, FullyPartitioned) {
+  // Every fabric link gone: each server sits alone behind its edge switch.
+  Graph g;
+  const NodeId s0 = g.add_node(NodeRole::kServer);
+  const NodeId s1 = g.add_node(NodeRole::kServer);
+  const NodeId e0 = g.add_node(NodeRole::kEdge);
+  const NodeId e1 = g.add_node(NodeRole::kEdge);
+  g.add_link(s0, e0, 1e9);
+  g.add_link(s1, e1, 1e9);
+  EXPECT_FALSE(servers_connected(g));
+}
+
+TEST(PathCacheInvalidate, EvictsOnlyBrokenPairsAndReportsRules) {
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  const FlatTree tree{p};
+  const Graph g = tree.realize_uniform(PodMode::kClos);
+  PathCache cache{g, 4};
+  const auto servers = g.servers();
+  // Warm the cache with a handful of pairs.
+  for (std::size_t i = 0; i + 1 < servers.size(); i += 2) {
+    (void)cache.server_paths(servers[i], servers[i + 1]);
+  }
+  const std::size_t warm = cache.cached_pairs();
+  ASSERT_GT(warm, 0u);
+
+  // Kill one core switch; pairs in the same pod never transit cores, so
+  // some cached pairs must survive while inter-pod ones are evicted.
+  const NodeId core = g.nodes_with_role(NodeRole::kCore).front();
+  const Graph degraded = degrade(g, FailureSet{{}, {core}});
+  std::vector<EvictedPair> evicted;
+  const std::vector<NodeId> failed{core};
+  const std::size_t n = cache.rebind_and_invalidate(degraded, failed, &evicted);
+  EXPECT_EQ(n, evicted.size());
+  EXPECT_EQ(cache.cached_pairs(), warm - n);
+  for (const EvictedPair& pair : evicted) {
+    EXPECT_GT(pair.rules, 0u);
+  }
+  // Survivors still hold valid paths on the degraded graph.
+  for (std::size_t i = 0; i + 1 < servers.size(); i += 2) {
+    for (const Path& path : cache.server_paths(servers[i], servers[i + 1])) {
+      EXPECT_TRUE(is_valid_path(degraded, path));
+      for (NodeId hop : path) EXPECT_NE(hop, core);
+    }
+  }
 }
 
 TEST(FailureResilience, RoutingSurvivesModestFailures) {

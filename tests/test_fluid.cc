@@ -249,6 +249,103 @@ TEST(FluidRun, HorizonCutsOff) {
   EXPECT_TRUE(results[0].started);
 }
 
+TEST(FluidSchedule, CapacityOnlyFailureStallsAndResumes) {
+  // Null refresh: the bottleneck vanishes mid-flow and the flow stalls on
+  // its (unchanged) path until the recovery event restores capacity.
+  Dumbbell net;
+  FluidSimulator sim{net.g, ksp_provider(net.g, 1)};
+  const LinkId bottleneck{4};  // e0-e1, the fifth link added
+  FailureSchedule schedule;
+  schedule.fail_at(0.2, FailureSet{{bottleneck}, {}});
+  schedule.recover_at(1.0, FailureSet{{bottleneck}, {}});
+  Workload flows{Flow{0, 2, 1e8, 0.0}};  // 0.8 s at 1 Gb/s uninterrupted
+  ScheduleRunStats stats;
+  const auto results =
+      sim.run_with_schedule(flows, schedule, 0.05, nullptr, &stats);
+  ASSERT_TRUE(results[0].completed);
+  // 0.2 s of progress, a 0.8 s outage, then the remaining 0.6 s.
+  EXPECT_NEAR(results[0].fct_s(), 1.6, 1e-6);
+  EXPECT_EQ(stats.fail_events, 1u);
+  EXPECT_EQ(stats.recover_events, 1u);
+  EXPECT_EQ(stats.reroutes, 0u);
+}
+
+TEST(FluidSchedule, RerouteAfterRepairLag) {
+  // Two disjoint 1G paths e0-a0-e1 / e0-a1-e1; kill the agg the flow uses
+  // and check it stalls for exactly one repair lag, then finishes at full
+  // rate on the surviving path.
+  Graph g;
+  const NodeId s0 = g.add_node(NodeRole::kServer);
+  const NodeId s1 = g.add_node(NodeRole::kServer);
+  const NodeId e0 = g.add_node(NodeRole::kEdge);
+  const NodeId a0 = g.add_node(NodeRole::kAgg);
+  const NodeId a1 = g.add_node(NodeRole::kAgg);
+  const NodeId e1 = g.add_node(NodeRole::kEdge);
+  g.add_link(s0, e0, 10e9);
+  g.add_link(s1, e1, 10e9);
+  g.add_link(e0, a0, 1e9);
+  g.add_link(e0, a1, 1e9);
+  g.add_link(a0, e1, 1e9);
+  g.add_link(a1, e1, 1e9);
+
+  auto cache = std::make_shared<PathCache>(g, 1);
+  const auto paths = cache->server_paths(s0, s1);
+  ASSERT_EQ(paths.size(), 1u);
+  ASSERT_EQ(paths[0].size(), 5u);  // s0 e0 agg e1 s1
+  const NodeId agg_used = paths[0][2];
+
+  FluidSimulator sim{g, [cache](NodeId src, NodeId dst, std::uint32_t) {
+                       return cache->server_paths(src, dst);
+                     }};
+  FailureSchedule schedule;
+  schedule.fail_at(0.2, FailureSet{{}, {agg_used}});
+  const RoutingRefresh refresh = [](const Graph& degraded) -> PathProvider {
+    auto fresh = std::make_shared<PathCache>(degraded, 1);
+    return [fresh](NodeId src, NodeId dst, std::uint32_t) {
+      return fresh->server_paths(src, dst);
+    };
+  };
+  Workload flows{Flow{0, 1, 1e8, 0.0}};
+  ScheduleRunStats stats;
+  const auto results =
+      sim.run_with_schedule(flows, schedule, 0.3, refresh, &stats);
+  ASSERT_TRUE(results[0].completed);
+  // Progress stops at t=0.2; the refreshed routing lands at t=0.5 and the
+  // remaining 0.6 s drains on the other agg: 0.8 s of work + 0.3 s stalled.
+  EXPECT_NEAR(results[0].fct_s(), 1.1, 1e-6);
+  EXPECT_EQ(stats.fail_events, 1u);
+  EXPECT_EQ(stats.refreshes, 1u);
+  EXPECT_EQ(stats.reroutes, 1u);
+  EXPECT_EQ(stats.black_holed, 0u);
+}
+
+TEST(FluidSchedule, BlackHoledFlowWaitsForRecovery) {
+  // The only inter-side path dies: the routing refresh finds no route
+  // (black-holed), and the flow sits stalled until the recovery event
+  // restores its old path's capacity.
+  Dumbbell net;
+  FluidSimulator sim{net.g, ksp_provider(net.g, 1)};
+  const LinkId bottleneck{4};
+  FailureSchedule schedule;
+  schedule.fail_at(0.2, FailureSet{{bottleneck}, {}});
+  schedule.recover_at(1.0, FailureSet{{bottleneck}, {}});
+  const RoutingRefresh refresh = [](const Graph& degraded) -> PathProvider {
+    auto fresh = std::make_shared<PathCache>(degraded, 1);
+    return [fresh](NodeId src, NodeId dst, std::uint32_t) {
+      return fresh->server_paths(src, dst);
+    };
+  };
+  Workload flows{Flow{0, 2, 1e8, 0.0}};
+  ScheduleRunStats stats;
+  const auto results =
+      sim.run_with_schedule(flows, schedule, 0.1, refresh, &stats);
+  ASSERT_TRUE(results[0].completed);
+  EXPECT_NEAR(results[0].fct_s(), 1.6, 1e-6);
+  EXPECT_EQ(stats.black_holed, 1u);
+  EXPECT_EQ(stats.refreshes, 2u);
+  EXPECT_EQ(stats.reroutes, 0u);
+}
+
 TEST(FluidRun, OnClosTestbedManyFlows) {
   const Graph g = build_clos(ClosParams::testbed());
   FluidSimulator sim{g, ksp_provider(g, 4)};
