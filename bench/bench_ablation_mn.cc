@@ -3,6 +3,11 @@
 // of 6-port and 4-port converter rows per edge column. The paper's
 // profiling scheme picks the (m, n) minimizing this metric; this bench
 // prints the whole grid so the sensitivity is visible.
+//
+// Execution: each (m, n) cell realizes and profiles an independent
+// topology, so profile_mn fans the grid across the exec pool; the sweep is
+// bit-identical to serial for any --threads. Results land in
+// BENCH_ablation_mn.json.
 #include <cstdio>
 
 #include "bench/util.h"
@@ -11,8 +16,12 @@
 namespace flattree {
 namespace {
 
-void sweep(const char* label, const ClosParams& clos) {
-  const MnProfile profile = profile_mn(clos, WiringPattern::kPattern1);
+void sweep(exec::ExperimentRunner& runner, const char* label,
+           const ClosParams& clos) {
+  const MnProfile profile = runner.timed_stage(
+      std::string{"profile_mn "} + label, [&] {
+        return profile_mn(clos, WiringPattern::kPattern1, 1, runner.pool());
+      });
   std::printf("\n--- %s ---\n", label);
   bench::print_row({"m", "n", "avg-server-hops", "avg-switch-hops"}, 18);
   for (const MnCandidate& c : profile.candidates) {
@@ -20,22 +29,32 @@ void sweep(const char* label, const ClosParams& clos) {
                       bench::fmt(c.avg_server_pair_hops, 4),
                       bench::fmt(c.avg_switch_pair_hops, 4)},
                      18);
+    exec::ResultRow row;
+    row.set("layout", label)
+        .set("m", c.m)
+        .set("n", c.n)
+        .set("avg_server_pair_hops", c.avg_server_pair_hops)
+        .set("avg_switch_pair_hops", c.avg_switch_pair_hops)
+        .set("best", c.m == profile.best.m && c.n == profile.best.n);
+    runner.add_row(std::move(row));
   }
   std::printf("best: m=%u n=%u avg=%.4f\n", profile.best.m, profile.best.n,
               profile.best.avg_server_pair_hops);
 }
 
-void run() {
+void run(int argc, char** argv) {
+  exec::ExperimentRunner runner{
+      bench::parse_runner_options("ablation_mn", argc, argv, 20170821)};
   bench::print_header("Ablation: (m, n) profiling (§3.4)",
                       "global-mode average path length across the grid");
-  sweep("testbed (h/r = 2)", ClosParams::testbed());
-  sweep("topo-2 (h/r = 6)", ClosParams::topo2());
+  sweep(runner, "testbed (h/r = 2)", ClosParams::testbed());
+  sweep(runner, "topo-2 (h/r = 6)", ClosParams::topo2());
 }
 
 }  // namespace
 }  // namespace flattree
 
-int main() {
-  flattree::run();
+int main(int argc, char** argv) {
+  flattree::run(argc, argv);
   return 0;
 }

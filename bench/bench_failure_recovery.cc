@@ -89,7 +89,22 @@ Graph union_with(const Graph& base, const Graph& extra) {
   return out;
 }
 
-void run() {
+// Everything one mode's pipeline produces: baseline sim, repair plan,
+// scheduled (failure-injected) sim. One exec cell per mode.
+struct ModeOutcome {
+  RunStats base;
+  RunStats failed;
+  double repair_lag_s{0.0};
+  std::size_t pairs_invalidated{0};
+  std::size_t pairs_retained{0};
+  ScheduleRunStats sched;
+};
+
+void run(int argc, char** argv) {
+  // Default seed = the permutation-workload seed the seed-state bench
+  // hard-coded.
+  exec::ExperimentRunner runner{
+      bench::parse_runner_options("failure_recovery", argc, argv, 17)};
   const ClosParams clos{8, 4, 4, 4, 8, 4, 16, 8};  // 256 servers, 2:1 edge
   FlatTreeParams params;
   params.clos = clos;
@@ -106,7 +121,7 @@ void run() {
   opts.delay.controllers = 64;
   const Controller controller{FlatTree{params}, opts};
 
-  Rng traffic_rng{17};
+  Rng traffic_rng{runner.seed()};
   Workload flows = permutation_traffic(clos.total_servers(), traffic_rng);
   for (Flow& f : flows) f.bytes = 200e6;  // 200 MB, all arriving at t=0
 
@@ -128,52 +143,89 @@ void run() {
                     "lag(s)", "evicted", "retained", "reroutes", "blackhole"},
                    11);
 
-  for (const PodMode mode :
-       {PodMode::kClos, PodMode::kLocal, PodMode::kGlobal}) {
-    CompiledMode live = controller.compile_uniform(mode);
-    const FailureSet columns = core_column_failure(live.graph(), 0,
-                                                   3 * column_width);
+  // The three modes share nothing mutable (each cell compiles its own
+  // CompiledModes and runs its own simulators), so they fan across the
+  // pool as multi-replicate fluid-sim runs.
+  const PodMode modes[] = {PodMode::kClos, PodMode::kLocal, PodMode::kGlobal};
+  const std::vector<ModeOutcome> outcomes = runner.timed_stage(
+      "failure_recovery modes", [&] {
+        return bench::parallel_replicates(
+            runner.pool(), 3, [&](std::size_t cell) {
+              const PodMode mode = modes[cell];
+              CompiledMode live = controller.compile_uniform(mode);
+              const FailureSet columns = core_column_failure(
+                  live.graph(), 0, 3 * column_width);
 
-    // Failure-free baseline; warms the path cache with exactly the pairs
-    // the workload uses, so the repair below prices a realistic blast
-    // radius.
-    FluidSimulator baseline{live.graph(), mode_provider(live)};
-    const RunStats base = summarize(baseline.run(flows));
+              // Failure-free baseline; warms the path cache with exactly
+              // the pairs the workload uses, so the repair below prices a
+              // realistic blast radius.
+              FluidSimulator baseline{live.graph(), mode_provider(live)};
+              ModeOutcome out;
+              out.base = summarize(baseline.run(flows));
 
-    // The controller's incremental repair: rescue stranded servers by
-    // converter rewire (global mode only — the other modes attach no
-    // servers to cores), evict only the broken pairs, re-solve them on the
-    // repaired topology, price the rule delta.
-    RepairPlan plan = controller.plan_repair(live, columns, RepairOptions{});
+              // The controller's incremental repair: rescue stranded
+              // servers by converter rewire (global mode only — the other
+              // modes attach no servers to cores), evict only the broken
+              // pairs, re-solve them on the repaired topology, price the
+              // rule delta.
+              RepairPlan plan =
+                  controller.plan_repair(live, columns, RepairOptions{});
 
-    // The scheduled run: healthy routes until the failure refresh installs
-    // the repaired cache. The union graph carries the rescue circuits,
-    // inert until the repaired paths route onto them.
-    CompiledMode pre = controller.compile_uniform(mode);
-    const Graph sim_graph = union_with(pre.graph(), *plan.graph);
-    FluidSimulator sim{sim_graph, mode_provider(pre)};
-    FailureSchedule schedule;
-    schedule.fail_at(t_fail, columns);
-    schedule.recover_at(t_recover, columns);
-    const RoutingRefresh refresh =
-        [&](const Graph&) -> PathProvider { return mode_provider(live); };
-    ScheduleRunStats sched_stats;
-    const RunStats failed = summarize(sim.run_with_schedule(
-        flows, schedule, plan.total_s(), refresh, &sched_stats));
+              // The scheduled run: healthy routes until the failure
+              // refresh installs the repaired cache. The union graph
+              // carries the rescue circuits, inert until the repaired
+              // paths route onto them.
+              CompiledMode pre = controller.compile_uniform(mode);
+              const Graph sim_graph = union_with(pre.graph(), *plan.graph);
+              FluidSimulator sim{sim_graph, mode_provider(pre)};
+              FailureSchedule schedule;
+              schedule.fail_at(t_fail, columns);
+              schedule.recover_at(t_recover, columns);
+              const RoutingRefresh refresh =
+                  [&](const Graph&) -> PathProvider {
+                return mode_provider(live);
+              };
+              out.failed = summarize(sim.run_with_schedule(
+                  flows, schedule, plan.total_s(), refresh, &out.sched));
+              out.repair_lag_s = plan.total_s();
+              out.pairs_invalidated = plan.pairs_invalidated;
+              out.pairs_retained = plan.pairs_retained;
+              return out;
+            });
+      });
 
+  for (std::size_t cell = 0; cell < 3; ++cell) {
+    const ModeOutcome& out = outcomes[cell];
+    const PodMode mode = modes[cell];
     bench::print_row(
-        {to_string(mode), bench::fmt(base.worst_fct, 3),
-         bench::fmt(failed.worst_fct, 3),
-         bench::fmt(failed.worst_fct / base.worst_fct, 2) + "x",
-         bench::fmt(plan.total_s(), 3), std::to_string(plan.pairs_invalidated),
-         std::to_string(plan.pairs_retained),
-         std::to_string(sched_stats.reroutes),
-         std::to_string(sched_stats.black_holed)},
+        {to_string(mode), bench::fmt(out.base.worst_fct, 3),
+         bench::fmt(out.failed.worst_fct, 3),
+         bench::fmt(out.failed.worst_fct / out.base.worst_fct, 2) + "x",
+         bench::fmt(out.repair_lag_s, 3),
+         std::to_string(out.pairs_invalidated),
+         std::to_string(out.pairs_retained),
+         std::to_string(out.sched.reroutes),
+         std::to_string(out.sched.black_holed)},
         11);
-    if (failed.completed != failed.total) {
+    if (out.failed.completed != out.failed.total) {
       std::printf("  (%s: %zu/%zu flows completed)\n", to_string(mode),
-                  failed.completed, failed.total);
+                  out.failed.completed, out.failed.total);
     }
+    exec::ResultRow row;
+    row.set("mode", to_string(mode))
+        .set("base_worst_fct_s", out.base.worst_fct)
+        .set("base_p99_fct_s", out.base.p99_fct)
+        .set("fail_worst_fct_s", out.failed.worst_fct)
+        .set("fail_p99_fct_s", out.failed.p99_fct)
+        .set("inflation", out.failed.worst_fct / out.base.worst_fct)
+        .set("repair_lag_s", out.repair_lag_s)
+        .set("pairs_invalidated", out.pairs_invalidated)
+        .set("pairs_retained", out.pairs_retained)
+        .set("reroutes", out.sched.reroutes)
+        .set("black_holed", out.sched.black_holed)
+        .set("completed", out.failed.completed)
+        .set("total_flows", out.failed.total);
+    runner.add_row(std::move(row));
   }
 
   // ---- repair pricing: incremental vs full recompile, converter rewire ---
@@ -203,6 +255,14 @@ void run() {
                       std::to_string(plan.rules_added),
                       bench::fmt(plan.ocs_s, 3), bench::fmt(plan.total_s(), 3)},
                      11);
+    exec::ResultRow row;
+    row.set("repair", rewire ? "rewire" : "reroute")
+        .set("converters_changed", plan.converters_changed)
+        .set("rules_deleted", plan.rules_deleted)
+        .set("rules_added", plan.rules_added)
+        .set("ocs_s", plan.ocs_s)
+        .set("total_s", plan.total_s());
+    runner.add_row(std::move(row));
     if (!rewire) {
       std::printf("  full recompile would rewrite ~%llu rules; incremental "
                   "touches %llu\n",
@@ -223,7 +283,7 @@ void run() {
 }  // namespace
 }  // namespace flattree
 
-int main() {
-  flattree::run();
+int main(int argc, char** argv) {
+  flattree::run(argc, argv);
   return 0;
 }

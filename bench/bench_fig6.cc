@@ -15,6 +15,12 @@
 // Expected shape (paper): LP average is the tallest bar; MPTCP with 8 paths
 // approaches it and 12 adds nothing; 4 paths lag; all >= the LP-minimum
 // baseline of 1.0.
+//
+// Execution: the 4 topologies x 4 traffic patterns fan across the exec pool
+// as independent cells (each cell also fans its KSP precompute); results
+// land in BENCH_fig6.json. The per-traffic workload seed is
+// `traffic * 97 + base_seed`, so the default --seed 5 reproduces the
+// seed-state numbers byte-for-byte.
 #include <cstdio>
 #include <string>
 
@@ -52,48 +58,102 @@ Workload make_traffic(int id, const ClosParams& clos, Rng& rng) {
   return {};
 }
 
-void run_topology(const std::string& label, const ClosParams& clos,
-                  PodMode mode) {
-  const FlatTree tree{FlatTreeParams::defaults_for(clos)};
-  const Graph g = tree.realize_uniform(mode);
+// One experiment cell: a (topology, traffic pattern) pair. All four LP /
+// MPTCP solves for the cell run inside it.
+struct CellResult {
+  bool feasible{false};
+  double lp_avg_ratio{0.0};
+  double mptcp_ratio[3]{};  // k = 4 / 8 / 12
+};
 
-  std::printf("\n--- %s ---\n", label.c_str());
-  bench::print_row({"traffic", "LPmin", "LPavg", "MPTCP-4", "MPTCP-8",
-                    "MPTCP-12"},
-                   12);
-  for (int traffic = 1; traffic <= 4; ++traffic) {
-    Rng rng{static_cast<std::uint64_t>(traffic) * 97 + 5};
-    const Workload flows = make_traffic(traffic, clos, rng);
+CellResult run_cell(const Graph& g, const ClosParams& clos, int traffic,
+                    std::uint64_t base_seed, exec::ThreadPool* pool) {
+  Rng rng{static_cast<std::uint64_t>(traffic) * 97 + base_seed};
+  const Workload flows = make_traffic(traffic, clos, rng);
 
-    const McfInstance lp_instance = bench::mcf_for(g, flows, 8);
-    const McfResult lp_min = solve_lp_min(lp_instance);
-    const McfResult lp_avg = solve_lp_avg(lp_instance);
-    const double base = lp_min.avg_rate;
-    if (!lp_min.feasible || base <= 0) {
-      bench::print_row({"traffic-" + std::to_string(traffic), "infeasible"});
-      continue;
-    }
-    std::vector<std::string> cells{"traffic-" + std::to_string(traffic),
-                                   bench::fmt(1.0),
-                                   bench::fmt(lp_avg.avg_rate / base)};
-    for (const std::uint32_t k : {4u, 8u, 12u}) {
-      const McfResult mptcp = solve_mptcp_model(bench::mcf_for(g, flows, k));
-      cells.push_back(bench::fmt(mptcp.avg_rate / base));
-    }
-    bench::print_row(cells, 12);
+  const McfInstance lp_instance = bench::mcf_for(g, flows, 8, pool);
+  const McfResult lp_min = solve_lp_min(lp_instance);
+  const McfResult lp_avg = solve_lp_avg(lp_instance);
+  const double base = lp_min.avg_rate;
+  CellResult result;
+  if (!lp_min.feasible || base <= 0) return result;
+  result.feasible = true;
+  result.lp_avg_ratio = lp_avg.avg_rate / base;
+  const std::uint32_t ks[] = {4u, 8u, 12u};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const McfResult mptcp =
+        solve_mptcp_model(bench::mcf_for(g, flows, ks[i], pool));
+    result.mptcp_ratio[i] = mptcp.avg_rate / base;
   }
+  return result;
 }
 
-void run() {
+void run(int argc, char** argv) {
+  exec::ExperimentRunner runner{
+      bench::parse_runner_options("fig6", argc, argv, 5)};
   bench::print_header(
       "Figure 6: avg flow throughput normalized against LP minimum",
       "MPTCP = LP-min base + residual filling over k-shortest paths; LP bounds\n"
       "from the built-in simplex; full patterns on downscaled layouts\n"
       "(see header comment).");
-  run_topology("topo-1-mini global (Fig 6a)", topo1_mini(), PodMode::kGlobal);
-  run_topology("topo-1-mini local (Fig 6b)", topo1_mini(), PodMode::kLocal);
-  run_topology("topo-2-mini global (Fig 6c)", topo2_mini(), PodMode::kGlobal);
-  run_topology("topo-5-mini global (Fig 6d)", topo5_mini(), PodMode::kGlobal);
+
+  struct Topology {
+    std::string label;
+    ClosParams clos;
+    PodMode mode;
+  };
+  const Topology topologies[] = {
+      {"topo-1-mini global (Fig 6a)", topo1_mini(), PodMode::kGlobal},
+      {"topo-1-mini local (Fig 6b)", topo1_mini(), PodMode::kLocal},
+      {"topo-2-mini global (Fig 6c)", topo2_mini(), PodMode::kGlobal},
+      {"topo-5-mini global (Fig 6d)", topo5_mini(), PodMode::kGlobal},
+  };
+  std::vector<Graph> graphs;
+  for (const Topology& t : topologies) {
+    const FlatTree tree{FlatTreeParams::defaults_for(t.clos)};
+    graphs.push_back(tree.realize_uniform(t.mode));
+  }
+
+  // 4 topologies x 4 traffic patterns, fanned as 16 independent cells.
+  std::vector<CellResult> cells(16);
+  runner.timed_stage("fig6 grid", [&] {
+    exec::parallel_for(runner.pool(), cells.size(), [&](std::size_t i) {
+      const std::size_t topo = i / 4;
+      const int traffic = static_cast<int>(i % 4) + 1;
+      cells[i] = run_cell(graphs[topo], topologies[topo].clos, traffic,
+                          runner.seed(), runner.pool());
+    });
+  });
+
+  for (std::size_t topo = 0; topo < 4; ++topo) {
+    std::printf("\n--- %s ---\n", topologies[topo].label.c_str());
+    bench::print_row({"traffic", "LPmin", "LPavg", "MPTCP-4", "MPTCP-8",
+                      "MPTCP-12"},
+                     12);
+    for (int traffic = 1; traffic <= 4; ++traffic) {
+      const CellResult& cell = cells[topo * 4 + (traffic - 1)];
+      const std::string name = "traffic-" + std::to_string(traffic);
+      exec::ResultRow row;
+      row.set("topology", topologies[topo].label)
+          .set("traffic", traffic)
+          .set("feasible", cell.feasible);
+      if (!cell.feasible) {
+        bench::print_row({name, "infeasible"});
+        runner.add_row(std::move(row));
+        continue;
+      }
+      bench::print_row({name, bench::fmt(1.0), bench::fmt(cell.lp_avg_ratio),
+                        bench::fmt(cell.mptcp_ratio[0]),
+                        bench::fmt(cell.mptcp_ratio[1]),
+                        bench::fmt(cell.mptcp_ratio[2])},
+                       12);
+      row.set("lp_avg_ratio", cell.lp_avg_ratio)
+          .set("mptcp4_ratio", cell.mptcp_ratio[0])
+          .set("mptcp8_ratio", cell.mptcp_ratio[1])
+          .set("mptcp12_ratio", cell.mptcp_ratio[2]);
+      runner.add_row(std::move(row));
+    }
+  }
   std::printf(
       "\npaper shape: LP avg tallest; MPTCP-8 ~ MPTCP-12 > MPTCP-4 >= 1.\n");
 }
@@ -101,7 +161,7 @@ void run() {
 }  // namespace
 }  // namespace flattree
 
-int main() {
-  flattree::run();
+int main(int argc, char** argv) {
+  flattree::run(argc, argv);
   return 0;
 }

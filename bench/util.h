@@ -8,11 +8,20 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <numeric>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "exec/parallel.h"
+#include "exec/pool.h"
+#include "exec/results.h"
+#include "exec/runner.h"
+#include "lp/mcf.h"
 #include "lp/throughput.h"
 #include "net/capacity.h"
 #include "net/graph.h"
@@ -23,6 +32,56 @@
 #include "traffic/flow.h"
 
 namespace flattree::bench {
+
+// Minimal shared CLI for bench binaries: --seed N, --threads N (0 = one
+// per core), --json-out PATH|none. `default_seed` preserves each bench's
+// historical constant so a bare run reproduces the numbers recorded in
+// EXPERIMENTS.md byte-for-byte.
+inline exec::RunnerOptions parse_runner_options(const char* bench_name,
+                                                int argc, char** argv,
+                                                std::uint64_t default_seed) {
+  exec::RunnerOptions options;
+  options.name = bench_name;
+  options.seed = default_seed;
+  const auto usage = [&](int exit_code) {
+    std::fprintf(stderr,
+                 "usage: %s [--seed N] [--threads N] [--json-out PATH|none]\n"
+                 "  --seed N      workload/topology sampling seed "
+                 "(default %llu)\n"
+                 "  --threads N   worker threads; 0 = one per core "
+                 "(default 0)\n"
+                 "  --json-out P  BENCH_%s.json destination: a file, a "
+                 "directory ending in '/', or 'none' (default: ./)\n",
+                 bench_name,
+                 static_cast<unsigned long long>(default_seed), bench_name);
+    std::exit(exit_code);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", bench_name,
+                     argv[i]);
+        usage(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      options.seed = std::strtoull(value(), nullptr, 0);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      options.threads = static_cast<std::uint32_t>(
+          std::strtoul(value(), nullptr, 0));
+    } else if (std::strcmp(argv[i], "--json-out") == 0) {
+      options.json_out = value();
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      usage(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument %s\n", bench_name, argv[i]);
+      usage(2);
+    }
+  }
+  return options;
+}
 
 inline PathProvider ksp_provider(const Graph& g, std::uint32_t k) {
   auto cache = std::make_shared<PathCache>(g, k);
@@ -38,12 +97,26 @@ inline PathProvider ecmp_provider(const Graph& g, std::uint64_t seed = 0) {
   };
 }
 
+// Warms `cache` with every switch pair `flows` touches, fanning the Yen's
+// runs across `pool` (serial when null).
+inline void warm_cache(PathCache& cache, const Workload& flows,
+                       exec::ThreadPool* pool) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(flows.size());
+  for (const Flow& f : flows) {
+    pairs.emplace_back(NodeId{f.src}, NodeId{f.dst});
+  }
+  cache.precompute(pairs, pool);
+}
+
 // Builds the path-based MCF instance for a workload under k-shortest-path
-// routing on `g`.
+// routing on `g`. The KSP precompute — the hot stage — fans across `pool`.
 inline McfInstance mcf_for(const Graph& g, const Workload& flows,
-                           std::uint32_t k) {
+                           std::uint32_t k,
+                           exec::ThreadPool* pool = nullptr) {
   const LogicalTopology topo{g};
   PathCache cache{g, k};
+  warm_cache(cache, flows, pool);
   std::vector<FlowPaths> flow_paths;
   flow_paths.reserve(flows.size());
   for (const Flow& f : flows) {
@@ -52,6 +125,60 @@ inline McfInstance mcf_for(const Graph& g, const Workload& flows,
                                                       NodeId{f.dst})});
   }
   return build_mcf_instance(topo, flow_paths);
+}
+
+// Fabric-throughput MCF (the Jellyfish methodology the paper follows, used
+// by the Table-1-style throughput comparisons): switch-switch edges are
+// capacity constraints; server access links are not shared resources —
+// instead every flow is individually capped at the line rate by a private
+// per-commodity edge. This measures what the *fabric* can sustain, which
+// is what distinguishes the architectures.
+inline McfInstance fabric_mcf(const Graph& g, const Workload& flows,
+                              std::uint32_t k,
+                              exec::ThreadPool* pool = nullptr) {
+  const LogicalTopology topo{g};
+  PathCache cache{g, k};
+  warm_cache(cache, flows, pool);
+  McfInstance instance;
+  std::unordered_map<std::uint32_t, std::uint32_t> edge_row;
+  const auto row_for = [&](std::uint32_t directed) {
+    const auto [it, inserted] = edge_row.try_emplace(
+        directed, static_cast<std::uint32_t>(instance.capacity.size()));
+    if (inserted) instance.capacity.push_back(topo.capacity(directed));
+    return it->second;
+  };
+  for (const Flow& f : flows) {
+    McfCommodity commodity;
+    // Private line-rate cap shared by all of this flow's paths.
+    const std::uint32_t cap_row =
+        static_cast<std::uint32_t>(instance.capacity.size());
+    instance.capacity.push_back(10e9);
+    for (const Path& path :
+         cache.server_paths(NodeId{f.src}, NodeId{f.dst})) {
+      std::vector<std::uint32_t> rows{cap_row};
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        // Skip server access hops: only the switch fabric is shared.
+        if (!is_switch(g.node(path[i]).role) ||
+            !is_switch(g.node(path[i + 1]).role)) {
+          continue;
+        }
+        rows.push_back(row_for(topo.directed_index(path[i], path[i + 1])));
+      }
+      commodity.paths.push_back(std::move(rows));
+    }
+    instance.commodities.push_back(std::move(commodity));
+  }
+  return instance;
+}
+
+// Runs `n` independent experiment replicates across the pool; replicate i
+// computes fn(i) (deriving any randomness from a deterministic per-index
+// stream, e.g. exec::task_rng(seed, i)). Results come back in index order,
+// bit-identical for any thread count.
+template <typename Fn>
+[[nodiscard]] auto parallel_replicates(exec::ThreadPool* pool, std::size_t n,
+                                       Fn&& fn) {
+  return exec::parallel_map(pool, n, std::forward<Fn>(fn));
 }
 
 // Deterministically subsample a workload down to `count` flows.

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 verify (build + full ctest) plus one sanitizer-preset
+# build so the sanitize/tsan configurations actually gate changes instead
+# of bit-rotting.
+#
+# Usage: scripts/ci.sh [sanitize-preset]
+#   sanitize-preset   'tsan' (default) or 'sanitize' (ASan+UBSan).
+#                     The preset is configured, the threaded exec tests are
+#                     built and run under it, and — for tsan — one bench is
+#                     driven multithreaded to stress the nested fan-out.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZE_PRESET="${1:-tsan}"
+JOBS="$(nproc)"
+
+echo "== tier-1: configure + build + ctest (preset: default) =="
+cmake --preset default
+cmake --build --preset default -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== sanitizer gate (preset: ${SANITIZE_PRESET}) =="
+cmake --preset "${SANITIZE_PRESET}"
+cmake --build "build-${SANITIZE_PRESET}" --target test_exec -j "${JOBS}"
+"./build-${SANITIZE_PRESET}/tests/test_exec"
+
+if [ "${SANITIZE_PRESET}" = "tsan" ]; then
+  cmake --build build-tsan --target bench_ablation_mn -j "${JOBS}"
+  ./build-tsan/bench/bench_ablation_mn --threads 4 --json-out none \
+    > /dev/null
+fi
+
+echo "== ci.sh: all gates passed =="

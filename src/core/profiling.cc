@@ -2,45 +2,60 @@
 
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
+#include "exec/parallel.h"
 #include "net/stats.h"
 
 namespace flattree {
 
 MnProfile profile_mn(const ClosParams& clos, WiringPattern pattern,
-                     std::uint32_t stride) {
+                     std::uint32_t stride, exec::ThreadPool* pool) {
   if (stride == 0) throw std::invalid_argument("profile_mn: stride must be >= 1");
   clos.validate();
   const std::uint32_t budget =
       std::min(clos.core_connectors_per_edge(), clos.servers_per_edge);
 
-  MnProfile profile;
-  double best = std::numeric_limits<double>::infinity();
+  // Enumerate the grid first so each cell is an indexed, independent task
+  // (realize + all-pairs stats dominate; perfect fan-out shape).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> grid;
   for (std::uint32_t m = 1; m < budget; m += stride) {
     for (std::uint32_t n = 1; m + n <= budget; n += stride) {
-      FlatTreeParams params;
-      params.clos = clos;
-      params.six_port_per_column = m;
-      params.four_port_per_column = n;
-      params.pattern = pattern;
-      const FlatTree tree{params};
-      const Graph realized = tree.realize_uniform(PodMode::kGlobal);
-      const PathLengthStats stats = compute_path_length_stats(realized);
-
-      MnCandidate candidate;
-      candidate.m = m;
-      candidate.n = n;
-      candidate.avg_server_pair_hops = stats.avg_server_pair_hops;
-      candidate.avg_switch_pair_hops = stats.avg_switch_pair_hops;
-      profile.candidates.push_back(candidate);
-      if (candidate.avg_server_pair_hops < best) {
-        best = candidate.avg_server_pair_hops;
-        profile.best = candidate;
-      }
+      grid.emplace_back(m, n);
     }
   }
-  if (profile.candidates.empty()) {
+  if (grid.empty()) {
     throw std::invalid_argument("profile_mn: no feasible (m, n) candidates");
+  }
+
+  MnProfile profile;
+  profile.candidates = exec::parallel_map(
+      pool, grid.size(), [&](std::size_t i) {
+        FlatTreeParams params;
+        params.clos = clos;
+        params.six_port_per_column = grid[i].first;
+        params.four_port_per_column = grid[i].second;
+        params.pattern = pattern;
+        const FlatTree tree{params};
+        const Graph realized = tree.realize_uniform(PodMode::kGlobal);
+        const PathLengthStats stats = compute_path_length_stats(realized);
+
+        MnCandidate candidate;
+        candidate.m = grid[i].first;
+        candidate.n = grid[i].second;
+        candidate.avg_server_pair_hops = stats.avg_server_pair_hops;
+        candidate.avg_switch_pair_hops = stats.avg_switch_pair_hops;
+        return candidate;
+      });
+
+  // Strict < keeps the first minimum in enumeration order — the same
+  // winner the serial sweep picked.
+  double best = std::numeric_limits<double>::infinity();
+  for (const MnCandidate& candidate : profile.candidates) {
+    if (candidate.avg_server_pair_hops < best) {
+      best = candidate.avg_server_pair_hops;
+      profile.best = candidate;
+    }
   }
   return profile;
 }

@@ -13,6 +13,10 @@
 
 namespace flattree {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 struct MnCandidate {
   std::uint32_t m{0};
   std::uint32_t n{0};
@@ -27,8 +31,12 @@ struct MnProfile {
 
 // Sweeps all feasible (m, n) with m >= 1, n >= 1, m + n <= min(h/r,
 // servers_per_edge). `stride` subsamples the grid for large layouts.
+// Each grid cell realizes and profiles an independent topology, so the
+// sweep fans across `pool` when one is given; candidates, enumeration
+// order, and the selected best are bit-identical to the serial sweep.
 [[nodiscard]] MnProfile profile_mn(const ClosParams& clos,
                                    WiringPattern pattern,
-                                   std::uint32_t stride = 1);
+                                   std::uint32_t stride = 1,
+                                   exec::ThreadPool* pool = nullptr);
 
 }  // namespace flattree

@@ -1,0 +1,105 @@
+// Deterministic fork-join primitives over exec::ThreadPool.
+//
+// parallel_for / parallel_map index every task and store results by index,
+// and task_rng derives each task's RNG stream purely from
+// (base_seed, task_index) — never from thread ids or scheduling order — so
+// a parallel run is bit-identical to the serial run for any thread count.
+// This is the property the determinism tests (test_exec.cc) pin down and
+// the BENCH_*.json byte-identity acceptance rests on.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "exec/pool.h"
+#include "net/rng.h"
+
+namespace flattree::exec {
+
+// Seed of task `task_index`'s private RNG stream under `base_seed`.
+// Statistically independent across indices (splitmix64-mixed), stable
+// across platforms and thread counts.
+[[nodiscard]] constexpr std::uint64_t task_seed(std::uint64_t base_seed,
+                                                std::uint64_t task_index) {
+  return mix64(base_seed, 0x65786563ULL /* "exec" */, task_index);
+}
+
+[[nodiscard]] inline Rng task_rng(std::uint64_t base_seed,
+                                  std::uint64_t task_index) {
+  return Rng{task_seed(base_seed, task_index)};
+}
+
+// Runs fn(0) .. fn(n-1), fanned across `pool` (serial when pool is null or
+// single-threaded). Blocks until all iterations finish; the calling thread
+// works too. If iterations throw, the exception of the lowest-index
+// failing iteration is rethrown (a deterministic choice — the one the
+// serial loop would have hit first); later iterations still run.
+template <typename Fn>
+void parallel_for(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> active{0};  // shard tasks still running
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    std::size_t error_index{0};
+  };
+  State state;
+  state.error_index = n;
+
+  const auto run_shard = [&state, &fn, n] {
+    for (;;) {
+      const std::size_t i =
+          state.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock{state.error_mutex};
+        if (i < state.error_index) {
+          state.error_index = i;
+          state.error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  // One shard per worker (capped by n); the caller runs one itself and
+  // then helps with unrelated queued work until the others retire.
+  const std::size_t shards = std::min(n, pool->size());
+  state.active.store(shards - 1, std::memory_order_relaxed);
+  for (std::size_t s = 1; s < shards; ++s) {
+    pool->submit([&state, run_shard] {
+      run_shard();
+      state.active.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  run_shard();
+  pool->help_while([&state] {
+    return state.active.load(std::memory_order_acquire) == 0;
+  });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+// Element-wise map: out[i] = fn(i). The result type must be
+// default-constructible and movable. Ordering and values are identical to
+// the serial loop for any thread count.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(ThreadPool* pool, std::size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  std::vector<decltype(fn(std::size_t{0}))> out(n);
+  parallel_for(pool, n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace flattree::exec

@@ -1,0 +1,73 @@
+// Work-stealing thread pool for the experiment-execution engine.
+//
+// The evaluation grid of the paper (topology x mode x workload x seed) is
+// embarrassingly parallel, as are the hot substrate loops beneath it
+// (per-pair Yen's runs, (m, n) profiling cells, replicate simulations).
+// This pool fans such tasks across cores: each worker owns a deque, pushes
+// and pops work at its own back, and steals from the front of a victim's
+// deque when it runs dry. Determinism is NOT this layer's job — tasks may
+// run in any order on any thread; the parallel_map layer (exec/parallel.h)
+// makes results order- and thread-count-independent by indexing tasks and
+// deriving per-task RNG streams from (base_seed, task_index).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flattree::exec {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  // Spawns `threads` workers (at least 1). The pool is ready immediately.
+  explicit ThreadPool(std::size_t threads);
+
+  // Joins all workers after draining queued tasks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task. Tasks submitted from a worker thread go to that
+  // worker's own deque (depth-first, cache-friendly); external submissions
+  // round-robin across workers. Throws std::runtime_error after shutdown
+  // has begun.
+  void submit(Task task);
+
+  // Runs queued tasks on the calling thread until `done` returns true.
+  // Used by fork-join helpers so the submitting thread contributes work
+  // instead of blocking (and so a 1-worker pool cannot deadlock on nested
+  // parallelism).
+  void help_while(const std::function<bool()>& done);
+
+  // Number of threads to use for `requested` (0 = one per hardware core).
+  [[nodiscard]] static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  struct Worker {
+    std::deque<Task> deque;
+    std::mutex mutex;
+  };
+
+  // Pops from the back of `self`'s deque, else steals from the front of
+  // another worker's. Returns false if every deque is empty.
+  bool try_pop(std::size_t self, Task& out);
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::size_t next_queue_{0};  // round-robin cursor for external submits
+  bool stopping_{false};
+};
+
+}  // namespace flattree::exec

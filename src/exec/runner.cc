@@ -1,0 +1,62 @@
+#include "exec/runner.h"
+
+#include <cstdio>
+
+namespace flattree::exec {
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options)
+    : options_{std::move(options)} {
+  threads_ = ThreadPool::resolve_threads(options_.threads);
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+
+  if (options_.json_out != "none") {
+    const std::string file = "BENCH_" + options_.name + ".json";
+    if (options_.json_out.empty()) {
+      json_path_ = file;
+    } else if (options_.json_out.back() == '/') {
+      json_path_ = options_.json_out + file;
+    } else {
+      json_path_ = options_.json_out;
+    }
+  }
+  report_.bench = options_.name;
+  report_.seed = options_.seed;
+}
+
+ExperimentRunner::~ExperimentRunner() {
+  if (!written_) write();
+}
+
+bool ExperimentRunner::write() {
+  written_ = true;
+  if (json_path_.empty()) return true;
+  std::string error;
+  if (!write_report(report_, json_path_, &error)) {
+    std::fprintf(stderr, "[exec] %s: %s\n", options_.name.c_str(),
+                 error.c_str());
+    return false;
+  }
+  std::printf("[exec] wrote %s (%zu rows)\n", json_path_.c_str(),
+              report_.rows.size());
+  return true;
+}
+
+void ExperimentRunner::note_stage(
+    const std::string& stage, std::size_t cells,
+    std::chrono::steady_clock::time_point start) const {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // Timing goes to stderr: stdout stays a deterministic function of the
+  // seed (the reproducibility probe diffs it across runs/thread counts).
+  if (cells > 0) {
+    std::fprintf(stderr, "[exec] %s: %zu cells on %zu thread%s in %.3f s\n",
+                 stage.c_str(), cells, threads_, threads_ == 1 ? "" : "s",
+                 seconds);
+  } else {
+    std::fprintf(stderr, "[exec] %s: %.3f s on %zu thread%s\n", stage.c_str(),
+                 seconds, threads_, threads_ == 1 ? "" : "s");
+  }
+}
+
+}  // namespace flattree::exec

@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "exec/parallel.h"
+
 namespace flattree {
 namespace {
 
@@ -130,6 +132,42 @@ const std::vector<Path>& PathCache::switch_paths(NodeId src_switch,
   if (it != cache_.end()) return it->second;
   auto paths = solver_.k_shortest_paths(src_switch, dst_switch, k_);
   return cache_.emplace(key, std::move(paths)).first->second;
+}
+
+std::size_t PathCache::precompute(
+    std::span<const std::pair<NodeId, NodeId>> pairs,
+    exec::ThreadPool* pool) {
+  // Resolve endpoints to switch pairs, drop same-switch pairs (server_paths
+  // synthesizes those without touching the cache), and dedup against both
+  // the cache and earlier entries, preserving first-seen order.
+  std::vector<std::pair<NodeId, NodeId>> todo;
+  std::unordered_set<std::uint64_t> seen;
+  todo.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    const NodeId src =
+        is_switch(graph_->node(a).role) ? a : graph_->attachment_switch(a);
+    const NodeId dst =
+        is_switch(graph_->node(b).role) ? b : graph_->attachment_switch(b);
+    if (src == dst) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
+    if (cache_.contains(key) || !seen.insert(key).second) continue;
+    todo.emplace_back(src, dst);
+  }
+
+  // The per-pair Yen's runs only read the graph (KspSolver is const), so
+  // they fan out safely; insertion stays serial because the map is not.
+  std::vector<std::vector<Path>> computed = exec::parallel_map(
+      pool, todo.size(), [this, &todo](std::size_t i) {
+        return solver_.k_shortest_paths(todo[i].first, todo[i].second, k_);
+      });
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(todo[i].first.value()) << 32) |
+        todo[i].second.value();
+    cache_.emplace(key, std::move(computed[i]));
+  }
+  return todo.size();
 }
 
 std::size_t PathCache::rebind_and_invalidate(

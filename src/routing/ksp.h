@@ -13,12 +13,17 @@
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "net/graph.h"
 #include "routing/path.h"
 
 namespace flattree {
+
+namespace exec {
+class ThreadPool;
+}  // namespace exec
 
 class KspSolver {
  public:
@@ -77,6 +82,17 @@ class PathCache {
 
   [[nodiscard]] std::uint32_t k() const { return k_; }
   [[nodiscard]] std::size_t cached_pairs() const { return cache_.size(); }
+
+  // Warms the cache for every pair in `pairs` (server or switch endpoints;
+  // servers resolve to their attachment switches), fanning the per-pair
+  // Yen's runs across `pool` (serial when null). Bit-identical to looking
+  // the pairs up on demand: each pair's path set is a pure function of the
+  // graph, and entries are inserted from a deterministic pair order.
+  // Returns the number of newly computed pairs. Not thread-safe with
+  // concurrent cache access; call it from one thread like every other
+  // member.
+  std::size_t precompute(std::span<const std::pair<NodeId, NodeId>> pairs,
+                         exec::ThreadPool* pool = nullptr);
 
   // Incremental invalidation for failure repair: rebinds the cache (and
   // future computations) to `graph` — which must share node ids with the
