@@ -119,6 +119,7 @@ void run(int argc, char** argv) {
   ControllerOptions opts;
   opts.count_rules = false;  // the fluid section prices repairs per pair
   opts.delay.controllers = 64;
+  opts.sink = runner.obs();
   const Controller controller{FlatTree{params}, opts};
 
   Rng traffic_rng{runner.seed()};
@@ -159,7 +160,10 @@ void run(int argc, char** argv) {
               // Failure-free baseline; warms the path cache with exactly
               // the pairs the workload uses, so the repair below prices a
               // realistic blast radius.
-              FluidSimulator baseline{live.graph(), mode_provider(live)};
+              FluidOptions fluid_opts;
+              fluid_opts.sink = runner.obs();
+              FluidSimulator baseline{live.graph(), mode_provider(live),
+                                      fluid_opts};
               ModeOutcome out;
               out.base = summarize(baseline.run(flows));
 
@@ -177,7 +181,7 @@ void run(int argc, char** argv) {
               // paths route onto them.
               CompiledMode pre = controller.compile_uniform(mode);
               const Graph sim_graph = union_with(pre.graph(), *plan.graph);
-              FluidSimulator sim{sim_graph, mode_provider(pre)};
+              FluidSimulator sim{sim_graph, mode_provider(pre), fluid_opts};
               FailureSchedule schedule;
               schedule.fail_at(t_fail, columns);
               schedule.recover_at(t_recover, columns);
@@ -237,6 +241,7 @@ void run(int argc, char** argv) {
       "Cache fully warm (every switch pair), 64 controllers.");
   ControllerOptions full_opts;  // count_rules on: full-compile rule totals
   full_opts.delay.controllers = 64;
+  full_opts.sink = runner.obs();
   const Controller pricing{FlatTree{params}, full_opts};
   bench::print_row({"repair", "conv", "rules-del", "rules-add", "ocs(s)",
                     "total(s)"},

@@ -67,11 +67,12 @@ struct CellResult {
 };
 
 CellResult run_cell(const Graph& g, const ClosParams& clos, int traffic,
-                    std::uint64_t base_seed, exec::ThreadPool* pool) {
+                    std::uint64_t base_seed, exec::ThreadPool* pool,
+                    const obs::ObsSink& sink) {
   Rng rng{static_cast<std::uint64_t>(traffic) * 97 + base_seed};
   const Workload flows = make_traffic(traffic, clos, rng);
 
-  const McfInstance lp_instance = bench::mcf_for(g, flows, 8, pool);
+  const McfInstance lp_instance = bench::mcf_for(g, flows, 8, pool, sink);
   const McfResult lp_min = solve_lp_min(lp_instance);
   const McfResult lp_avg = solve_lp_avg(lp_instance);
   const double base = lp_min.avg_rate;
@@ -82,7 +83,7 @@ CellResult run_cell(const Graph& g, const ClosParams& clos, int traffic,
   const std::uint32_t ks[] = {4u, 8u, 12u};
   for (std::size_t i = 0; i < 3; ++i) {
     const McfResult mptcp =
-        solve_mptcp_model(bench::mcf_for(g, flows, ks[i], pool));
+        solve_mptcp_model(bench::mcf_for(g, flows, ks[i], pool, sink));
     result.mptcp_ratio[i] = mptcp.avg_rate / base;
   }
   return result;
@@ -121,7 +122,7 @@ void run(int argc, char** argv) {
       const std::size_t topo = i / 4;
       const int traffic = static_cast<int>(i % 4) + 1;
       cells[i] = run_cell(graphs[topo], topologies[topo].clos, traffic,
-                          runner.seed(), runner.pool());
+                          runner.seed(), runner.pool(), runner.obs());
     });
   });
 

@@ -28,8 +28,9 @@ namespace flattree {
 namespace {
 
 double min_rate(const Graph& g, const Workload& flows, std::uint32_t k,
-                exec::ThreadPool* pool) {
-  return solve_max_min_fill(bench::fabric_mcf(g, flows, k, pool)).min_rate;
+                exec::ThreadPool* pool, const obs::ObsSink& sink) {
+  return solve_max_min_fill(bench::fabric_mcf(g, flows, k, pool, sink))
+      .min_rate;
 }
 
 void run(int argc, char** argv) {
@@ -70,7 +71,8 @@ void run(int argc, char** argv) {
     exec::parallel_for(runner.pool(), rates.size(), [&](std::size_t i) {
       const Workload flows =
           clustered_all_to_all(clos.total_servers(), sizes[i / 3]);
-      rates[i] = min_rate(*graphs[i % 3], flows, kPaths, runner.pool());
+      rates[i] =
+          min_rate(*graphs[i % 3], flows, kPaths, runner.pool(), runner.obs());
     });
   });
 

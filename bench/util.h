@@ -34,9 +34,9 @@
 namespace flattree::bench {
 
 // Minimal shared CLI for bench binaries: --seed N, --threads N (0 = one
-// per core), --json-out PATH|none. `default_seed` preserves each bench's
-// historical constant so a bare run reproduces the numbers recorded in
-// EXPERIMENTS.md byte-for-byte.
+// per core), --json-out PATH|none, --metrics-out PATH, --trace-out PATH.
+// `default_seed` preserves each bench's historical constant so a bare run
+// reproduces the numbers recorded in EXPERIMENTS.md byte-for-byte.
 inline exec::RunnerOptions parse_runner_options(const char* bench_name,
                                                 int argc, char** argv,
                                                 std::uint64_t default_seed) {
@@ -46,12 +46,17 @@ inline exec::RunnerOptions parse_runner_options(const char* bench_name,
   const auto usage = [&](int exit_code) {
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--threads N] [--json-out PATH|none]\n"
-                 "  --seed N      workload/topology sampling seed "
+                 "          [--metrics-out PATH] [--trace-out PATH]\n"
+                 "  --seed N         workload/topology sampling seed "
                  "(default %llu)\n"
-                 "  --threads N   worker threads; 0 = one per core "
+                 "  --threads N      worker threads; 0 = one per core "
                  "(default 0)\n"
-                 "  --json-out P  BENCH_%s.json destination: a file, a "
-                 "directory ending in '/', or 'none' (default: ./)\n",
+                 "  --json-out P     BENCH_%s.json destination: a file, a "
+                 "directory ending in '/', or 'none' (default: ./)\n"
+                 "  --metrics-out P  deterministic metrics JSON (also folded "
+                 "into the BENCH json); off by default\n"
+                 "  --trace-out P    Chrome trace_event JSON for "
+                 "chrome://tracing / ui.perfetto.dev; off by default\n",
                  bench_name,
                  static_cast<unsigned long long>(default_seed), bench_name);
     std::exit(exit_code);
@@ -72,6 +77,10 @@ inline exec::RunnerOptions parse_runner_options(const char* bench_name,
           std::strtoul(value(), nullptr, 0));
     } else if (std::strcmp(argv[i], "--json-out") == 0) {
       options.json_out = value();
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      options.metrics_out = value();
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      options.trace_out = value();
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage(0);
@@ -83,8 +92,10 @@ inline exec::RunnerOptions parse_runner_options(const char* bench_name,
   return options;
 }
 
-inline PathProvider ksp_provider(const Graph& g, std::uint32_t k) {
+inline PathProvider ksp_provider(const Graph& g, std::uint32_t k,
+                                 const obs::ObsSink& sink = {}) {
   auto cache = std::make_shared<PathCache>(g, k);
+  cache->attach_obs(sink);
   return [cache](NodeId src, NodeId dst, std::uint32_t) {
     return cache->server_paths(src, dst);
   };
@@ -113,9 +124,11 @@ inline void warm_cache(PathCache& cache, const Workload& flows,
 // routing on `g`. The KSP precompute — the hot stage — fans across `pool`.
 inline McfInstance mcf_for(const Graph& g, const Workload& flows,
                            std::uint32_t k,
-                           exec::ThreadPool* pool = nullptr) {
+                           exec::ThreadPool* pool = nullptr,
+                           const obs::ObsSink& sink = {}) {
   const LogicalTopology topo{g};
   PathCache cache{g, k};
+  cache.attach_obs(sink);
   warm_cache(cache, flows, pool);
   std::vector<FlowPaths> flow_paths;
   flow_paths.reserve(flows.size());
@@ -135,9 +148,11 @@ inline McfInstance mcf_for(const Graph& g, const Workload& flows,
 // is what distinguishes the architectures.
 inline McfInstance fabric_mcf(const Graph& g, const Workload& flows,
                               std::uint32_t k,
-                              exec::ThreadPool* pool = nullptr) {
+                              exec::ThreadPool* pool = nullptr,
+                              const obs::ObsSink& sink = {}) {
   const LogicalTopology topo{g};
   PathCache cache{g, k};
+  cache.attach_obs(sink);
   warm_cache(cache, flows, pool);
   McfInstance instance;
   std::unordered_map<std::uint32_t, std::uint32_t> edge_row;

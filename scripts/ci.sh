@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 verify (build + full ctest) plus one sanitizer-preset
-# build so the sanitize/tsan configurations actually gate changes instead
-# of bit-rotting.
+# CI gate: tier-1 verify (build + full ctest — which now includes the
+# golden-file benchmark gates and the cross-thread observability
+# determinism check) plus one sanitizer-preset build so the sanitize/tsan
+# configurations actually gate changes instead of bit-rotting.
 #
 # Usage: scripts/ci.sh [sanitize-preset]
 #   sanitize-preset   'tsan' (default) or 'sanitize' (ASan+UBSan).
-#                     The preset is configured, the threaded exec tests are
-#                     built and run under it, and — for tsan — one bench is
-#                     driven multithreaded to stress the nested fan-out.
+#                     The preset is configured, the threaded exec and
+#                     observability tests are built and run under it, and —
+#                     for tsan — one bench is driven multithreaded with
+#                     metrics+tracing attached to stress concurrent
+#                     recording alongside the nested fan-out.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,15 +22,28 @@ cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+echo "== golden-file gate (explicit, fails loudly on drift) =="
+ctest --test-dir build --output-on-failure -R 'golden_|obs_determinism'
+
 echo "== sanitizer gate (preset: ${SANITIZE_PRESET}) =="
 cmake --preset "${SANITIZE_PRESET}"
-cmake --build "build-${SANITIZE_PRESET}" --target test_exec -j "${JOBS}"
+cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
+  --target test_exec test_obs test_ksp_properties
 "./build-${SANITIZE_PRESET}/tests/test_exec"
+"./build-${SANITIZE_PRESET}/tests/test_obs"
+"./build-${SANITIZE_PRESET}/tests/test_ksp_properties"
 
 if [ "${SANITIZE_PRESET}" = "tsan" ]; then
-  cmake --build build-tsan --target bench_ablation_mn -j "${JOBS}"
+  cmake --build build-tsan -j "${JOBS}" \
+    --target bench_ablation_mn bench_failure_recovery
   ./build-tsan/bench/bench_ablation_mn --threads 4 --json-out none \
     > /dev/null
+  # Concurrent metric/trace recording from pool workers under TSan.
+  obs_tmp="$(mktemp -d)"
+  ./build-tsan/bench/bench_failure_recovery --threads 4 --json-out none \
+    --metrics-out "${obs_tmp}/metrics.json" \
+    --trace-out "${obs_tmp}/trace.json" > /dev/null
+  rm -rf "${obs_tmp}"
 fi
 
 echo "== ci.sh: all gates passed =="

@@ -9,11 +9,13 @@
 namespace flattree {
 
 CompiledMode::CompiledMode(const FlatTree& tree, ModeAssignment assignment,
-                           std::uint32_t k, bool count_rules)
+                           std::uint32_t k, bool count_rules,
+                           const obs::ObsSink& sink)
     : assignment_{std::move(assignment)}, k_{k} {
   configs_ = tree.configs_for(assignment_);
   graph_ = std::make_shared<const Graph>(tree.realize(configs_));
   paths_ = std::make_unique<PathCache>(*graph_, k_);
+  paths_->attach_obs(sink);
   if (count_rules) {
     const auto pairs = all_ingress_pairs(*graph_);
     const PathLengthStats stats = compute_path_length_stats(*graph_);
@@ -59,7 +61,8 @@ std::uint32_t Controller::k_for(PodMode mode) const {
 
 CompiledMode Controller::compile(const ModeAssignment& assignment,
                                  std::uint32_t k) const {
-  return CompiledMode{tree_, assignment, k, options_.count_rules};
+  return CompiledMode{tree_, assignment, k, options_.count_rules,
+                      options_.sink};
 }
 
 CompiledMode Controller::compile_uniform(PodMode mode) const {
@@ -95,6 +98,19 @@ ConversionReport Controller::plan_conversion(const CompiledMode& from,
                     options_.delay.rule_delete_s / controllers;
   report.add_s = static_cast<double>(report.rules_added) *
                  options_.delay.rule_add_s / controllers;
+  if (obs::MetricsRegistry* reg = options_.sink.metrics()) {
+    reg->counter("control.conversions").add();
+    reg->counter("control.conversion.converters_changed")
+        .add(report.converters_changed);
+    reg->counter("control.conversion.rules_deleted").add(report.rules_deleted);
+    reg->counter("control.conversion.rules_added").add(report.rules_added);
+    reg->gauge("control.conversion.max_total_s").set_max(report.total_s());
+  }
+  if (obs::EventTracer* tracer = options_.sink.tracer()) {
+    tracer->mark("control", "plan_conversion", 0,
+                 static_cast<std::int64_t>(report.rules_deleted +
+                                           report.rules_added));
+  }
   return report;
 }
 
@@ -102,6 +118,8 @@ RepairPlan Controller::plan_repair(CompiledMode& mode,
                                    const FailureSet& failures,
                                    const RepairOptions& repair_options) const {
   const Graph& old_graph = mode.graph();
+  obs::MetricsRegistry* reg = options_.sink.metrics();
+  obs::EventTracer* tracer = options_.sink.tracer();
   RepairPlan plan;
   plan.configs = mode.configs();
 
@@ -132,6 +150,10 @@ RepairPlan Controller::plan_repair(CompiledMode& mode,
   for (std::size_t i = 0; i < plan.configs.size(); ++i) {
     if (plan.configs[i] != mode.configs()[i]) ++plan.converters_changed;
   }
+  if (tracer != nullptr) {
+    tracer->mark("control", "repair.rewire", 0,
+                 static_cast<std::int64_t>(plan.converters_changed));
+  }
 
   // The post-repair operating topology: re-realize if circuits moved (the
   // failure set's link ids then need node-pair resolution against the old
@@ -150,11 +172,24 @@ RepairPlan Controller::plan_repair(CompiledMode& mode,
       mode.apply_repair(plan.graph, plan.configs, failures.switches);
   plan.pairs_invalidated = application.pairs_invalidated;
   plan.pairs_retained = application.pairs_retained;
+  if (tracer != nullptr) {
+    tracer->mark("control", "repair.invalidate", 0,
+                 static_cast<std::int64_t>(plan.pairs_invalidated));
+  }
+  obs::Histogram* h_evicted_rules =
+      reg != nullptr ? &reg->histogram("control.repair.evicted_pair_rules",
+                                       {1, 2, 4, 8, 16, 32, 64, 128})
+                     : nullptr;
   for (const EvictedPair& pair : application.evicted) {
     plan.rules_deleted += pair.rules;
+    obs::record(h_evicted_rules, static_cast<double>(pair.rules));
     for (const Path& path : mode.paths().switch_paths(pair.src, pair.dst)) {
       if (!path.empty()) plan.rules_added += path.size() - 1;
     }
+  }
+  if (tracer != nullptr) {
+    tracer->mark("control", "repair.repath", 0,
+                 static_cast<std::int64_t>(plan.rules_added));
   }
 
   plan.ocs_s = plan.converters_changed > 0 ? options_.delay.ocs_reconfigure_s
@@ -165,6 +200,16 @@ RepairPlan Controller::plan_repair(CompiledMode& mode,
                   options_.delay.rule_delete_s / controllers;
   plan.add_s = static_cast<double>(plan.rules_added) *
                options_.delay.rule_add_s / controllers;
+  if (reg != nullptr) {
+    reg->counter("control.repairs").add();
+    reg->counter("control.repair.converters_changed")
+        .add(plan.converters_changed);
+    reg->counter("control.repair.rules_deleted").add(plan.rules_deleted);
+    reg->counter("control.repair.rules_added").add(plan.rules_added);
+    reg->counter("control.repair.pairs_evicted").add(plan.pairs_invalidated);
+    reg->counter("control.repair.pairs_retained").add(plan.pairs_retained);
+    reg->gauge("control.repair.max_total_s").set_max(plan.total_s());
+  }
   return plan;
 }
 

@@ -23,6 +23,7 @@
 #include "core/flat_tree.h"
 #include "net/failures.h"
 #include "net/graph.h"
+#include "obs/sink.h"
 #include "routing/ksp.h"
 #include "routing/rules.h"
 
@@ -67,7 +68,8 @@ struct RepairApplication {
 class CompiledMode {
  public:
   CompiledMode(const FlatTree& tree, ModeAssignment assignment,
-               std::uint32_t k, bool count_rules);
+               std::uint32_t k, bool count_rules,
+               const obs::ObsSink& sink = obs::ObsSink{});
 
   [[nodiscard]] const ModeAssignment& assignment() const { return assignment_; }
   [[nodiscard]] const std::vector<ConverterConfig>& configs() const {
@@ -117,6 +119,11 @@ struct ControllerOptions {
   std::uint32_t k_clos{8};
   ConversionDelayModel delay{};
   bool count_rules{true};  // disable for large topologies
+  // Observability: when attached, compiled modes count their path-cache
+  // traffic (routing.ksp.*) and plan_repair/plan_conversion record
+  // control.* counters, rule-delta histograms, Table-3 priced delays, and
+  // tracer marks per planning phase. Disabled (all-null) by default.
+  obs::ObsSink sink{};
 };
 
 struct RepairOptions {

@@ -36,6 +36,19 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+void ThreadPool::attach_obs(const obs::ObsSink& sink) {
+  obs::MetricsRegistry* reg = sink.metrics();
+  c_tasks_.store(reg != nullptr ? &reg->counter("exec.pool.tasks",
+                                                obs::MetricScope::kDiagnostic)
+                                : nullptr,
+                 std::memory_order_relaxed);
+  c_steals_.store(reg != nullptr
+                      ? &reg->counter("exec.pool.steals",
+                                      obs::MetricScope::kDiagnostic)
+                      : nullptr,
+                  std::memory_order_relaxed);
+}
+
 std::size_t ThreadPool::resolve_threads(std::size_t requested) {
   if (requested != 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -68,6 +81,7 @@ bool ThreadPool::try_pop(std::size_t self, Task& out) {
     if (!queues_[self]->deque.empty()) {
       out = std::move(queues_[self]->deque.back());
       queues_[self]->deque.pop_back();
+      obs::add(c_tasks_.load(std::memory_order_relaxed));
       return true;
     }
   }
@@ -79,6 +93,8 @@ bool ThreadPool::try_pop(std::size_t self, Task& out) {
     if (!queues_[victim]->deque.empty()) {
       out = std::move(queues_[victim]->deque.front());
       queues_[victim]->deque.pop_front();
+      obs::add(c_tasks_.load(std::memory_order_relaxed));
+      obs::add(c_steals_.load(std::memory_order_relaxed));
       return true;
     }
   }

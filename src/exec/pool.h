@@ -11,6 +11,7 @@
 // deriving per-task RNG streams from (base_seed, task_index).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -18,6 +19,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/sink.h"
 
 namespace flattree::exec {
 
@@ -51,6 +54,12 @@ class ThreadPool {
   // Number of threads to use for `requested` (0 = one per hardware core).
   [[nodiscard]] static std::size_t resolve_threads(std::size_t requested);
 
+  // Registers exec.pool.tasks / exec.pool.steals. Both are kDiagnostic:
+  // which worker runs (or steals) a task is scheduling-dependent, so these
+  // appear in the text summary but never in the deterministic metrics JSON.
+  // Safe to call while workers are running (the handles are atomics).
+  void attach_obs(const obs::ObsSink& sink);
+
  private:
   struct Worker {
     std::deque<Task> deque;
@@ -68,6 +77,8 @@ class ThreadPool {
   std::condition_variable sleep_cv_;
   std::size_t next_queue_{0};  // round-robin cursor for external submits
   bool stopping_{false};
+  std::atomic<obs::Counter*> c_tasks_{nullptr};
+  std::atomic<obs::Counter*> c_steals_{nullptr};
 };
 
 }  // namespace flattree::exec

@@ -96,6 +96,10 @@ std::string BenchReport::to_json() const {
     out.push_back(',');
     append_fields(out, meta);
   }
+  if (!metrics_json.empty()) {
+    out += ",\"metrics\":";
+    out += metrics_json;
+  }
   out += ",\"results\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     if (i != 0) out.push_back(',');
@@ -107,9 +111,9 @@ std::string BenchReport::to_json() const {
   return out;
 }
 
-bool write_report(const BenchReport& report, const std::string& path,
-                  std::string* error) {
-  const std::string payload = report.to_json();
+bool write_text_file(const std::string& content, const std::string& path,
+                     std::string* error) {
+  const std::string& payload = content;
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
@@ -130,6 +134,11 @@ bool write_report(const BenchReport& report, const std::string& path,
     return false;
   }
   return true;
+}
+
+bool write_report(const BenchReport& report, const std::string& path,
+                  std::string* error) {
+  return write_text_file(report.to_json(), path, error);
 }
 
 }  // namespace flattree::exec

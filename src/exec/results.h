@@ -65,15 +65,24 @@ class ResultRow {
 };
 
 // A full bench report: {"bench": ..., "seed": ..., <meta...>,
-// "results": [<rows...>]}.
+// ["metrics": {...},] "results": [<rows...>]}.
 struct BenchReport {
   std::string bench;
   std::uint64_t seed{0};
   std::vector<std::pair<std::string, JsonValue>> meta;
   std::vector<ResultRow> rows;
+  // Pre-serialized deterministic metrics object (from
+  // obs::MetricsRegistry::metrics_object_json). Empty = no metrics block;
+  // the report is then byte-identical to one built without observability.
+  std::string metrics_json;
 
   [[nodiscard]] std::string to_json() const;
 };
+
+// Writes `content` to `path` atomically (rename from a sibling temp file).
+// Returns false and fills `*error` on failure.
+bool write_text_file(const std::string& content, const std::string& path,
+                     std::string* error = nullptr);
 
 // Writes `report.to_json()` to `path` (atomically via rename from a
 // sibling temp file). Returns false and fills `*error` on failure.

@@ -21,6 +21,15 @@ ExperimentRunner::ExperimentRunner(RunnerOptions options)
   }
   report_.bench = options_.name;
   report_.seed = options_.seed;
+
+  if (!options_.metrics_out.empty()) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+  }
+  if (!options_.trace_out.empty()) {
+    tracer_ = std::make_unique<obs::EventTracer>();
+  }
+  sink_ = obs::ObsSink{metrics_.get(), tracer_.get()};
+  if (pool_ != nullptr && sink_.enabled()) pool_->attach_obs(sink_);
 }
 
 ExperimentRunner::~ExperimentRunner() {
@@ -29,8 +38,38 @@ ExperimentRunner::~ExperimentRunner() {
 
 bool ExperimentRunner::write() {
   written_ = true;
-  if (json_path_.empty()) return true;
+  bool ok = true;
   std::string error;
+
+  if (metrics_ != nullptr) {
+    // Only deterministic-scope metrics reach the serialized outputs; the
+    // full set (diagnostics included) goes to stderr with the timings.
+    report_.metrics_json = metrics_->metrics_object_json();
+    if (!write_text_file(metrics_->to_json(), options_.metrics_out, &error)) {
+      std::fprintf(stderr, "[exec] %s: %s\n", options_.name.c_str(),
+                   error.c_str());
+      ok = false;
+    } else {
+      std::fprintf(stderr, "[exec] wrote metrics to %s\n",
+                   options_.metrics_out.c_str());
+    }
+    std::fprintf(stderr, "[exec] metrics:\n%s",
+                 metrics_->text_summary().c_str());
+  }
+  if (tracer_ != nullptr) {
+    if (!tracer_->write_chrome_trace(options_.trace_out, &error)) {
+      std::fprintf(stderr, "[exec] %s: %s\n", options_.name.c_str(),
+                   error.c_str());
+      ok = false;
+    } else {
+      std::fprintf(stderr, "[exec] wrote trace to %s (%zu events)\n",
+                   options_.trace_out.c_str(), tracer_->size());
+    }
+    std::fprintf(stderr, "[exec] trace summary:\n%s",
+                 tracer_->text_summary().c_str());
+  }
+
+  if (json_path_.empty()) return ok;
   if (!write_report(report_, json_path_, &error)) {
     std::fprintf(stderr, "[exec] %s: %s\n", options_.name.c_str(),
                  error.c_str());
@@ -38,7 +77,7 @@ bool ExperimentRunner::write() {
   }
   std::printf("[exec] wrote %s (%zu rows)\n", json_path_.c_str(),
               report_.rows.size());
-  return true;
+  return ok;
 }
 
 void ExperimentRunner::note_stage(

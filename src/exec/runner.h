@@ -23,6 +23,7 @@
 #include "exec/pool.h"
 #include "exec/results.h"
 #include "net/rng.h"
+#include "obs/sink.h"
 
 namespace flattree::exec {
 
@@ -33,6 +34,14 @@ struct RunnerOptions {
   // Where the JSON goes: "" = ./BENCH_<name>.json, "none" = disabled, a
   // path ending in '/' = that directory, anything else = literal file path.
   std::string json_out;
+  // Observability outputs (both empty = observability fully disabled; the
+  // bench's stdout and BENCH json are then byte-identical to a build
+  // without the obs layer). metrics_out receives the deterministic metrics
+  // JSON — byte-identical across --threads for a fixed seed — and also
+  // folds a "metrics" block into BENCH_<name>.json; trace_out receives
+  // Chrome trace_event JSON (load in chrome://tracing / ui.perfetto.dev).
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 class ExperimentRunner {
@@ -50,6 +59,10 @@ class ExperimentRunner {
   [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
   [[nodiscard]] std::size_t threads() const { return threads_; }
   [[nodiscard]] std::uint64_t seed() const { return options_.seed; }
+
+  // The sink benches thread into simulators / controllers / caches.
+  // Disabled (all-null) unless --metrics-out or --trace-out was given.
+  [[nodiscard]] const obs::ObsSink& obs() const { return sink_; }
 
   // Deterministic per-stream RNG (stream = cell index or any stable id).
   [[nodiscard]] Rng rng(std::uint64_t stream) const {
@@ -111,6 +124,10 @@ class ExperimentRunner {
   std::string json_path_;
   BenchReport report_;
   bool written_{false};
+  // Owned observability state; allocated only when an obs output is on.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::EventTracer> tracer_;
+  obs::ObsSink sink_;
 };
 
 }  // namespace flattree::exec

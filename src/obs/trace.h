@@ -1,0 +1,91 @@
+// Structured event tracing with ring-buffered spans.
+//
+// Components emit spans (a named interval on a track) and instants into a
+// bounded ring buffer; the tracer exports Chrome trace_event JSON (loadable
+// in chrome://tracing or ui.perfetto.dev) and a compact text summary.
+//
+// Timestamps are never wall-clock: the simulators stamp events with
+// *simulated* time and clockless components (the control plane) use the
+// tracer's logical tick, so a trace is replayable — the same seed produces
+// the same spans. With multiple threads emitting (cells fanned across the
+// exec pool), the ring is mutex-guarded (race-free under TSan) but the
+// interleaving of events from different cells is scheduling-dependent;
+// single-threaded runs are byte-reproducible. The deterministic layer is the
+// metrics registry — the trace is the microscope, not the regression
+// baseline.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace flattree::obs {
+
+struct TraceEvent {
+  static constexpr std::int64_t kNoArg = std::numeric_limits<std::int64_t>::min();
+
+  double ts_us{0.0};
+  double dur_us{0.0};
+  std::uint32_t track{0};  // rendered as the chrome tid
+  char phase{'i'};         // 'X' complete span, 'i' instant
+  // Expected to be string literals (static storage); the ring stores the
+  // pointers, not copies.
+  const char* cat{""};
+  const char* name{""};
+  std::int64_t arg{kNoArg};
+};
+
+class EventTracer {
+ public:
+  explicit EventTracer(std::size_t capacity = 1 << 16);
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  // A named interval [ts_s, ts_s + dur_s) on `track` (e.g. a flow's life,
+  // a repair phase). `cat`/`name` must be string literals.
+  void span(const char* cat, const char* name, double ts_s, double dur_s,
+            std::uint32_t track = 0,
+            std::int64_t arg = TraceEvent::kNoArg);
+
+  // A point event at ts_s.
+  void instant(const char* cat, const char* name, double ts_s,
+               std::uint32_t track = 0,
+               std::int64_t arg = TraceEvent::kNoArg);
+
+  // Point event for clockless components: the timestamp is the tracer's
+  // monotone logical tick (1 us apart), deterministic when emitted serially.
+  void mark(const char* cat, const char* name, std::uint32_t track = 0,
+            std::int64_t arg = TraceEvent::kNoArg);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  // Events overwritten after the ring filled (oldest-first eviction).
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  // Chrome trace_event JSON: {"traceEvents":[...]}; oldest event first.
+  [[nodiscard]] std::string chrome_trace_json() const;
+  // Per-(cat, name) event counts and total span time, sorted by name.
+  [[nodiscard]] std::string text_summary() const;
+  // Writes chrome_trace_json() to `path` (atomically via a sibling temp
+  // file + rename). Returns false and fills *error on failure.
+  bool write_chrome_trace(const std::string& path,
+                          std::string* error = nullptr) const;
+
+  void clear();
+
+ private:
+  void push(TraceEvent event);
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;  // oldest first
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_{0};  // write cursor once the ring is full
+  bool full_{false};
+  std::uint64_t dropped_{0};
+  std::uint64_t logical_{0};  // tick for mark()
+};
+
+}  // namespace flattree::obs

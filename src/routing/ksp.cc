@@ -123,13 +123,30 @@ std::vector<Path> KspSolver::k_shortest_paths(NodeId src, NodeId dst,
   return result;
 }
 
+void PathCache::attach_obs(const obs::ObsSink& sink) {
+  obs::MetricsRegistry* reg = sink.metrics();
+  if (reg == nullptr) {
+    c_hits_ = c_misses_ = c_computed_ = c_evicted_ = nullptr;
+    return;
+  }
+  c_hits_ = &reg->counter("routing.ksp.cache_hits");
+  c_misses_ = &reg->counter("routing.ksp.cache_misses");
+  c_computed_ = &reg->counter("routing.ksp.pairs_computed");
+  c_evicted_ = &reg->counter("routing.ksp.pairs_evicted");
+}
+
 const std::vector<Path>& PathCache::switch_paths(NodeId src_switch,
                                                  NodeId dst_switch) {
   const std::uint64_t key =
       (static_cast<std::uint64_t>(src_switch.value()) << 32) |
       dst_switch.value();
   const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    obs::add(c_hits_);
+    return it->second;
+  }
+  obs::add(c_misses_);
+  obs::add(c_computed_);
   auto paths = solver_.k_shortest_paths(src_switch, dst_switch, k_);
   return cache_.emplace(key, std::move(paths)).first->second;
 }
@@ -167,6 +184,7 @@ std::size_t PathCache::precompute(
         todo[i].second.value();
     cache_.emplace(key, std::move(computed[i]));
   }
+  obs::add(c_computed_, todo.size());
   return todo.size();
 }
 
@@ -210,6 +228,7 @@ std::size_t PathCache::rebind_and_invalidate(
       ++it;
     }
   }
+  obs::add(c_evicted_, evicted);
   return evicted;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/graph.h"
+#include "obs/sink.h"
 #include "routing/path.h"
 
 namespace flattree {
@@ -111,11 +112,20 @@ class PathCache {
 
   void clear() { cache_.clear(); }
 
+  // Caches routing.ksp.* metric handles (cache hits/misses, pairs computed,
+  // pairs evicted by repairs). Counting does not change lookup results;
+  // detached (the default) the cache touches no metrics.
+  void attach_obs(const obs::ObsSink& sink);
+
  private:
   const Graph* graph_;
   KspSolver solver_;
   std::uint32_t k_;
   std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
+  obs::Counter* c_hits_{nullptr};
+  obs::Counter* c_misses_{nullptr};
+  obs::Counter* c_computed_{nullptr};
+  obs::Counter* c_evicted_{nullptr};
 };
 
 }  // namespace flattree

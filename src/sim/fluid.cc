@@ -72,6 +72,41 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
     std::vector<std::uint32_t> dependents;
   };
 
+  // Cached observability handles (null when the sink is detached).
+  obs::EventTracer* tracer = options_.sink.tracer();
+  obs::Counter* c_realloc = nullptr;
+  obs::Counter* c_arrivals = nullptr;
+  obs::Counter* c_completions = nullptr;
+  obs::Counter* c_fail = nullptr;
+  obs::Counter* c_recover = nullptr;
+  obs::Counter* c_refresh = nullptr;
+  obs::Counter* c_reroutes = nullptr;
+  obs::Counter* c_black_holed = nullptr;
+  obs::Histogram* h_fct = nullptr;
+  obs::Histogram* h_active = nullptr;
+  obs::Histogram* h_rate_delta = nullptr;
+  if (obs::MetricsRegistry* reg = options_.sink.metrics()) {
+    c_realloc = &reg->counter("fluid.reallocations");
+    c_arrivals = &reg->counter("fluid.arrivals");
+    c_completions = &reg->counter("fluid.completions");
+    c_fail = &reg->counter("fluid.fail_events");
+    c_recover = &reg->counter("fluid.recover_events");
+    c_refresh = &reg->counter("fluid.refreshes");
+    c_reroutes = &reg->counter("fluid.reroutes");
+    c_black_holed = &reg->counter("fluid.black_holed");
+    h_fct = &reg->histogram(
+        "fluid.fct_s", {0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0});
+    h_active = &reg->histogram("fluid.active_flows",
+                               {1, 2, 4, 8, 16, 32, 64, 128, 256, 1024});
+    // Max relative per-flow rate change per rate update: the fluid model's
+    // convergence residual (progressive filling is exact per event, so this
+    // measures how hard each arrival/departure/failure perturbs the
+    // allocation).
+    h_rate_delta = &reg->histogram(
+        "fluid.rate_update.max_rel_delta",
+        {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 10.0});
+  }
+
   std::vector<FlowState> state(flows.size());
   std::vector<FluidFlowResult> results(flows.size());
   for (std::size_t i = 0; i < flows.size(); ++i) {
@@ -153,11 +188,24 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
       failed_switch[id.index()] = !event.recover;
     }
     recompute_effective();
-    if (event.recover) ++stats.recover_events; else ++stats.fail_events;
+    if (event.recover) {
+      ++stats.recover_events;
+      obs::add(c_recover);
+    } else {
+      ++stats.fail_events;
+      obs::add(c_fail);
+    }
+    if (tracer != nullptr) {
+      tracer->instant("fluid", event.recover ? "recover" : "fail",
+                      event.time_s);
+    }
     refreshes.push(event.time_s + repair_lag_s);
   };
 
   const auto reallocate = [&]() {
+    obs::add(c_realloc);
+    obs::record(h_active, static_cast<double>(active.size()));
+    const std::vector<double> prev = rates;
     McfInstance instance;
     instance.capacity = effective;
     // Flows without a route (black-holed) stay at rate zero and are kept
@@ -178,12 +226,27 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
     for (std::size_t i = 0; i < active.size(); ++i) {
       if (slot[i] != SIZE_MAX) rates[i] = solved[slot[i]];
     }
+    // Convergence residual: how hard this update perturbed the allocation.
+    // Comparable only when the active set is unchanged (prev is parallel).
+    if (h_rate_delta != nullptr && prev.size() == rates.size() &&
+        !rates.empty()) {
+      double max_rel = 0.0;
+      for (std::size_t i = 0; i < rates.size(); ++i) {
+        if (prev[i] > 0) {
+          max_rel = std::max(max_rel,
+                             std::fabs(rates[i] - prev[i]) / prev[i]);
+        }
+      }
+      h_rate_delta->record(max_rel);
+    }
   };
 
   // Routing state catches up with the live topology: rebuild the provider
   // over the degraded graph and re-path every unfinished flow through it.
   const auto do_refresh = [&]() {
     ++stats.refreshes;
+    obs::add(c_refresh);
+    if (tracer != nullptr) tracer->instant("fluid", "refresh", now);
     if (!refresh) return;
     FailureSet active_set;
     for (std::uint32_t i = 0; i < failed_link.size(); ++i) {
@@ -202,6 +265,7 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
           static_cast<std::uint32_t>(f));
       if (paths.empty()) {
         ++stats.black_holed;  // disconnected pair: stays stalled
+        obs::add(c_black_holed);
         continue;
       }
       std::vector<std::vector<std::uint32_t>> edges;
@@ -210,6 +274,7 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
       if (edges != state[f].path_edges) {
         state[f].path_edges = std::move(edges);
         ++stats.reroutes;
+        obs::add(c_reroutes);
       }
     }
   };
@@ -218,6 +283,12 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
     results[f].completed = true;
     results[f].finish_s = now;
     state[f].active = false;
+    obs::add(c_completions);
+    obs::record(h_fct, now - results[f].start_s);
+    if (tracer != nullptr) {
+      tracer->span("fluid", "flow", results[f].start_s,
+                   now - results[f].start_s, f);
+    }
     for (std::uint32_t dep : state[f].dependents) {
       FlowState& ds = state[dep];
       if (ds.deps_remaining == 0) continue;  // defensive
@@ -284,6 +355,7 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
         state[f].path_edges.clear();
         if (paths.empty()) {
           ++stats.black_holed;  // no route yet; re-pathed at a refresh
+          obs::add(c_black_holed);
         } else {
           for (const Path& p : paths) {
             state[f].path_edges.push_back(topology_.path_edges(p));
@@ -297,6 +369,7 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
       results[f].start_s = now;
       active.push_back(f);
       admitted = true;
+      obs::add(c_arrivals);
     }
     if (admitted || changed || rates.size() != active.size()) reallocate();
 

@@ -23,6 +23,7 @@
 #include "net/capacity.h"
 #include "net/failures.h"
 #include "net/graph.h"
+#include "obs/sink.h"
 #include "routing/path.h"
 #include "traffic/flow.h"
 
@@ -57,6 +58,12 @@ enum class RateModel : std::uint8_t {
 struct FluidOptions {
   double max_time_s{1e6};  // simulation horizon; unfinished flows reported
   RateModel rate_model{RateModel::kSubflow};
+  // Observability. When attached the simulator records fluid.* metrics
+  // (rate-update iterations, max relative rate delta per update — the
+  // convergence residual of the fluid model — FCTs, failure/refresh
+  // counters) and emits flow-lifetime spans plus failure/refresh instants,
+  // all stamped with simulated time. Disabled (all-null) by default.
+  obs::ObsSink sink{};
 };
 
 // Coflow completion times over a simulated workload: for each flow group,

@@ -9,6 +9,31 @@ namespace flattree {
 
 PacketSim::PacketSim(PacketSimOptions options) : options_{options} {}
 
+void PacketSim::attach_obs(const obs::ObsSink& sink) {
+  tracer_ = sink.tracer();
+  obs::MetricsRegistry* reg = sink.metrics();
+  if (reg == nullptr) {
+    c_drops_ = c_rto_ = c_fast_rtx_ = nullptr;
+    c_flows_started_ = c_flows_done_ = nullptr;
+    c_conversions_ = c_failures_ = nullptr;
+    h_fct_ = h_queue_depth_ = h_cwnd_ = nullptr;
+    return;
+  }
+  c_drops_ = &reg->counter("packet.drops");
+  c_rto_ = &reg->counter("packet.rto_timeouts");
+  c_fast_rtx_ = &reg->counter("packet.fast_retransmits");
+  c_flows_started_ = &reg->counter("packet.flows.started");
+  c_flows_done_ = &reg->counter("packet.flows.completed");
+  c_conversions_ = &reg->counter("packet.conversions");
+  c_failures_ = &reg->counter("packet.failures");
+  h_fct_ = &reg->histogram(
+      "packet.fct_s", {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0});
+  h_queue_depth_ = &reg->histogram(
+      "packet.queue.depth_pkts", {1, 2, 4, 8, 16, 32, 64, 96, 128});
+  h_cwnd_ = &reg->histogram("packet.cwnd_pkts",
+                            {1, 2, 4, 8, 16, 32, 64, 128, 256});
+}
+
 void PacketSim::update_pipes(const Graph& graph, double blackout_s,
                              ConversionScope scope) {
   // Aggregate the new topology's directed capacities (parallel links merge
@@ -38,7 +63,7 @@ void PacketSim::update_pipes(const Graph& graph, double blackout_s,
         // index — subflows hold pipe indices, and a flow whose route is
         // unchanged across fail + recover must come back to a live pipe.
         pipe.dead = true;
-        drops_ += pipe.queue.size();
+        count_drop(pipe.queue.size());
         pipe.queue.clear();
         pipe.queued_bytes = 0;
         if (from < new_map.size()) {
@@ -56,7 +81,7 @@ void PacketSim::update_pipes(const Graph& graph, double blackout_s,
       if (pipe.rate_bps != it->second) {
         // Cable re-terminated at a different rate: treat as rewired.
         pipe.rate_bps = it->second;
-        drops_ += pipe.queue.size();
+        count_drop(pipe.queue.size());
         pipe.queue.clear();
         pipe.queued_bytes = 0;
         pipe.blocked_until = std::max(pipe.blocked_until, stall_until);
@@ -168,6 +193,7 @@ void PacketSim::run_until(double t_s) {
     events_.pop();
     now_ = std::max(now_, event.t);
     ++events_done_;
+    ++segment_.events_processed;
     switch (event.type) {
       case EventType::kArrival:
         handle_arrival(event);
@@ -193,6 +219,7 @@ void PacketSim::start_flow(std::uint32_t flow_index) {
   SimFlow& flow = flows_[flow_index];
   if (flow.done) return;
   flow.started = true;
+  obs::add(c_flows_started_);
   maybe_send(flow_index);
 }
 
@@ -239,17 +266,18 @@ void PacketSim::subflow_send_packet(std::uint32_t flow_index,
 void PacketSim::enqueue_packet(std::uint32_t pipe_index, Packet packet) {
   Pipe& pipe = pipes_[pipe_index];
   if (pipe.dead) {
-    ++drops_;  // the cable this route relied on has been rewired away
+    count_drop();  // the cable this route relied on has been rewired away
     return;
   }
   const std::uint64_t limit =
       static_cast<std::uint64_t>(options_.queue_packets) * options_.mtu_bytes;
   if (pipe.queued_bytes + packet.size > limit) {
-    ++drops_;
+    count_drop();
     return;
   }
   pipe.queued_bytes += packet.size;
   pipe.queue.push_back(packet);
+  obs::record(h_queue_depth_, static_cast<double>(pipe.queue.size()));
   pipe_try_send(pipe_index);
 }
 
@@ -271,7 +299,7 @@ void PacketSim::handle_arrival(const Event& event) {
   const Packet& packet = event.packet;
   Subflow& sf = subflows_[packet.subflow];
   if (!sf.alive) {
-    ++drops_;  // this subflow was replaced by a conversion mid-flight
+    count_drop();  // this subflow was replaced by a conversion mid-flight
     return;
   }
   const auto& pipes = packet.is_ack ? sf.rev_pipes : sf.fwd_pipes;
@@ -359,6 +387,8 @@ void PacketSim::on_ack_at_sender(const Packet& packet) {
     flow.packets_acked += newly;
     flow.bytes_acked +=
         static_cast<std::uint64_t>(newly) * options_.mtu_bytes;
+    segment_.bytes_acked +=
+        static_cast<std::uint64_t>(newly) * options_.mtu_bytes;
 
     // RTT sample from the echoed timestamp (Karn-safe enough here: the
     // timestamp rides the data packet that triggered this cumulative ACK).
@@ -387,6 +417,7 @@ void PacketSim::on_ack_at_sender(const Packet& packet) {
       }
     } else {
       for (std::uint32_t i = 0; i < newly; ++i) increase_cwnd(flow, sf);
+      obs::record(h_cwnd_, sf.cwnd);
     }
 
     // Progress: push the retransmission timer forward.
@@ -397,6 +428,14 @@ void PacketSim::on_ack_at_sender(const Packet& packet) {
             static_cast<std::uint64_t>(flow.total_packets)) {
       flow.done = true;
       flow.finish_s = now_;
+      ++segment_.flows_completed;
+      obs::add(c_flows_done_);
+      obs::record(h_fct_, now_ - flow.start_s);
+      if (tracer_ != nullptr) {
+        tracer_->span("packet", "flow", flow.start_s, now_ - flow.start_s,
+                      packet.flow,
+                      static_cast<std::int64_t>(flow.bytes_acked));
+      }
       return;
     }
     maybe_send(packet.flow);
@@ -408,6 +447,8 @@ void PacketSim::on_ack_at_sender(const Packet& packet) {
       sf.recover_point = sf.next_seq;
       sf.ssthresh = std::max(sf.cwnd / 2.0, 2.0);
       sf.cwnd = sf.ssthresh;
+      ++segment_.fast_retransmits;
+      obs::add(c_fast_rtx_);
       subflow_send_packet(packet.flow, packet.subflow, sf.cum_acked, true);
     }
   }
@@ -450,6 +491,8 @@ void PacketSim::handle_timer(const Event& event) {
   sf.recover_point = sf.next_seq;
   sf.rto = std::min(sf.rto * 2.0, options_.max_rto_s);
   sf.timer_armed = false;
+  ++segment_.rto_timeouts;
+  obs::add(c_rto_);
   subflow_send_packet(event.a, sf_index, sf.cum_acked, true);
   if (!sf.timer_armed) arm_timer(event.a, sf_index);
 }
@@ -458,6 +501,10 @@ void PacketSim::apply_conversion(
     const Graph& graph,
     const std::function<std::vector<Path>(std::uint32_t)>& paths_for_flow,
     double blackout_s, ConversionScope scope) {
+  obs::add(c_conversions_);
+  if (tracer_ != nullptr) {
+    tracer_->span("packet", "conversion_blackout", now_, blackout_s);
+  }
   update_pipes(graph, blackout_s, scope);
 
   for (std::uint32_t fi = 0; fi < flows_.size(); ++fi) {
@@ -492,6 +539,8 @@ void PacketSim::apply_failure(const Graph& degraded_graph) {
   // Pipes missing from the degraded graph die (queues dropped) and swallow
   // everything still routed into them; surviving pipes are untouched — no
   // blackout and no re-pathing until the controller's repair arrives.
+  obs::add(c_failures_);
+  if (tracer_ != nullptr) tracer_->instant("packet", "failure", now_);
   update_pipes(degraded_graph, 0.0, ConversionScope::kChangedOnly);
 }
 
@@ -547,6 +596,11 @@ void run_with_schedule(
   for (const Step& step : steps) {
     if (step.t > horizon_s) break;
     sim.run_until(step.t);
+    // Each failure/repair step opens a fresh stats segment so recovery-phase
+    // metrics (drops, retransmits, completions) don't inherit samples from
+    // the phase before it; the queue-drop burst the step itself causes lands
+    // in the new segment.
+    sim.begin_segment();
     // The controller reacts to the event this step belongs to: its repair
     // reflects the failure state as of that event (later events get their
     // own, later, repair steps).

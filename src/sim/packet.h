@@ -35,6 +35,7 @@
 
 #include "net/failures.h"
 #include "net/graph.h"
+#include "obs/sink.h"
 #include "routing/path.h"
 
 namespace flattree {
@@ -94,6 +95,31 @@ class PacketSim {
   // apply_conversion() installs refreshed paths (the controller's repair,
   // one repair lag behind the failure).
   void apply_failure(const Graph& degraded_graph);
+
+  // -- observability --------------------------------------------------------
+
+  // Attaches the sink: caches metric handles (packet.drops, packet.fct_s,
+  // packet.queue.depth_pkts, packet.cwnd_pkts, retransmit counters, ...) and
+  // the tracer (flow-lifetime spans, conversion/failure instants) so the hot
+  // path only pays a null-pointer check when observability is off. Call
+  // before running; a default-constructed sink detaches.
+  void attach_obs(const obs::ObsSink& sink);
+
+  // Stats for the current schedule segment (the interval since the last
+  // begin_segment() call). The driver in run_with_schedule() opens a new
+  // segment at every failure/repair step so recovery-phase metrics do not
+  // inherit pre-failure samples; the cumulative accessors below are
+  // unaffected.
+  struct SegmentStats {
+    std::uint64_t packets_dropped{0};
+    std::uint64_t events_processed{0};
+    std::uint64_t rto_timeouts{0};
+    std::uint64_t fast_retransmits{0};
+    std::uint64_t flows_completed{0};
+    std::uint64_t bytes_acked{0};
+  };
+  void begin_segment() { segment_ = SegmentStats{}; }
+  [[nodiscard]] const SegmentStats& segment_stats() const { return segment_; }
 
   // -- metrics --------------------------------------------------------------
 
@@ -221,12 +247,32 @@ class PacketSim {
   void update_pipes(const Graph& graph, double blackout_s,
                     ConversionScope scope);
 
+  void count_drop(std::uint64_t n = 1) {
+    drops_ += n;
+    segment_.packets_dropped += n;
+    obs::add(c_drops_, n);
+  }
+
   PacketSimOptions options_;
   double now_{0.0};
   std::uint64_t order_{0};
   std::uint64_t drops_{0};
   std::uint64_t events_done_{0};
   bool network_set_{false};
+  SegmentStats segment_;
+
+  // Cached observability handles; null when detached (the default).
+  obs::EventTracer* tracer_{nullptr};
+  obs::Counter* c_drops_{nullptr};
+  obs::Counter* c_rto_{nullptr};
+  obs::Counter* c_fast_rtx_{nullptr};
+  obs::Counter* c_flows_started_{nullptr};
+  obs::Counter* c_flows_done_{nullptr};
+  obs::Counter* c_conversions_{nullptr};
+  obs::Counter* c_failures_{nullptr};
+  obs::Histogram* h_fct_{nullptr};
+  obs::Histogram* h_queue_depth_{nullptr};
+  obs::Histogram* h_cwnd_{nullptr};
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::vector<Pipe> pipes_;

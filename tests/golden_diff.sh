@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Golden-file regression gate: run one bench binary at its defaults in a
+# scratch directory and byte-compare stdout and BENCH_<name>.json against
+# the checked-in goldens. Any drift in the recorded numbers — including an
+# accidental cost of the (default-off) observability layer — fails the test.
+#
+# usage: golden_diff.sh <bench-binary> <bench-name> <golden-dir>
+#
+# Regenerating after an intentional change:
+#   cd $(mktemp -d) && <bench-binary> > <name>.stdout 2>/dev/null
+#   cp <name>.stdout BENCH_<name>.json <golden-dir>/
+set -u
+
+bin="$1"
+name="$2"
+golden="$3"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+# stderr carries wall-clock timings and is deliberately not compared.
+"$bin" > "$name.stdout" 2> stderr.log
+status=$?
+if [ $status -ne 0 ]; then
+  echo "FAIL: $name exited with $status" >&2
+  cat stderr.log >&2
+  exit 1
+fi
+
+fail=0
+if ! diff -u "$golden/$name.stdout" "$name.stdout"; then
+  echo "FAIL: $name stdout drifted from golden" >&2
+  fail=1
+fi
+if ! diff -u "$golden/BENCH_$name.json" "BENCH_$name.json"; then
+  echo "FAIL: BENCH_$name.json drifted from golden" >&2
+  fail=1
+fi
+exit $fail

@@ -1,0 +1,142 @@
+// Cross-layer invariant: the fluid simulator's steady-state max-min rates
+// are one feasible point of the very MCF instance the LP layer optimizes,
+// so they can never beat the LP optima. Violations mean the two layers
+// disagree about capacity accounting (the bug class this test exists for:
+// e.g. the fluid model double-counting parallel links or the LP compressing
+// the wrong edges). Checked on the Table-1 architecture trio.
+#include "sim/fluid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "lp/mcf.h"
+#include "lp/throughput.h"
+#include "net/capacity.h"
+#include "routing/ksp.h"
+#include "topo/clos.h"
+#include "topo/random_graph.h"
+#include "traffic/patterns.h"
+
+namespace flattree {
+namespace {
+
+constexpr double kRelTol = 1e-6;
+
+struct Instance {
+  std::vector<double> fluid_rates;
+  McfResult lp_min;
+  McfResult lp_avg;
+};
+
+// The fluid rates and the LP bounds over the SAME routing: one shared
+// PathCache supplies both the simulator's provider and the MCF commodities.
+Instance solve_both(const Graph& g, const Workload& flows, std::uint32_t k) {
+  auto cache = std::make_shared<PathCache>(g, k);
+  const PathProvider provider = [cache](NodeId src, NodeId dst,
+                                        std::uint32_t) {
+    return cache->server_paths(src, dst);
+  };
+  FluidSimulator fluid{g, provider};
+
+  const LogicalTopology topo{g};
+  std::vector<FlowPaths> flow_paths;
+  flow_paths.reserve(flows.size());
+  for (const Flow& f : flows) {
+    flow_paths.push_back(FlowPaths{
+        NodeId{f.src}, NodeId{f.dst},
+        cache->server_paths(NodeId{f.src}, NodeId{f.dst})});
+  }
+  const McfInstance instance = build_mcf_instance(topo, flow_paths);
+
+  Instance out;
+  out.fluid_rates = fluid.measure_rates(flows);
+  out.lp_min = solve_lp_min(instance);
+  out.lp_avg = solve_lp_avg(instance);
+  return out;
+}
+
+void expect_bounded(const Instance& inst, const char* label) {
+  ASSERT_FALSE(inst.fluid_rates.empty()) << label;
+  ASSERT_TRUE(inst.lp_min.feasible) << label;
+  ASSERT_TRUE(inst.lp_avg.feasible) << label;
+
+  double total = 0.0;
+  double min_rate = std::numeric_limits<double>::infinity();
+  for (const double r : inst.fluid_rates) {
+    EXPECT_GE(r, 0.0) << label;
+    total += r;
+    min_rate = std::min(min_rate, r);
+  }
+  const double n = static_cast<double>(inst.fluid_rates.size());
+  const double lp_total = inst.lp_avg.avg_rate * n;
+  // LP-average maximizes total throughput over every feasible allocation.
+  EXPECT_LE(total, lp_total * (1 + kRelTol)) << label;
+  // LP-minimum maximizes the worst flow's rate over every feasible
+  // allocation, so no feasible point has a better minimum.
+  EXPECT_LE(min_rate, inst.lp_min.min_rate * (1 + kRelTol)) << label;
+}
+
+TEST(FluidLpBound, Table1ArchitecturesClusteredTraffic) {
+  const ClosParams clos = ClosParams::fat_tree(4);
+  const Graph fat_tree = build_clos(clos);
+  RandomGraphParams rg = RandomGraphParams::from_clos(clos);
+  rg.seed = 20170821;
+  const Graph random_graph = build_random_graph(rg);
+  TwoStageParams ts = TwoStageParams::from_clos(clos);
+  ts.seed = 20170821;
+  const Graph two_stage = build_two_stage_random_graph(ts);
+
+  const Workload flows = clustered_all_to_all(clos.total_servers(), 4);
+  expect_bounded(solve_both(fat_tree, flows, 4), "fat_tree");
+  expect_bounded(solve_both(random_graph, flows, 4), "random_graph");
+  expect_bounded(solve_both(two_stage, flows, 4), "two_stage");
+}
+
+TEST(FluidLpBound, PermutationTrafficAndMorePaths) {
+  const ClosParams clos = ClosParams::fat_tree(4);
+  const Graph fat_tree = build_clos(clos);
+  Rng rng{7};
+  const Workload flows = permutation_traffic(clos.total_servers(), rng);
+  expect_bounded(solve_both(fat_tree, flows, 1), "k=1");
+  expect_bounded(solve_both(fat_tree, flows, 8), "k=8");
+}
+
+// With single-path routing the fluid rate vector maps directly onto edge
+// loads, so feasibility can be checked against raw capacities too.
+TEST(FluidLpBound, SinglePathRatesRespectEdgeCapacities) {
+  const ClosParams clos = ClosParams::fat_tree(4);
+  const Graph g = build_clos(clos);
+  const LogicalTopology topo{g};
+  PathCache cache{g, 1};
+  const Workload flows = clustered_all_to_all(clos.total_servers(), 8);
+
+  const PathProvider provider = [&cache](NodeId src, NodeId dst,
+                                         std::uint32_t) {
+    return cache.server_paths(src, dst);
+  };
+  FluidSimulator fluid{g, provider};
+  const std::vector<double> rates = fluid.measure_rates(flows);
+  ASSERT_EQ(rates.size(), flows.size());
+
+  std::vector<double> load(topo.directed_count(), 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto paths = cache.server_paths(NodeId{flows[i].src},
+                                          NodeId{flows[i].dst});
+    ASSERT_EQ(paths.size(), 1u);
+    for (const std::uint32_t e : topo.path_edges(paths[0])) {
+      load[e] += rates[i];
+    }
+  }
+  for (std::size_t e = 0; e < load.size(); ++e) {
+    EXPECT_LE(load[e],
+              topo.capacity(static_cast<std::uint32_t>(e)) * (1 + kRelTol))
+        << "directed edge " << e << " oversubscribed";
+  }
+}
+
+}  // namespace
+}  // namespace flattree

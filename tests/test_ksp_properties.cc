@@ -1,0 +1,149 @@
+// Property tests for Yen's k-shortest paths over randomized topologies:
+// every returned path must be simple (loop-free), sorted by hop count, the
+// first path must match the Dijkstra shortest path, and the parallel
+// precompute must agree with serial per-pair lookups for any pool size.
+// These are the §4.2 routing invariants the whole control plane leans on —
+// pinned on graphs the hand-written fixtures in test_ksp.cc never reach.
+#include "routing/ksp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "exec/pool.h"
+#include "net/rng.h"
+#include "routing/path.h"
+#include "topo/clos.h"
+#include "topo/random_graph.h"
+
+namespace flattree {
+namespace {
+
+// Jellyfish-style random graphs give irregular path structure; different
+// seeds give different wirings. Kept small so Yen's stays fast.
+Graph random_fabric(std::uint64_t seed) {
+  RandomGraphParams params;
+  params.switches = 12;
+  params.ports_per_switch = 6;
+  params.servers = 24;
+  params.seed = seed;
+  return build_random_graph(params);
+}
+
+// All (switch, switch) pairs of g with src != dst.
+std::vector<std::pair<NodeId, NodeId>> switch_pairs(const Graph& g) {
+  std::vector<NodeId> switches;
+  for (std::uint32_t i = 0; i < g.node_count(); ++i) {
+    if (is_switch(g.node(NodeId{i}).role)) switches.push_back(NodeId{i});
+  }
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (const NodeId a : switches) {
+    for (const NodeId b : switches) {
+      if (a != b) pairs.emplace_back(a, b);
+    }
+  }
+  return pairs;
+}
+
+bool is_simple(const Path& path) {
+  const std::set<NodeId> unique(path.begin(), path.end());
+  return unique.size() == path.size();
+}
+
+bool uses_only_existing_links(const Graph& g, const Path& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!g.adjacent(path[i], path[i + 1])) return false;
+  }
+  return true;
+}
+
+TEST(KspProperties, PathsAreSimpleSortedAndValid) {
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    const Graph g = random_fabric(seed);
+    const KspSolver solver{g};
+    for (const auto& [src, dst] : switch_pairs(g)) {
+      const std::vector<Path> paths = solver.k_shortest_paths(src, dst, 6);
+      ASSERT_FALSE(paths.empty()) << "random fabric should be connected";
+      std::set<Path> distinct;
+      for (std::size_t i = 0; i < paths.size(); ++i) {
+        const Path& p = paths[i];
+        ASSERT_GE(p.size(), 2u);
+        EXPECT_EQ(p.front(), src);
+        EXPECT_EQ(p.back(), dst);
+        EXPECT_TRUE(is_simple(p)) << "loop in path " << i;
+        EXPECT_TRUE(uses_only_existing_links(g, p));
+        if (i > 0) {
+          EXPECT_GE(path_length(p), path_length(paths[i - 1]))
+              << "paths must be sorted by hop count";
+        }
+        distinct.insert(p);
+      }
+      EXPECT_EQ(distinct.size(), paths.size()) << "duplicate path returned";
+    }
+  }
+}
+
+TEST(KspProperties, FirstPathMatchesDijkstra) {
+  for (const std::uint64_t seed : {3u, 11u}) {
+    const Graph g = random_fabric(seed);
+    const KspSolver solver{g};
+    for (const auto& [src, dst] : switch_pairs(g)) {
+      const auto shortest = solver.shortest_path(src, dst);
+      const auto paths = solver.k_shortest_paths(src, dst, 4);
+      ASSERT_TRUE(shortest.has_value());
+      ASSERT_FALSE(paths.empty());
+      // Deterministic tie-breaking makes this an exact match, not just a
+      // length match.
+      EXPECT_EQ(paths[0], *shortest);
+    }
+  }
+}
+
+// Fat-tree structure: equal-cost multipath everywhere; inter-Pod pairs at
+// k=8 have many same-length shortest paths, exercising Yen's tie-breaking.
+TEST(KspProperties, FatTreePathsRespectStructure) {
+  const Graph g = build_clos(ClosParams::fat_tree(4));
+  const KspSolver solver{g};
+  for (const auto& [src, dst] : switch_pairs(g)) {
+    const auto paths = solver.k_shortest_paths(src, dst, 8);
+    for (const Path& p : paths) {
+      EXPECT_TRUE(is_simple(p));
+      for (const NodeId n : p) {
+        EXPECT_TRUE(is_switch(g.node(n).role))
+            << "switch-pair paths must transit switches only";
+      }
+    }
+  }
+}
+
+TEST(KspProperties, PrecomputeMatchesSerialLookupsAcrossPoolSizes) {
+  const Graph g = random_fabric(20170821);
+  const auto pairs = switch_pairs(g);
+
+  // Ground truth: on-demand serial lookups.
+  PathCache serial{g, 4};
+  std::vector<std::vector<Path>> expected;
+  expected.reserve(pairs.size());
+  for (const auto& [src, dst] : pairs) {
+    expected.push_back(serial.switch_paths(src, dst));
+  }
+
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    exec::ThreadPool pool{threads};
+    PathCache cache{g, 4};
+    EXPECT_EQ(cache.precompute(pairs, &pool), pairs.size());
+    EXPECT_EQ(cache.cached_pairs(), pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ(cache.switch_paths(pairs[i].first, pairs[i].second),
+                expected[i])
+          << "pair " << i << " differs with " << threads << " threads";
+    }
+    // A second precompute finds everything cached.
+    EXPECT_EQ(cache.precompute(pairs, &pool), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace flattree

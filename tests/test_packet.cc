@@ -322,6 +322,58 @@ TEST(PacketSim, ErrorsOnMisuse) {
   EXPECT_THROW((void)sim.add_flow(0, 2, 0, 0.0, {}), std::invalid_argument);
 }
 
+TEST(PacketSim, SegmentStatsResetWithoutTouchingCumulativeCounters) {
+  // Regression: per-segment stats must start from zero at begin_segment()
+  // while the cumulative accessors (which older tests and the validation
+  // bench assert against) keep counting across segments.
+  Dumbbell net;
+  PacketSim sim;
+  sim.set_network(net.g);
+  sim.add_flow(0, 2, 1e6, 0.0, net.path(0, 2));
+  sim.run_until(1.0);
+  const std::uint64_t events_before = sim.events_processed();
+  ASSERT_GT(events_before, 0u);
+  EXPECT_EQ(sim.segment_stats().events_processed, events_before);
+  EXPECT_EQ(sim.segment_stats().flows_completed, 1u);
+
+  sim.begin_segment();
+  EXPECT_EQ(sim.segment_stats().events_processed, 0u);
+  EXPECT_EQ(sim.segment_stats().flows_completed, 0u);
+  EXPECT_EQ(sim.segment_stats().bytes_acked, 0u);
+  EXPECT_EQ(sim.events_processed(), events_before);  // cumulative untouched
+
+  sim.add_flow(1, 3, 1e5, 1.5, net.path(1, 3));
+  sim.run_until(3.0);
+  EXPECT_GT(sim.segment_stats().events_processed, 0u);
+  EXPECT_EQ(sim.segment_stats().flows_completed, 1u);
+  EXPECT_GT(sim.events_processed(),
+            events_before + sim.segment_stats().events_processed - 1);
+}
+
+TEST(PacketSim, ScheduleDriverOpensFreshSegmentPerStep) {
+  // run_with_schedule() must call begin_segment() at every schedule step:
+  // after a run with a mid-stream failure, the live segment covers only the
+  // post-recovery interval, not the whole run.
+  Dumbbell net;
+  PacketSim sim;
+  sim.set_network(net.g);
+  sim.add_flow(0, 2, 10e6, 0.0, net.path(0, 2));
+  FailureSchedule schedule;
+  schedule.fail_at(0.5, FailureSet{{LinkId{4}}, {}});
+  schedule.recover_at(1.5, FailureSet{{LinkId{4}}, {}});
+  const auto repath = [](std::uint32_t, const Graph& g) -> std::vector<Path> {
+    PathCache cache{g, 1};
+    return cache.server_paths(NodeId{0}, NodeId{2});
+  };
+  run_with_schedule(sim, net.g, schedule, repath, /*horizon_s=*/5.0);
+  ASSERT_GT(sim.events_processed(), 0u);
+  EXPECT_LT(sim.segment_stats().events_processed, sim.events_processed());
+  EXPECT_LT(sim.segment_stats().bytes_acked, sim.total_bytes_acked());
+  // The pre-failure segment finished no flow, so the completion landed in
+  // the segment opened by a schedule step.
+  EXPECT_EQ(sim.segment_stats().flows_completed, 1u);
+}
+
 TEST(PacketSim, TestbedFlatTreeGlobalModeRuns) {
   // Smoke: the full testbed network in global mode carries pod-stride
   // traffic at nontrivial rate.
