@@ -21,7 +21,8 @@
 namespace flattree {
 namespace {
 
-void run() {
+void run(exec::RunnerOptions runner_options) {
+  exec::ExperimentRunner runner{std::move(runner_options)};
   FlatTreeParams params;
   params.clos = ClosParams::testbed();
   params.clos.link_bps = 1e9;  // scaled from 10G (see header note)
@@ -41,6 +42,7 @@ void run() {
       "1 Gb/s links (x10 for the paper's 10 Gb/s numbers).");
 
   PacketSim sim;
+  sim.attach_obs(runner.obs());
   sim.set_network(clos.graph());
   // iPerf pattern: server s -> same index in each other pod (6 per pod).
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
@@ -91,6 +93,11 @@ void run() {
       ++segment_bins[segment];
     }
     std::printf("%5.1f   %8.2f            %s\n", t, gbps, mode_name[segment]);
+    exec::ResultRow row;
+    row.set("time_s", t)
+        .set("goodput_gbps", gbps)
+        .set("mode", mode_name[segment]);
+    runner.add_row(std::move(row));
   }
 
   std::printf("\nsteady-state averages (Gb/s at 1G links; x10 for paper):\n");
@@ -103,12 +110,18 @@ void run() {
   std::printf("  global/clos gain: %+.1f%%  (paper: +27.6%%)\n",
               (global_avg / clos_avg - 1) * 100);
   std::printf("  oversubscribed Clos bound: 24 x 1G / 1.5 = 16.00 Gb/s\n");
+  runner.add_meta("clos_avg_gbps", clos_avg);
+  runner.add_meta("global_avg_gbps", global_avg);
+  runner.add_meta("local_avg_gbps", segment_sum[2] / segment_bins[2]);
+  runner.add_meta("global_over_clos_gain_pct",
+                  (global_avg / clos_avg - 1) * 100);
 }
 
 }  // namespace
 }  // namespace flattree
 
-int main() {
-  flattree::run();
+int main(int argc, char** argv) {
+  flattree::run(
+      flattree::bench::parse_runner_options("fig10", argc, argv, 20170821));
   return 0;
 }

@@ -28,10 +28,16 @@ ctest --test-dir build --output-on-failure -R 'golden_|obs_determinism'
 echo "== sanitizer gate (preset: ${SANITIZE_PRESET}) =="
 cmake --preset "${SANITIZE_PRESET}"
 cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
-  --target test_exec test_obs test_ksp_properties
+  --target test_exec test_obs test_ksp_properties test_event_queue \
+           test_packet_diff
 "./build-${SANITIZE_PRESET}/tests/test_exec"
 "./build-${SANITIZE_PRESET}/tests/test_obs"
 "./build-${SANITIZE_PRESET}/tests/test_ksp_properties"
+# The pooled event engine's property/fuzz battery and the engine
+# differential (which also drives ShardedPacketSim across a pool, the
+# TSan-relevant path).
+"./build-${SANITIZE_PRESET}/tests/test_event_queue"
+"./build-${SANITIZE_PRESET}/tests/test_packet_diff"
 
 if [ "${SANITIZE_PRESET}" = "tsan" ]; then
   cmake --build build-tsan -j "${JOBS}" \

@@ -1,0 +1,332 @@
+// Pooled discrete-event substrate for the packet simulator hot path.
+//
+// Three allocation-free building blocks replace the seed engine's
+// std::priority_queue<Event> / std::deque<Packet> / std::set<uint32_t>:
+//
+//   EventQueue<Payload>   a 4-ary indexed min-heap over a preallocated
+//                         event arena with freelist recycling. Pop order is
+//                         the engine's total event order: (time, push
+//                         sequence) strictly non-decreasing, independent of
+//                         heap layout. Heap entries carry the (t, seq) key
+//                         inline next to the slot index, so sift
+//                         comparisons touch only the contiguous heap array
+//                         (never the arena), and a payload is written
+//                         exactly once (at push) and read exactly once (at
+//                         pop). Handles carry a generation counter
+//                         so cancel() of an already-recycled slot is a
+//                         detectable no-op — the freelist can never vend a
+//                         slot that still has a live handle observer
+//                         mutating it.
+//   RingQueue<T>          a power-of-two ring buffer with deque semantics
+//                         (push_back/front/pop_front) and amortized-zero
+//                         allocation; the per-pipe drop-tail queues.
+//   SeqWindow             a sliding bitmap over out-of-order sequence
+//                         numbers above the receiver's cumulative-ack
+//                         point; word-granular front trimming keeps it
+//                         proportional to the reorder window, not the
+//                         stream length.
+//
+// All three are single-writer structures (one simulator shard owns its
+// engine); cross-shard parallelism lives in ShardedPacketSim, which gives
+// every shard a private engine and merges results commutatively.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace flattree::sim {
+
+// 4-ary indexed min-heap over an arena of recycled slots. Payload must be
+// movable. The queue is a strict total order: equal timestamps pop in push
+// order (seq), so simulation results never depend on heap internals.
+template <typename Payload>
+class EventQueue {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  struct Handle {
+    std::uint32_t slot{kNone};
+    std::uint32_t generation{0};
+  };
+
+  EventQueue() = default;
+  explicit EventQueue(std::size_t reserve) {
+    arena_.reserve(reserve);
+    heap_.reserve(reserve);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  // Arena high-water mark: slots ever live at once (freelist recycling
+  // means this is max concurrent events, not total events pushed).
+  [[nodiscard]] std::size_t arena_slots() const { return arena_.size(); }
+  // Sequence the next push will receive; doubles as total pushes so far.
+  [[nodiscard]] std::uint64_t pushes() const { return next_seq_; }
+
+  [[nodiscard]] double top_time() const { return heap_[0].t; }
+  [[nodiscard]] const Payload& top() const {
+    return arena_[heap_[0].slot].payload;
+  }
+
+  Handle push(double t, Payload payload) {
+    const std::uint32_t slot = acquire(t);
+    Slot& s = arena_[slot];
+    s.payload = std::move(payload);
+    return Handle{slot, s.generation};
+  }
+
+  // Vends the slot for an event at time `t` and returns its payload for the
+  // caller to fill in place — one write instead of construct-then-move. The
+  // payload may hold stale contents from a recycled slot; the caller must
+  // assign every field. The reference is valid until the next push/emplace.
+  Payload& emplace(double t) { return arena_[acquire(t)].payload; }
+
+  // Pops the minimum (time, seq) event. Precondition: !empty().
+  Payload pop(double* t = nullptr) {
+    const std::uint32_t slot = heap_[0].slot;
+    if (t != nullptr) *t = heap_[0].t;
+    Payload out = std::move(arena_[slot].payload);
+    remove_at(0);
+    release(slot);
+    return out;
+  }
+
+  // Removes a not-yet-popped event. Returns false if the handle is stale
+  // (already popped or cancelled — possibly recycled since).
+  bool cancel(Handle h) {
+    if (h.slot >= arena_.size()) return false;
+    Slot& s = arena_[h.slot];
+    if (s.generation != h.generation || s.heap_pos == kNone) return false;
+    remove_at(s.heap_pos);
+    release(h.slot);
+    return true;
+  }
+
+  // True while `h` refers to an event still queued.
+  [[nodiscard]] bool live(Handle h) const {
+    return h.slot < arena_.size() &&
+           arena_[h.slot].generation == h.generation &&
+           arena_[h.slot].heap_pos != kNone;
+  }
+
+ private:
+  // Takes a slot off the freelist (or grows the arena) and links it into
+  // the heap at time `t`. Sifting only rewrites heap positions, so the
+  // slot's payload can be filled before or after the call.
+  std::uint32_t acquire(double t) {
+    std::uint32_t slot;
+    if (free_head_ != kNone) {
+      slot = free_head_;
+      free_head_ = arena_[slot].next_free;
+    } else {
+      slot = static_cast<std::uint32_t>(arena_.size());
+      arena_.emplace_back();
+    }
+    const std::uint32_t pos = static_cast<std::uint32_t>(heap_.size());
+    arena_[slot].heap_pos = pos;
+    heap_.push_back(Entry{t, next_seq_++, slot});
+    sift_up(pos);
+    return slot;
+  }
+
+  struct Slot {
+    Payload payload{};
+    std::uint32_t heap_pos{kNone};    // kNone = free
+    std::uint32_t next_free{kNone};   // freelist link while free
+    std::uint32_t generation{0};      // bumped on release
+  };
+
+  // One heap element: sort key inline so sifts compare within the
+  // contiguous heap array instead of chasing slot indices into the arena.
+  struct Entry {
+    double t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  [[nodiscard]] static bool before(const Entry& x, const Entry& y) {
+    if (x.t != y.t) return x.t < y.t;
+    return x.seq < y.seq;
+  }
+
+  void place(std::uint32_t pos, const Entry& e) {
+    heap_[pos] = e;
+    arena_[e.slot].heap_pos = pos;
+  }
+
+  void sift_up(std::uint32_t pos) {
+    const Entry moving = heap_[pos];
+    while (pos > 0) {
+      const std::uint32_t parent = (pos - 1) >> 2;
+      if (!before(moving, heap_[parent])) break;
+      place(pos, heap_[parent]);
+      pos = parent;
+    }
+    place(pos, moving);
+  }
+
+  void sift_down(std::uint32_t pos) {
+    const Entry moving = heap_[pos];
+    const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+    for (;;) {
+      const std::uint32_t first_child = (pos << 2) + 1;
+      if (first_child >= n) break;
+      std::uint32_t best = first_child;
+      const std::uint32_t last_child =
+          first_child + 3 < n ? first_child + 3 : n - 1;
+      for (std::uint32_t c = first_child + 1; c <= last_child; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], moving)) break;
+      place(pos, heap_[best]);
+      pos = best;
+    }
+    place(pos, moving);
+  }
+
+  // Unlinks heap_[pos], restoring the heap property around the hole.
+  void remove_at(std::uint32_t pos) {
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (pos == heap_.size()) return;  // removed the tail element
+    place(pos, last);
+    if (pos > 0 && before(last, heap_[(pos - 1) >> 2])) {
+      sift_up(pos);
+    } else {
+      sift_down(pos);
+    }
+  }
+
+  void release(std::uint32_t slot) {
+    Slot& s = arena_[slot];
+    s.heap_pos = kNone;
+    ++s.generation;
+    s.next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  std::vector<Slot> arena_;
+  std::vector<Entry> heap_;  // 4-ary heap order, keys inline
+  std::uint32_t free_head_{kNone};
+  std::uint64_t next_seq_{0};
+};
+
+// Power-of-two ring buffer with the std::deque surface the pipe queues
+// use. Grows by doubling (amortized allocation-free); clear() keeps the
+// storage for reuse.
+template <typename T>
+class RingQueue {
+ public:
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] T& front() { return buf_[head_]; }
+  [[nodiscard]] const T& front() const { return buf_[head_]; }
+
+  void push_back(const T& value) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & (buf_.size() - 1)] = value;
+    ++size_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+};
+
+// Sliding bitmap of out-of-order sequence numbers. Semantically a
+// std::set<uint32_t> restricted to the access pattern of a cumulative-ack
+// receiver: insert above the ack point, erase at the advancing ack point.
+// Storage is one bit per sequence across the live reorder window; fully
+// cleared leading words are trimmed as the window slides.
+class SeqWindow {
+ public:
+  // Records `seq`; duplicates are ignored (set semantics).
+  void insert(std::uint32_t seq) {
+    const std::uint64_t w = seq >> 6;
+    if (words_.empty()) {
+      word0_ = w;
+      words_.push_back(0);
+    } else if (w < word0_) {
+      words_.insert(words_.begin(), static_cast<std::size_t>(word0_ - w), 0);
+      word0_ = w;
+    } else if (w - word0_ >= words_.size()) {
+      words_.resize(static_cast<std::size_t>(w - word0_) + 1, 0);
+    }
+    const std::uint64_t bit = 1ull << (seq & 63);
+    std::uint64_t& word = words_[static_cast<std::size_t>(w - word0_)];
+    if ((word & bit) == 0) {
+      word |= bit;
+      ++count_;
+    }
+  }
+
+  // Removes `seq` if present; returns whether it was. The receiver calls
+  // this with its advancing expected sequence, so erasure trims the front.
+  bool erase(std::uint32_t seq) {
+    const std::uint64_t w = seq >> 6;
+    if (words_.empty() || w < word0_ || w - word0_ >= words_.size()) {
+      return false;
+    }
+    const std::uint64_t bit = 1ull << (seq & 63);
+    std::uint64_t& word = words_[static_cast<std::size_t>(w - word0_)];
+    if ((word & bit) == 0) return false;
+    word &= ~bit;
+    --count_;
+    std::size_t lead = 0;
+    while (lead < words_.size() && words_[lead] == 0) ++lead;
+    if (lead > 0) {
+      words_.erase(words_.begin(),
+                   words_.begin() + static_cast<std::ptrdiff_t>(lead));
+      word0_ += lead;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t seq) const {
+    const std::uint64_t w = seq >> 6;
+    if (words_.empty() || w < word0_ || w - word0_ >= words_.size()) {
+      return false;
+    }
+    return (words_[static_cast<std::size_t>(w - word0_)] >>
+            (seq & 63)) & 1u;
+  }
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  void clear() {
+    words_.clear();
+    word0_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint64_t word0_{0};  // word index of words_[0] (seq / 64)
+  std::size_t count_{0};
+};
+
+}  // namespace flattree::sim

@@ -15,10 +15,18 @@ void PacketSim::attach_obs(const obs::ObsSink& sink) {
   if (reg == nullptr) {
     c_drops_ = c_rto_ = c_fast_rtx_ = nullptr;
     c_flows_started_ = c_flows_done_ = nullptr;
-    c_conversions_ = c_failures_ = nullptr;
+    c_conversions_ = c_failures_ = c_events_ = nullptr;
+    g_heap_max_ = g_arena_ = nullptr;
     h_fct_ = h_queue_depth_ = h_cwnd_ = nullptr;
     return;
   }
+  // Engine metrics. All three are commutative across sims (counter add /
+  // gauge set_max), so a sharded run exports the same bytes for any thread
+  // count: sim.events_processed sums shard totals, the gauges take the max
+  // over shards.
+  c_events_ = &reg->counter("sim.events_processed");
+  g_heap_max_ = &reg->gauge("sim.heap_max");
+  g_arena_ = &reg->gauge("sim.arena.high_water");
   c_drops_ = &reg->counter("packet.drops");
   c_rto_ = &reg->counter("packet.rto_timeouts");
   c_fast_rtx_ = &reg->counter("packet.fast_retransmits");
@@ -176,43 +184,86 @@ std::uint32_t PacketSim::add_flow(std::uint32_t src_server,
 }
 
 void PacketSim::schedule(double t, EventType type, std::uint32_t a,
-                         std::uint32_t b, Packet packet) {
+                         std::uint32_t b, const Packet& packet) {
+  // Tie-break contract: equal-timestamp events fire in scheduling order.
+  // The pooled queue sequences pushes internally; the reference queue
+  // carries the explicit order_ counter. Either way the order is a pure
+  // function of the simulation, never of heap layout.
+  if (options_.engine == PacketEngine::kPooled) {
+    EventPayload& payload = queue_.emplace(t);
+    payload.type = type;
+    payload.a = a;
+    payload.b = b;
+    payload.packet = packet;
+    if (queue_.size() > heap_max_) heap_max_ = queue_.size();
+    return;
+  }
   Event event;
   event.t = t;
   event.order = order_++;
-  event.type = type;
-  event.a = a;
-  event.b = b;
-  event.packet = packet;
+  event.payload.type = type;
+  event.payload.a = a;
+  event.payload.b = b;
+  event.payload.packet = packet;
   events_.push(std::move(event));
+  if (events_.size() > heap_max_) heap_max_ = events_.size();
+}
+
+void PacketSim::dispatch(const EventPayload& event) {
+  switch (event.type) {
+    case EventType::kArrival:
+      handle_arrival(event);
+      break;
+    case EventType::kPipeFree: {
+      Pipe& pipe = pipes_[event.a];
+      pipe.transmitting = false;
+      if (!pipe.dead) pipe_try_send(event.a);
+      break;
+    }
+    case EventType::kTimer:
+      handle_timer(event);
+      break;
+    case EventType::kFlowStart:
+      start_flow(event.a);
+      break;
+  }
 }
 
 void PacketSim::run_until(double t_s) {
-  while (!events_.empty() && events_.top().t <= t_s) {
-    const Event event = events_.top();
-    events_.pop();
-    now_ = std::max(now_, event.t);
-    ++events_done_;
-    ++segment_.events_processed;
-    switch (event.type) {
-      case EventType::kArrival:
-        handle_arrival(event);
-        break;
-      case EventType::kPipeFree: {
-        Pipe& pipe = pipes_[event.a];
-        pipe.transmitting = false;
-        if (!pipe.dead) pipe_try_send(event.a);
-        break;
-      }
-      case EventType::kTimer:
-        handle_timer(event);
-        break;
-      case EventType::kFlowStart:
-        start_flow(event.a);
-        break;
+  std::uint64_t processed = 0;
+  if (options_.engine == PacketEngine::kPooled) {
+    while (!queue_.empty() && queue_.top_time() <= t_s) {
+      double t = 0.0;
+      const EventPayload event = queue_.pop(&t);
+      now_ = std::max(now_, t);
+      ++events_done_;
+      ++segment_.events_processed;
+      ++processed;
+      dispatch(event);
+    }
+  } else {
+    while (!events_.empty() && events_.top().t <= t_s) {
+      const Event event = events_.top();
+      events_.pop();
+      now_ = std::max(now_, event.t);
+      ++events_done_;
+      ++segment_.events_processed;
+      ++processed;
+      dispatch(event.payload);
     }
   }
   now_ = std::max(now_, t_s);
+  if (processed > 0) {
+    obs::add(c_events_, processed);
+    obs::set_max(g_heap_max_, static_cast<double>(heap_max_));
+    obs::set_max(g_arena_, static_cast<double>(arena_high_water()));
+  }
+}
+
+std::uint64_t PacketSim::arena_high_water() const {
+  // The reference engine has no arena; its queue peak is the analogue.
+  return options_.engine == PacketEngine::kPooled ? queue_.arena_slots()
+                                                  : heap_max_;
 }
 
 void PacketSim::start_flow(std::uint32_t flow_index) {
@@ -263,7 +314,8 @@ void PacketSim::subflow_send_packet(std::uint32_t flow_index,
   if (!sf.timer_armed) arm_timer(flow_index, sf_index);
 }
 
-void PacketSim::enqueue_packet(std::uint32_t pipe_index, Packet packet) {
+void PacketSim::enqueue_packet(std::uint32_t pipe_index,
+                               const Packet& packet) {
   Pipe& pipe = pipes_[pipe_index];
   if (pipe.dead) {
     count_drop();  // the cable this route relied on has been rewired away
@@ -295,7 +347,7 @@ void PacketSim::pipe_try_send(std::uint32_t pipe_index) {
            packet);
 }
 
-void PacketSim::handle_arrival(const Event& event) {
+void PacketSim::handle_arrival(const EventPayload& event) {
   const Packet& packet = event.packet;
   Subflow& sf = subflows_[packet.subflow];
   if (!sf.alive) {
@@ -322,11 +374,7 @@ void PacketSim::on_data_at_receiver(const Packet& packet) {
   Subflow& sf = subflows_[packet.subflow];
   if (packet.seq == sf.expect_seq) {
     ++sf.expect_seq;
-    while (!sf.out_of_order.empty() &&
-           *sf.out_of_order.begin() == sf.expect_seq) {
-      sf.out_of_order.erase(sf.out_of_order.begin());
-      ++sf.expect_seq;
-    }
+    while (sf.out_of_order.erase(sf.expect_seq)) ++sf.expect_seq;
   } else if (packet.seq > sf.expect_seq) {
     sf.out_of_order.insert(packet.seq);
   }
@@ -461,7 +509,7 @@ void PacketSim::arm_timer(std::uint32_t flow_index, std::uint32_t sf_index) {
   schedule(sf.rto_deadline, EventType::kTimer, flow_index, sf_index);
 }
 
-void PacketSim::handle_timer(const Event& event) {
+void PacketSim::handle_timer(const EventPayload& event) {
   const std::uint32_t sf_index = event.b;
   Subflow& sf = subflows_[sf_index];
   if (!sf.alive) return;
@@ -554,6 +602,10 @@ std::uint64_t PacketSim::flow_bytes_acked(std::uint32_t flow) const {
 
 bool PacketSim::flow_completed(std::uint32_t flow) const {
   return flows_.at(flow).done;
+}
+
+double PacketSim::flow_start_time(std::uint32_t flow) const {
+  return flows_.at(flow).start_s;
 }
 
 double PacketSim::flow_finish_time(std::uint32_t flow) const {

@@ -26,19 +26,27 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
 #include <queue>
-#include <set>
 #include <vector>
 
 #include "net/failures.h"
 #include "net/graph.h"
 #include "obs/sink.h"
 #include "routing/path.h"
+#include "sim/event_queue.h"
 
 namespace flattree {
+
+// Event-engine selection. Both engines process the exact same event
+// sequence — the event order is the total order (time, schedule sequence),
+// independent of heap internals — so they are event-for-event equivalent
+// (pinned by tests/test_packet_diff.cc). kReference is the seed engine
+// (std::priority_queue over full Event records), kept as the differential
+// oracle; kPooled is the production engine (4-ary indexed heap over a
+// recycled event arena, sim/event_queue.h) and the default.
+enum class PacketEngine : std::uint8_t { kPooled, kReference };
 
 struct PacketSimOptions {
   double prop_delay_s{5e-6};
@@ -51,6 +59,7 @@ struct PacketSimOptions {
   double init_cwnd{2.0};
   double initial_rtt_estimate_s{1e-3};
   bool mptcp_coupled{true};  // LIA; false = independent Reno per subflow
+  PacketEngine engine{PacketEngine::kPooled};
 };
 
 enum class ConversionScope : std::uint8_t {
@@ -60,6 +69,8 @@ enum class ConversionScope : std::uint8_t {
 
 class PacketSim {
  public:
+  using Engine = PacketEngine;  // PacketSim::Engine::kReference etc.
+
   explicit PacketSim(PacketSimOptions options = PacketSimOptions{});
 
   // Installs the network (pipes from every link of the realized graph,
@@ -129,10 +140,17 @@ class PacketSim {
   [[nodiscard]] const std::vector<Path>& flow_paths(std::uint32_t flow) const;
   [[nodiscard]] std::uint64_t flow_bytes_acked(std::uint32_t flow) const;
   [[nodiscard]] bool flow_completed(std::uint32_t flow) const;
+  [[nodiscard]] double flow_start_time(std::uint32_t flow) const;
   [[nodiscard]] double flow_finish_time(std::uint32_t flow) const;
   [[nodiscard]] std::uint64_t total_bytes_acked() const;
   [[nodiscard]] std::uint64_t packets_dropped() const { return drops_; }
   [[nodiscard]] std::uint64_t events_processed() const { return events_done_; }
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  // Engine high-water marks: max events simultaneously queued, and the
+  // pooled arena's slot count (equal to heap_max under kPooled; the
+  // reference engine reports its priority_queue peak as both).
+  [[nodiscard]] std::uint64_t heap_max() const { return heap_max_; }
+  [[nodiscard]] std::uint64_t arena_high_water() const;
 
  private:
   // ---- data plane ----------------------------------------------------------
@@ -150,7 +168,7 @@ class PacketSim {
     double rate_bps{0.0};
     double blocked_until{0.0};  // control-plane blackout gate
     std::uint64_t queued_bytes{0};
-    std::deque<Packet> queue;
+    sim::RingQueue<Packet> queue;  // flat drop-tail ring, no per-packet alloc
     bool transmitting{false};
     bool dead{false};  // cable no longer exists in the current topology
   };
@@ -180,7 +198,7 @@ class PacketSim {
     double rto_deadline{0.0};
     // receiver state
     std::uint32_t expect_seq{0};
-    std::set<std::uint32_t> out_of_order;
+    sim::SeqWindow out_of_order;  // bitmap over the live reorder window
     // data-level bookkeeping: packets assigned to this subflow but not yet
     // cumulatively acked (returned to the flow pool on conversion).
     std::uint32_t inflight_assigned{0};
@@ -208,34 +226,53 @@ class PacketSim {
     kFlowStart,
   };
 
-  struct Event {
-    double t{0.0};
-    std::uint64_t order{0};
+  // What an event *is*; when it fires is the queue's business. Both
+  // engines dispatch on the total order (time, schedule sequence) — the
+  // tie-break is the monotone per-sim sequence number assigned by
+  // schedule(), never heap insertion position, so equal-timestamp events
+  // fire in scheduling order on either engine.
+  struct EventPayload {
     EventType type{EventType::kArrival};
     std::uint32_t a{0};  // pipe / flow
     std::uint32_t b{0};  // subflow
     Packet packet;
+  };
+
+  // Reference-engine event record: payload plus its own (t, order) key for
+  // std::priority_queue.
+  struct Event {
+    double t{0.0};
+    std::uint64_t order{0};
+    EventPayload payload;
     friend bool operator>(const Event& x, const Event& y) {
       if (x.t != y.t) return x.t > y.t;
       return x.order > y.order;
     }
   };
 
+  // `packet` must not alias a payload inside the pooled queue's arena (the
+  // push may grow it); run_until pops events by value, so handlers only
+  // ever hold locals.
   void schedule(double t, EventType type, std::uint32_t a, std::uint32_t b,
-                Packet packet);
+                const Packet& packet);
   void schedule(double t, EventType type, std::uint32_t a, std::uint32_t b) {
     schedule(t, type, a, b, Packet{});
   }
-  void enqueue_packet(std::uint32_t pipe, Packet packet);
+  // Forced inline: the event loop calls this half a billion times per
+  // long run, and the seed engine had the switch inlined in run_until.
+  [[gnu::always_inline]] inline void dispatch(const EventPayload& event);
+  // `packet` must not alias storage inside the target pipe's ring (the
+  // push may grow it); every caller passes a stack-local copy.
+  void enqueue_packet(std::uint32_t pipe, const Packet& packet);
   void pipe_try_send(std::uint32_t pipe);
-  void handle_arrival(const Event& event);
+  void handle_arrival(const EventPayload& event);
   void on_data_at_receiver(const Packet& packet);
   void on_ack_at_sender(const Packet& packet);
   void maybe_send(std::uint32_t flow_index);
   void subflow_send_packet(std::uint32_t flow_index, std::uint32_t sf_index,
                            std::uint32_t seq, bool is_retransmit);
   void arm_timer(std::uint32_t flow_index, std::uint32_t sf_index);
-  void handle_timer(const Event& event);
+  void handle_timer(const EventPayload& event);
   void increase_cwnd(SimFlow& flow, Subflow& subflow);
   [[nodiscard]] std::uint32_t pipe_between(NodeId from, NodeId to) const;
   [[nodiscard]] std::vector<std::uint32_t> pipes_for(const Path& path) const;
@@ -258,6 +295,7 @@ class PacketSim {
   std::uint64_t order_{0};
   std::uint64_t drops_{0};
   std::uint64_t events_done_{0};
+  std::uint64_t heap_max_{0};
   bool network_set_{false};
   SegmentStats segment_;
 
@@ -270,10 +308,16 @@ class PacketSim {
   obs::Counter* c_flows_done_{nullptr};
   obs::Counter* c_conversions_{nullptr};
   obs::Counter* c_failures_{nullptr};
+  obs::Counter* c_events_{nullptr};
+  obs::Gauge* g_heap_max_{nullptr};
+  obs::Gauge* g_arena_{nullptr};
   obs::Histogram* h_fct_{nullptr};
   obs::Histogram* h_queue_depth_{nullptr};
   obs::Histogram* h_cwnd_{nullptr};
 
+  // Pooled engine (default): indexed heap over the recycled event arena.
+  sim::EventQueue<EventPayload> queue_;
+  // Reference engine: the seed-state priority queue of full Event records.
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::vector<Pipe> pipes_;
   // Directed node-pair -> pipe index for the current topology.

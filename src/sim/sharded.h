@@ -1,0 +1,73 @@
+// ShardedPacketSim: testbed-size packet simulation across the exec pool.
+//
+// A packet-level run decomposes when its flow groups are *independent* —
+// no two groups route over a common link (e.g. pod-local traffic in Clos
+// mode: every path stays inside its pod). Each shard then owns a private
+// PacketSim over the shared topology carrying only its group, and the
+// union of shard results equals the monolithic simulation event-for-event
+// (pinned by tests/test_packet_diff.cc), because events of disjoint groups
+// never touch each other's state no matter how they interleave.
+//
+// Determinism contract (same as the obs layer's):
+//   * shard s seeds its RNG from exec::task_seed(base_seed, s) — never
+//     from thread ids or scheduling;
+//   * shard results are collected by index (exec::parallel_map) and merged
+//     in index order, so sums and FCT vectors are bit-identical for any
+//     thread count;
+//   * metrics flow through the commutative obs sink (counter add, gauge
+//     set_max), so --metrics-out exports identical bytes across
+//     --threads 1/2/8 (the obs_determinism_packet_scale gate).
+// Groups that are NOT disjoint may still be sharded as an explicit
+// approximation (cross-group queueing is not modeled); callers own that
+// call and should say so where they report results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exec/pool.h"
+#include "net/graph.h"
+#include "net/rng.h"
+#include "obs/sink.h"
+#include "sim/packet.h"
+
+namespace flattree {
+
+// Index-order merge of the per-shard outcomes. Counter-like fields add;
+// high-water fields take the max; FCTs concatenate in (shard, flow) order.
+struct ShardedRunStats {
+  std::uint64_t events_processed{0};
+  std::uint64_t packets_dropped{0};
+  std::uint64_t bytes_acked{0};
+  std::uint64_t flows{0};
+  std::uint64_t flows_completed{0};
+  std::uint64_t heap_max{0};           // max over shards
+  std::uint64_t arena_high_water{0};   // max over shards
+  std::vector<double> fcts_s;          // completed flows, shard-major order
+};
+
+class ShardedPacketSim {
+ public:
+  // Populates shard `shard`'s simulator (set_network already done): add
+  // flows, drawing any randomness from `rng` only.
+  using ShardBuilder =
+      std::function<void(std::uint32_t shard, PacketSim& sim, Rng& rng)>;
+
+  ShardedPacketSim(const Graph& graph, PacketSimOptions options,
+                   std::uint64_t base_seed);
+
+  // Runs `shards` independent simulators to `horizon_s`, fanned across
+  // `pool` (serial when null). Every shard attaches `sink`; the builder
+  // must be safe to call concurrently for distinct shards.
+  ShardedRunStats run(std::uint32_t shards, const ShardBuilder& builder,
+                      double horizon_s, exec::ThreadPool* pool = nullptr,
+                      const obs::ObsSink& sink = {}) const;
+
+ private:
+  const Graph* graph_;
+  PacketSimOptions options_;
+  std::uint64_t base_seed_;
+};
+
+}  // namespace flattree

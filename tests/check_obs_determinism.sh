@@ -5,18 +5,20 @@
 # --threads 1/2/8 with --metrics-out and --trace-out enabled and diffs the
 # metrics JSON, the BENCH json (metrics block folded in), and stdout.
 #
-# usage: check_obs_determinism.sh <bench-binary> <bench-name>
+# usage: check_obs_determinism.sh <bench-binary> <bench-name> [bench-args...]
+# Extra arguments are passed through to every invocation (e.g. --quick).
 set -u
 
 bin="$1"
 name="$2"
+shift 2
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 cd "$workdir"
 
 for t in 1 2 8; do
-  if ! "$bin" --threads "$t" \
+  if ! "$bin" "$@" --threads "$t" \
       --metrics-out "metrics_$t.json" \
       --trace-out "trace_$t.json" \
       --json-out "bench_$t.json" > "stdout_$t.txt" 2> "stderr_$t.txt"; then

@@ -1,0 +1,261 @@
+// Differential battery: the pooled event engine vs the seed-state
+// reference engine (PacketSim::Engine::kReference). Both engines must be
+// event-for-event equivalent — the event order is the total order
+// (time, schedule sequence), independent of queue internals — so every
+// observable (per-flow FCT/bytes, drop counts, event counts, SegmentStats,
+// the deterministic metrics export) must match EXACTLY, not approximately.
+// Also pins the ShardedPacketSim contracts: shard-merge equals the
+// monolithic run when flow groups are link-disjoint, and merged results
+// are bit-identical across thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flat_tree.h"
+#include "exec/parallel.h"
+#include "exec/pool.h"
+#include "net/rng.h"
+#include "obs/metrics.h"
+#include "routing/ksp.h"
+#include "sim/packet.h"
+#include "sim/sharded.h"
+#include "topo/clos.h"
+#include "topo/params.h"
+
+namespace flattree {
+namespace {
+
+// Everything one run exposes, collected exhaustively for exact comparison.
+struct RunTrace {
+  std::vector<bool> completed;
+  std::vector<double> finish_s;
+  std::vector<std::uint64_t> bytes;
+  std::uint64_t drops{0};
+  std::uint64_t events{0};
+  std::uint64_t total_bytes{0};
+  std::uint64_t heap_max{0};
+  PacketSim::SegmentStats segment;
+  std::string metrics_json;
+
+  bool operator==(const RunTrace& o) const {
+    return completed == o.completed && finish_s == o.finish_s &&
+           bytes == o.bytes && drops == o.drops && events == o.events &&
+           total_bytes == o.total_bytes && heap_max == o.heap_max &&
+           segment.packets_dropped == o.segment.packets_dropped &&
+           segment.events_processed == o.segment.events_processed &&
+           segment.rto_timeouts == o.segment.rto_timeouts &&
+           segment.fast_retransmits == o.segment.fast_retransmits &&
+           segment.flows_completed == o.segment.flows_completed &&
+           segment.bytes_acked == o.segment.bytes_acked &&
+           metrics_json == o.metrics_json;
+  }
+};
+
+RunTrace capture(const PacketSim& sim, std::size_t flows,
+                 obs::MetricsRegistry& reg) {
+  RunTrace t;
+  for (std::uint32_t f = 0; f < flows; ++f) {
+    t.completed.push_back(sim.flow_completed(f));
+    t.finish_s.push_back(sim.flow_finish_time(f));
+    t.bytes.push_back(sim.flow_bytes_acked(f));
+  }
+  t.drops = sim.packets_dropped();
+  t.events = sim.events_processed();
+  t.total_bytes = sim.total_bytes_acked();
+  t.heap_max = sim.heap_max();
+  t.segment = sim.segment_stats();
+  t.metrics_json = reg.metrics_object_json();
+  return t;
+}
+
+// The testbed flat-tree in global mode: multipath (k = 2), converters,
+// cross-pod contention — the richest small network we have.
+Graph testbed_global() {
+  FlatTreeParams params;
+  params.clos = ClosParams::testbed();
+  params.clos.link_bps = 100e6;  // scaled: keeps the event count tractable
+  params.six_port_per_column = 1;
+  params.four_port_per_column = 1;
+  return FlatTree{params}.realize_uniform(PodMode::kGlobal);
+}
+
+// 200 finite flows with stream-seeded sizes/endpoints/start times.
+RunTrace run_workload(PacketEngine engine, std::uint64_t stream) {
+  const Graph g = testbed_global();
+  PathCache cache{g, 2};
+  PacketSimOptions options;
+  options.engine = engine;
+  PacketSim sim{options};
+  obs::MetricsRegistry reg;
+  sim.attach_obs(obs::ObsSink{&reg, nullptr});
+  sim.set_network(g);
+  Rng rng{mix64(stream, 0x64696666ULL /* "diff" */)};
+  const std::size_t kFlows = 200;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.next_below(24));
+    auto dst = static_cast<std::uint32_t>(rng.next_below(23));
+    if (dst >= src) ++dst;
+    const double bytes = 3e4 + rng.next_double() * 3e5;
+    const double start = rng.next_double() * 0.2;
+    sim.add_flow(src, dst, bytes, start,
+                 cache.server_paths(NodeId{src}, NodeId{dst}));
+  }
+  sim.run_until(3.0);
+  return capture(sim, kFlows, reg);
+}
+
+TEST(PacketDiff, EnginesAgreeOn200FlowSeeds) {
+  for (std::uint64_t stream = 0; stream < 5; ++stream) {
+    const RunTrace pooled = run_workload(PacketEngine::kPooled, stream);
+    const RunTrace reference =
+        run_workload(PacketSim::Engine::kReference, stream);
+    EXPECT_TRUE(pooled == reference) << "engines diverged on stream "
+                                     << stream;
+    // The run must be non-trivial for the comparison to mean anything.
+    EXPECT_GT(pooled.events, 100000u);
+    EXPECT_GT(pooled.segment.flows_completed, 100u);
+  }
+}
+
+// Failure/recovery through run_with_schedule: a mid-run outage drops
+// queues, black-holes retransmissions, and the repair re-paths — the
+// hardest sequencing in the simulator (conversion + dead-pipe
+// resurrection), diffed engine against engine.
+RunTrace run_schedule(PacketEngine engine) {
+  FlatTreeParams params;
+  params.clos = ClosParams::testbed();
+  params.clos.link_bps = 100e6;
+  params.six_port_per_column = 1;
+  params.four_port_per_column = 1;
+  const Graph g = FlatTree{params}.realize_uniform(PodMode::kClos);
+  PathCache cache{g, 1};
+  PacketSimOptions options;
+  options.engine = engine;
+  PacketSim sim{options};
+  obs::MetricsRegistry reg;
+  sim.attach_obs(obs::ObsSink{&reg, nullptr});
+  sim.set_network(g);
+  const std::size_t kFlows = 12;
+  for (std::uint32_t s = 0; s < kFlows; ++s) {
+    sim.add_flow(s, s + 6, 4e6, 0.01 * s,
+                 cache.server_paths(NodeId{s}, NodeId{s + 6}));
+  }
+  // Kill a mid-path switch of flow 0, recover it later; repairs re-path.
+  const auto paths0 = cache.server_paths(NodeId{0}, NodeId{6});
+  const NodeId mid = paths0[0][paths0[0].size() / 2];
+  FailureSchedule schedule;
+  schedule.fail_at(0.3, FailureSet{{}, {mid}});
+  schedule.recover_at(1.2, FailureSet{{}, {mid}});
+  const auto repath = [&](std::uint32_t fi,
+                          const Graph& now) -> std::vector<Path> {
+    PathCache fresh{now, 1};
+    return fresh.server_paths(NodeId{fi}, NodeId{fi + 6});
+  };
+  run_with_schedule(sim, g, schedule, repath, /*horizon_s=*/4.0);
+  return capture(sim, kFlows, reg);
+}
+
+TEST(PacketDiff, EnginesAgreeAcrossFailureAndRecovery) {
+  const RunTrace pooled = run_schedule(PacketEngine::kPooled);
+  const RunTrace reference = run_schedule(PacketEngine::kReference);
+  EXPECT_TRUE(pooled == reference);
+  EXPECT_GT(pooled.segment.events_processed, 0u);
+  std::size_t done = 0;
+  for (const bool c : pooled.completed) done += c ? 1 : 0;
+  EXPECT_GT(done, 6u) << "most flows should survive the outage";
+}
+
+// ---- sharding contracts ----------------------------------------------------
+
+// Pod-local permutation traffic on a pure Clos: paths never leave the pod,
+// so per-pod groups are link-disjoint and sharding is exact.
+void add_pod_flows(PacketSim& sim, PathCache& cache, const ClosParams& clos,
+                   std::uint32_t pod, Rng& rng) {
+  const std::uint32_t per_pod = clos.edge_per_pod * clos.servers_per_edge;
+  std::vector<std::uint32_t> dst(per_pod);
+  for (std::uint32_t i = 0; i < per_pod; ++i) dst[i] = pod * per_pod + i;
+  shuffle(dst, rng);
+  for (std::uint32_t i = 0; i < per_pod; ++i) {
+    const std::uint32_t src = pod * per_pod + i;
+    if (dst[i] == src) continue;
+    const double bytes = 1e5 + rng.next_double() * 4e5;
+    sim.add_flow(src, dst[i], bytes, rng.next_double() * 0.05,
+                 cache.server_paths(NodeId{src}, NodeId{dst[i]}));
+  }
+}
+
+TEST(PacketDiff, ShardedEqualsMonolithicOnDisjointGroups) {
+  const ClosParams clos = ClosParams::fat_tree(4);
+  ClosParams scaled = clos;
+  scaled.link_bps = 100e6;
+  const Graph g = build_clos(scaled);
+  PathCache cache{g, 1};
+  const std::uint64_t kSeed = 42;
+  const double kHorizon = 1.5;
+
+  // Monolithic: every pod's flows in one simulator, pod-major order.
+  PacketSim mono;
+  mono.set_network(g);
+  for (std::uint32_t pod = 0; pod < scaled.pods; ++pod) {
+    Rng rng = exec::task_rng(kSeed, pod);
+    add_pod_flows(mono, cache, scaled, pod, rng);
+  }
+  mono.run_until(kHorizon);
+
+  // Sharded: one shard per pod (the same per-pod RNG streams by
+  // construction), serial pool.
+  ShardedPacketSim sharded{g, PacketSimOptions{}, kSeed};
+  const ShardedRunStats stats = sharded.run(
+      scaled.pods,
+      [&](std::uint32_t pod, PacketSim& sim, Rng& rng) {
+        PathCache local{g, 1};
+        add_pod_flows(sim, local, scaled, pod, rng);
+      },
+      kHorizon);
+
+  EXPECT_EQ(stats.flows, mono.flow_count());
+  EXPECT_EQ(stats.events_processed, mono.events_processed());
+  EXPECT_EQ(stats.packets_dropped, mono.packets_dropped());
+  EXPECT_EQ(stats.bytes_acked, mono.total_bytes_acked());
+  std::vector<double> mono_fcts;
+  std::size_t mono_completed = 0;
+  for (std::uint32_t f = 0; f < mono.flow_count(); ++f) {
+    if (!mono.flow_completed(f)) continue;
+    ++mono_completed;
+    mono_fcts.push_back(mono.flow_finish_time(f) - mono.flow_start_time(f));
+  }
+  EXPECT_EQ(stats.flows_completed, mono_completed);
+  EXPECT_EQ(stats.fcts_s, mono_fcts);  // exact doubles, shard-major order
+  EXPECT_GT(stats.flows_completed, 0u);
+}
+
+TEST(PacketDiff, ShardedRunBitIdenticalAcrossThreadCounts) {
+  const ClosParams clos = ClosParams::fat_tree(4);
+  ClosParams scaled = clos;
+  scaled.link_bps = 100e6;
+  const Graph g = build_clos(scaled);
+  const auto build = [&](std::uint32_t pod, PacketSim& sim, Rng& rng) {
+    PathCache local{g, 1};
+    add_pod_flows(sim, local, scaled, pod, rng);
+  };
+  ShardedPacketSim sharded{g, PacketSimOptions{}, 7};
+
+  const ShardedRunStats serial = sharded.run(scaled.pods, build, 1.0);
+  for (const std::size_t threads : {2u, 5u}) {
+    exec::ThreadPool pool{threads};
+    const ShardedRunStats parallel =
+        sharded.run(scaled.pods, build, 1.0, &pool);
+    EXPECT_EQ(parallel.events_processed, serial.events_processed);
+    EXPECT_EQ(parallel.packets_dropped, serial.packets_dropped);
+    EXPECT_EQ(parallel.bytes_acked, serial.bytes_acked);
+    EXPECT_EQ(parallel.flows, serial.flows);
+    EXPECT_EQ(parallel.flows_completed, serial.flows_completed);
+    EXPECT_EQ(parallel.heap_max, serial.heap_max);
+    EXPECT_EQ(parallel.arena_high_water, serial.arena_high_water);
+    EXPECT_EQ(parallel.fcts_s, serial.fcts_s);
+  }
+}
+
+}  // namespace
+}  // namespace flattree
