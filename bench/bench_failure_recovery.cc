@@ -25,7 +25,6 @@
 // unthrottled — worst-case FCT inflates faster in Clos mode than in global
 // mode under the same FailureSchedule.
 #include <cstdio>
-#include <unordered_map>
 #include <vector>
 
 #include "bench/util.h"
@@ -63,30 +62,6 @@ PathProvider mode_provider(CompiledMode& mode) {
   return [&mode](NodeId src, NodeId dst, std::uint32_t) {
     return mode.paths().server_paths(src, dst);
   };
-}
-
-// `base` plus every link of `extra` it does not already contain (count-aware
-// for parallel links). Both must share node ids. This is how the rescue
-// circuits of a converter-rewire repair enter the fluid simulation: present
-// from the start but unused (and therefore inert) until the repaired paths
-// route onto them.
-Graph union_with(const Graph& base, const Graph& extra) {
-  const auto key = [](const Link& l) {
-    const auto lo = std::min(l.a.value(), l.b.value());
-    const auto hi = std::max(l.a.value(), l.b.value());
-    return (static_cast<std::uint64_t>(lo) << 32) | hi;
-  };
-  std::unordered_map<std::uint64_t, int> have;
-  for (std::uint32_t i = 0; i < base.link_count(); ++i) {
-    ++have[key(base.link(LinkId{i}))];
-  }
-  Graph out = base;
-  for (std::uint32_t i = 0; i < extra.link_count(); ++i) {
-    const Link& l = extra.link(LinkId{i});
-    if (have[key(l)]-- > 0) continue;
-    out.add_link(l.a, l.b, l.capacity_bps);
-  }
-  return out;
 }
 
 // Everything one mode's pipeline produces: baseline sim, repair plan,
@@ -179,8 +154,11 @@ void run(int argc, char** argv) {
               // refresh installs the repaired cache. The union graph
               // carries the rescue circuits, inert until the repaired
               // paths route onto them.
+              // The union graph carries the rescue circuits of the repair:
+              // present from the start but unused (and therefore inert under
+              // max-min filling) until the repaired paths route onto them.
               CompiledMode pre = controller.compile_uniform(mode);
-              const Graph sim_graph = union_with(pre.graph(), *plan.graph);
+              const Graph sim_graph = graph_union(pre.graph(), *plan.graph);
               FluidSimulator sim{sim_graph, mode_provider(pre), fluid_opts};
               FailureSchedule schedule;
               schedule.fail_at(t_fail, columns);

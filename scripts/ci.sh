@@ -29,7 +29,7 @@ echo "== sanitizer gate (preset: ${SANITIZE_PRESET}) =="
 cmake --preset "${SANITIZE_PRESET}"
 cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
   --target test_exec test_obs test_ksp_properties test_event_queue \
-           test_packet_diff
+           test_packet_diff test_conversion_exec
 "./build-${SANITIZE_PRESET}/tests/test_exec"
 "./build-${SANITIZE_PRESET}/tests/test_obs"
 "./build-${SANITIZE_PRESET}/tests/test_ksp_properties"
@@ -38,10 +38,14 @@ cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
 # TSan-relevant path).
 "./build-${SANITIZE_PRESET}/tests/test_event_queue"
 "./build-${SANITIZE_PRESET}/tests/test_packet_diff"
+# The staged-conversion chaos battery (seeded adversary: lossy channel,
+# dead switches, failed OCS partitions) — every trial must land fully
+# converted or fully rolled back, sanitizer-clean.
+"./build-${SANITIZE_PRESET}/tests/test_conversion_exec"
 
 if [ "${SANITIZE_PRESET}" = "tsan" ]; then
   cmake --build build-tsan -j "${JOBS}" \
-    --target bench_ablation_mn bench_failure_recovery
+    --target bench_ablation_mn bench_failure_recovery bench_conversion_churn
   ./build-tsan/bench/bench_ablation_mn --threads 4 --json-out none \
     > /dev/null
   # Concurrent metric/trace recording from pool workers under TSan.
@@ -49,6 +53,11 @@ if [ "${SANITIZE_PRESET}" = "tsan" ]; then
   ./build-tsan/bench/bench_failure_recovery --threads 4 --json-out none \
     --metrics-out "${obs_tmp}/metrics.json" \
     --trace-out "${obs_tmp}/trace.json" > /dev/null
+  # Six conversion-executor cells (each running both simulators) fanned
+  # across pool workers, recording conv_exec.* metrics concurrently.
+  ./build-tsan/bench/bench_conversion_churn --threads 4 --json-out none \
+    --metrics-out "${obs_tmp}/churn_metrics.json" \
+    --trace-out "${obs_tmp}/churn_trace.json" > /dev/null
   rm -rf "${obs_tmp}"
 fi
 

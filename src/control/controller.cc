@@ -8,6 +8,16 @@
 
 namespace flattree {
 
+void ConversionDelayModel::validate() const {
+  // Negated conjunction so NaN (which compares false against every bound)
+  // is rejected too.
+  if (!(ocs_reconfigure_s >= 0.0 && rule_delete_s >= 0.0 &&
+        rule_add_s >= 0.0)) {
+    throw std::invalid_argument(
+        "ConversionDelayModel: per-operation delays must be >= 0");
+  }
+}
+
 CompiledMode::CompiledMode(const FlatTree& tree, ModeAssignment assignment,
                            std::uint32_t k, bool count_rules,
                            const obs::ObsSink& sink)
@@ -75,6 +85,7 @@ ConversionReport Controller::plan_conversion(const CompiledMode& from,
   if (from.configs().size() != to.configs().size()) {
     throw std::invalid_argument("plan_conversion: different flat-trees");
   }
+  options_.delay.validate();
   ConversionReport report;
   for (std::size_t i = 0; i < from.configs().size(); ++i) {
     if (from.configs()[i] != to.configs()[i]) ++report.converters_changed;
@@ -92,8 +103,7 @@ ConversionReport Controller::plan_conversion(const CompiledMode& from,
     report.rules_deleted = from.max_rules_per_switch();
     report.rules_added = to.max_rules_per_switch();
   }
-  const double controllers =
-      std::max<std::uint32_t>(1, options_.delay.controllers);
+  const double controllers = options_.delay.effective_controllers();
   report.delete_s = static_cast<double>(report.rules_deleted) *
                     options_.delay.rule_delete_s / controllers;
   report.add_s = static_cast<double>(report.rules_added) *
@@ -117,6 +127,7 @@ ConversionReport Controller::plan_conversion(const CompiledMode& from,
 RepairPlan Controller::plan_repair(CompiledMode& mode,
                                    const FailureSet& failures,
                                    const RepairOptions& repair_options) const {
+  options_.delay.validate();
   const Graph& old_graph = mode.graph();
   obs::MetricsRegistry* reg = options_.sink.metrics();
   obs::EventTracer* tracer = options_.sink.tracer();
@@ -194,8 +205,7 @@ RepairPlan Controller::plan_repair(CompiledMode& mode,
 
   plan.ocs_s = plan.converters_changed > 0 ? options_.delay.ocs_reconfigure_s
                                            : 0.0;
-  const double controllers =
-      std::max<std::uint32_t>(1, options_.delay.controllers);
+  const double controllers = options_.delay.effective_controllers();
   plan.delete_s = static_cast<double>(plan.rules_deleted) *
                   options_.delay.rule_delete_s / controllers;
   plan.add_s = static_cast<double>(plan.rules_added) *

@@ -14,6 +14,7 @@
 // price them with the measured per-operation latencies (Table 3).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -45,6 +46,17 @@ struct ConversionDelayModel {
   // controllers each managing a number of switches". Rule update time
   // divides by the controller count; the OCS pass does not.
   std::uint32_t controllers{1};
+
+  // The controllers divisor with the zero-guard applied — the single home
+  // of the clamp rule (controllers == 0 behaves as 1).
+  [[nodiscard]] double effective_controllers() const {
+    return std::max<std::uint32_t>(1, controllers);
+  }
+
+  // Rejects meaningless timings: a negative (or NaN) per-operation delay
+  // would silently produce a negative ConversionReport/RepairPlan total.
+  // Throws std::invalid_argument. Called at every pricing site.
+  void validate() const;
 };
 
 struct ConversionReport {

@@ -1,0 +1,973 @@
+#include "control/conversion_exec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/converter.h"
+#include "net/rng.h"
+#include "obs/metrics.h"
+#include "routing/ksp.h"
+
+namespace flattree {
+
+void ControlChannelOptions::validate() const {
+  // Negated conjunctions so NaN (which compares false against every bound)
+  // is rejected too.
+  if (!(drop_probability >= 0.0 && drop_probability < 1.0)) {
+    throw std::invalid_argument(
+        "ControlChannelOptions: drop_probability must be in [0, 1)");
+  }
+  if (!(delay_s >= 0.0)) {
+    throw std::invalid_argument("ControlChannelOptions: delay_s must be >= 0");
+  }
+  if (!(timeout_s > 0.0)) {
+    throw std::invalid_argument("ControlChannelOptions: timeout_s must be > 0");
+  }
+  if (!(backoff >= 1.0)) {
+    throw std::invalid_argument("ControlChannelOptions: backoff must be >= 1");
+  }
+  if (max_attempts == 0) {
+    throw std::invalid_argument(
+        "ControlChannelOptions: max_attempts must be >= 1");
+  }
+}
+
+const char* to_string(StepKind kind) {
+  switch (kind) {
+    case StepKind::kRulePatch: return "rule_patch";
+    case StepKind::kOcs: return "ocs";
+    case StepKind::kRuleAdd: return "rule_add";
+    case StepKind::kEpochFlip: return "epoch_flip";
+    case StepKind::kRuleDelete: return "rule_delete";
+    case StepKind::kRuleRestore: return "rule_restore";
+  }
+  return "?";
+}
+
+const char* to_string(ConversionOutcome outcome) {
+  switch (outcome) {
+    case ConversionOutcome::kConverted: return "converted";
+    case ConversionOutcome::kRolledBack: return "rolled_back";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t directed_pair_key(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
+}
+
+bool has_repeated_node(const Path& path) {
+  Path sorted = path;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end();
+}
+
+// Changed converters grouped into rewire units (a six-port converter and its
+// side peer configure pairwise, so they always move in the same OCS pass —
+// FlatTree::realize rejects half-configured side bundles) and chunked into
+// at most `requested` contiguous partitions.
+std::vector<std::vector<std::uint32_t>> make_partitions(
+    const FlatTree& tree, std::span<const ConverterConfig> from,
+    std::span<const ConverterConfig> to, std::uint32_t requested) {
+  const std::span<const Converter> converters = tree.converters();
+  std::vector<std::vector<std::uint32_t>> units;
+  std::vector<bool> seen(from.size(), false);
+  for (std::uint32_t i = 0; i < from.size(); ++i) {
+    if (seen[i] || from[i] == to[i]) continue;
+    std::vector<std::uint32_t> unit{i};
+    seen[i] = true;
+    const ConverterId peer = converters[i].side_peer;
+    if (peer.valid() && peer.index() < from.size() && !seen[peer.index()]) {
+      unit.push_back(peer.value());
+      seen[peer.index()] = true;
+    }
+    units.push_back(std::move(unit));
+  }
+  if (units.empty()) return {};
+  const std::size_t count = std::min<std::size_t>(
+      std::max<std::uint32_t>(1, requested), units.size());
+  std::vector<std::vector<std::uint32_t>> partitions(count);
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    std::vector<std::uint32_t>& part = partitions[u * count / units.size()];
+    part.insert(part.end(), units[u].begin(), units[u].end());
+  }
+  return partitions;
+}
+
+struct ChannelOutcome {
+  bool ok{false};
+  double finish_s{0.0};
+  std::uint32_t attempts{0};
+  std::uint32_t dropped{0};
+};
+
+// The whole mutable execution state plus the step/timeline machinery. One
+// instance per execute() call; everything it touches is local or owned by
+// the caller, so executions are trivially parallel across threads.
+struct Exec {
+  const FlatTree& tree;
+  const ConversionExecOptions& opt;
+  const ConversionDelayModel& delay;
+  ExecutionReport& report;
+  Rng rng;
+  double now{0.0};
+  std::uint32_t epoch{0};
+  std::uint32_t k{4};
+  std::vector<ConverterConfig> configs;
+  std::shared_ptr<const Graph> graph;
+  std::vector<std::vector<Path>> routes;  // parallel to report.pairs
+  std::vector<bool> dead;                 // per node id, control-plane dead
+  std::vector<NodeId> dead_list;          // the same, sorted
+
+  obs::Counter* c_steps{nullptr};
+  obs::Counter* c_step_failures{nullptr};
+  obs::Counter* c_retries{nullptr};
+  obs::Counter* c_dropped{nullptr};
+  obs::Counter* c_patched{nullptr};
+  obs::Counter* c_inv_checks{nullptr};
+  obs::Counter* c_violations{nullptr};
+  obs::Histogram* h_attempts{nullptr};
+  obs::EventTracer* tracer{nullptr};
+
+  // One command round over the lossy channel: per attempt the command drop
+  // and (if delivered and executable) the ack drop are drawn independently;
+  // a forced failure (dead switch, injected OCS fault) is delivered but
+  // never acks. Retries go out after a capped exponential backoff.
+  // `unbounded` (rollback) retries until success, with a far-out safety
+  // valve so an adversarial seed cannot hang the executor.
+  ChannelOutcome channel_round(double start_s, double service_s,
+                               bool forced_fail, bool unbounded) {
+    const ControlChannelOptions& ch = opt.channel;
+    const double rtt = 2.0 * ch.delay_s + service_s;
+    const double base_timeout = std::max(ch.timeout_s, rtt);
+    const double timeout_cap = base_timeout * 64.0;
+    const std::uint32_t cap = unbounded ? 4096u : ch.max_attempts;
+    ChannelOutcome out;
+    double t = start_s;
+    double timeout = base_timeout;
+    for (std::uint32_t attempt = 1; attempt <= cap; ++attempt) {
+      out.attempts = attempt;
+      const bool delivered = !(rng.next_double() < ch.drop_probability);
+      if (!delivered) {
+        ++out.dropped;
+      } else if (!forced_fail) {
+        const bool acked = !(rng.next_double() < ch.drop_probability);
+        if (acked) {
+          out.ok = true;
+          out.finish_s = t + rtt;
+          return out;
+        }
+        ++out.dropped;
+      }
+      t += timeout;
+      timeout = std::min(timeout * ch.backoff, timeout_cap);
+    }
+    out.finish_s = t;
+    return out;
+  }
+
+  // Executes one schedule step over the channel, records it, and advances
+  // simulated time. Returns whether the step was acked.
+  bool run_step(StepKind kind, bool rollback, NodeId target,
+                std::uint32_t partition, std::uint64_t adds,
+                std::uint64_t dels, double extra_service_s, bool forced_fail) {
+    const double service =
+        extra_service_s + (static_cast<double>(adds) * delay.rule_add_s +
+                           static_cast<double>(dels) * delay.rule_delete_s) /
+                              delay.effective_controllers();
+    const ChannelOutcome out =
+        channel_round(now, service, forced_fail, rollback);
+    StepRecord rec;
+    rec.kind = kind;
+    rec.rollback = rollback;
+    rec.target = target;
+    rec.partition = partition;
+    rec.rules_added = adds;
+    rec.rules_deleted = dels;
+    rec.start_s = now;
+    rec.finish_s = out.finish_s;
+    rec.attempts = out.attempts;
+    rec.ok = out.ok;
+    report.steps.push_back(rec);
+    now = out.finish_s;
+    report.retries += out.attempts - 1;
+    report.messages_dropped += out.dropped;
+    if (out.ok) {
+      report.rules_added += adds;
+      report.rules_deleted += dels;
+    } else {
+      ++report.steps_failed;
+    }
+    obs::add(c_steps);
+    obs::add(c_retries, out.attempts - 1);
+    obs::add(c_dropped, out.dropped);
+    obs::record(h_attempts, static_cast<double>(out.attempts));
+    if (!out.ok) obs::add(c_step_failures);
+    if (tracer != nullptr) {
+      tracer->mark("conv_exec", to_string(kind), 0,
+                   static_cast<std::int64_t>(out.attempts));
+    }
+    return out.ok;
+  }
+
+  // Snapshots the current state onto the timeline and runs the transient
+  // invariant checker against it.
+  void push_point(double blackout_s, ConversionScope scope) {
+    TimelinePoint pt;
+    pt.t = now;
+    pt.graph = graph;
+    pt.epoch = epoch;
+    pt.blackout_s = blackout_s;
+    pt.scope = scope;
+    pt.routes = routes;
+    report.timeline.push_back(std::move(pt));
+    check_invariants();
+  }
+
+  void add_violation(ViolationKind kind, std::size_t pair) {
+    const std::size_t step = report.steps.empty() ? 0 : report.steps.size() - 1;
+    report.violations.push_back(TransientViolation{kind, step, pair});
+    obs::add(c_violations);
+  }
+
+  void check_invariants() {
+    if (!opt.check_invariants) return;
+    obs::add(c_inv_checks);
+    const bool connected = servers_connected(*graph);
+    if (!connected) add_violation(ViolationKind::kDisconnected, 0);
+    for (std::size_t i = 0; i < report.pairs.size(); ++i) {
+      const std::vector<Path>& rs = routes[i];
+      if (rs.empty()) {
+        // No installed route while the physical pair is connected: the
+        // atomic baseline's rule hole.
+        if (connected) add_violation(ViolationKind::kBlackhole, i);
+        continue;
+      }
+      for (const Path& path : rs) {
+        if (has_repeated_node(path)) {
+          add_violation(ViolationKind::kLoop, i);
+        } else if (!is_valid_path(*graph, path)) {
+          add_violation(ViolationKind::kBlackhole, i);
+        }
+      }
+    }
+  }
+
+  // Per-switch rule footprint of a route snapshot: one rule per switch hop.
+  std::vector<std::uint64_t> footprint_of(
+      const std::vector<std::vector<Path>>& snapshot) const {
+    std::vector<std::uint64_t> per(graph->node_count(), 0);
+    for (const std::vector<Path>& rs : snapshot) {
+      for (const Path& path : rs) {
+        for (NodeId n : path) {
+          if (is_switch(graph->node(n).role)) ++per[n.index()];
+        }
+      }
+    }
+    return per;
+  }
+
+  // Splits one route set's rule count into operations on live switches and
+  // operations skipped because the switch is control-plane dead.
+  void count_rules(const std::vector<Path>& paths, std::uint64_t& live,
+                   std::uint64_t& skipped) const {
+    for (const Path& path : paths) {
+      for (NodeId n : path) {
+        if (!is_switch(graph->node(n).role)) continue;
+        if (dead[n.index()]) {
+          ++skipped;
+        } else {
+          ++live;
+        }
+      }
+    }
+  }
+
+  bool pair_uses_switch(const std::vector<Path>& paths, NodeId sw) const {
+    for (const Path& path : paths) {
+      if (std::find(path.begin(), path.end(), sw) != path.end()) return true;
+    }
+    return false;
+  }
+
+  // Applies (forward) or reverts (rollback) one OCS partition with
+  // make-before-break patching. Returns false when a forward step exhausted
+  // its retries; rollback steps retry unbounded and keep going regardless.
+  bool rewire_partition(const std::vector<std::uint32_t>& members,
+                        std::uint32_t pindex,
+                        std::span<const ConverterConfig> goal, bool rollback,
+                        bool forced_ocs_fail) {
+    std::vector<ConverterConfig> next = configs;
+    bool changed = false;
+    for (std::uint32_t c : members) {
+      if (next[c] != goal[c]) {
+        next[c] = goal[c];
+        changed = true;
+      }
+    }
+    if (!changed) return true;
+    auto next_graph = std::make_shared<const Graph>(tree.realize(next));
+
+    // The intersection graph: links of the current realization that survive
+    // the rewire. Any path on it is valid both before and after the pass.
+    const std::vector<LinkId> removed = links_not_in(*graph, *next_graph);
+    const Graph safe = degrade(*graph, FailureSet{removed, {}});
+
+    struct PairPatch {
+      std::size_t pair;
+      std::vector<Path> paths;
+      bool armed;  // solved on the next graph, activates when the pass lands
+    };
+    std::vector<PairPatch> patches;
+
+    // Preferred solve graphs avoid dead switches as transit (their tables
+    // cannot take the patch rules); the with-dead fallbacks only keep a
+    // pair from being abandoned when the dead boxes are its sole capacity.
+    const FailureSet dead_set{{}, dead_list};
+    PathCache safe_cache{safe, k};
+    PathCache next_cache{*next_graph, k};
+    std::optional<Graph> safe_live, next_live;
+    std::optional<PathCache> safe_live_cache, next_live_cache;
+    if (!dead_list.empty()) {
+      safe_live.emplace(degrade(safe, dead_set));
+      next_live.emplace(degrade(*next_graph, dead_set));
+      safe_live_cache.emplace(*safe_live, k);
+      next_live_cache.emplace(*next_live, k);
+    }
+    const auto solve = [](PathCache& cache, const Graph& g, NodeId src,
+                          NodeId dst) -> std::vector<Path> {
+      // A server whose access circuit moves with this pass has degree 0 on
+      // the intersection graph — no immediate patch exists for it.
+      if (g.degree(src) == 0 || g.degree(dst) == 0) return {};
+      return cache.server_paths(src, dst);
+    };
+
+    for (std::size_t i = 0; i < report.pairs.size(); ++i) {
+      const std::vector<Path>& rs = routes[i];
+      if (rs.empty()) continue;
+      bool broken = false;
+      for (const Path& path : rs) {
+        if (!is_valid_path(*next_graph, path)) {
+          broken = true;
+          break;
+        }
+      }
+      if (!broken) continue;
+      const auto [src, dst] = report.pairs[i];
+      std::vector<Path> sol;
+      bool armed = false;
+      if (!dead_list.empty()) {
+        sol = solve(*safe_live_cache, *safe_live, src, dst);
+        if (sol.empty()) {
+          sol = solve(*next_live_cache, *next_live, src, dst);
+          armed = true;
+        }
+      }
+      if (sol.empty()) {
+        sol = solve(safe_cache, safe, src, dst);
+        armed = false;
+      }
+      if (sol.empty()) {
+        sol = solve(next_cache, *next_graph, src, dst);
+        armed = true;
+      }
+      // A pair with no route even on the full graphs is physically
+      // disconnected; leave it and let the checker report it.
+      if (sol.empty()) continue;
+      patches.push_back(PairPatch{i, std::move(sol), armed});
+    }
+
+    if (!patches.empty()) {
+      std::uint64_t adds = 0;
+      std::uint64_t dels = 0;
+      std::uint64_t skipped = 0;
+      for (const PairPatch& p : patches) {
+        count_rules(routes[p.pair], dels, skipped);
+        count_rules(p.paths, adds, skipped);
+      }
+      const bool ok = run_step(StepKind::kRulePatch, rollback, NodeId{},
+                               pindex, adds, dels, 0.0, false);
+      if (!ok && !rollback) return false;
+      report.rules_skipped_dead += skipped;
+      bool any_immediate = false;
+      for (PairPatch& p : patches) {
+        ++report.pairs_patched;
+        obs::add(c_patched);
+        if (!p.armed) {
+          routes[p.pair] = std::move(p.paths);
+          any_immediate = true;
+        }
+      }
+      if (any_immediate) push_point(0.0, ConversionScope::kChangedOnly);
+    }
+
+    const bool ok = run_step(StepKind::kOcs, rollback, NodeId{}, pindex, 0, 0,
+                             delay.ocs_reconfigure_s, forced_ocs_fail);
+    if (!ok && !rollback) return false;
+    configs = std::move(next);
+    graph = std::move(next_graph);
+    for (PairPatch& p : patches) {
+      if (p.armed) routes[p.pair] = std::move(p.paths);
+    }
+    push_point(delay.ocs_reconfigure_s, ConversionScope::kChangedOnly);
+    return true;
+  }
+};
+
+// The atomic baseline's rule hole, made explicit for the packet simulator:
+// every boundary at which some pair has no installed route stalls until the
+// first later boundary where every pair is routed again.
+void finalize_blackout_windows(ExecutionReport& report) {
+  for (std::size_t k = 0; k < report.timeline.size(); ++k) {
+    TimelinePoint& pt = report.timeline[k];
+    const bool any_dark = std::any_of(
+        pt.routes.begin(), pt.routes.end(),
+        [](const std::vector<Path>& rs) { return rs.empty(); });
+    if (!any_dark) continue;
+    double restored = report.finish_s;
+    for (std::size_t j = k + 1; j < report.timeline.size(); ++j) {
+      const bool still_dark = std::any_of(
+          report.timeline[j].routes.begin(), report.timeline[j].routes.end(),
+          [](const std::vector<Path>& rs) { return rs.empty(); });
+      if (!still_dark) {
+        restored = report.timeline[j].t;
+        break;
+      }
+    }
+    pt.blackout_s = std::max(pt.blackout_s, restored - pt.t);
+    pt.scope = ConversionScope::kFullBlackout;
+  }
+}
+
+// Route-availability integral: over each boundary interval a pair is dark
+// when none of its installed paths is valid on that interval's graph.
+void compute_blackhole_integral(ExecutionReport& report) {
+  std::vector<double> dark(report.pairs.size(), 0.0);
+  for (std::size_t k = 0; k < report.timeline.size(); ++k) {
+    const TimelinePoint& pt = report.timeline[k];
+    const double t_end = k + 1 < report.timeline.size()
+                             ? report.timeline[k + 1].t
+                             : report.finish_s;
+    const double dt = std::max(0.0, t_end - pt.t);
+    if (dt == 0.0) continue;
+    for (std::size_t i = 0; i < report.pairs.size(); ++i) {
+      bool any_valid = false;
+      for (const Path& path : pt.routes[i]) {
+        if (is_valid_path(*pt.graph, path)) {
+          any_valid = true;
+          break;
+        }
+      }
+      if (!any_valid) dark[i] += dt;
+    }
+  }
+  report.total_blackhole_s = 0.0;
+  report.max_pair_blackhole_s = 0.0;
+  for (double d : dark) {
+    report.total_blackhole_s += d;
+    report.max_pair_blackhole_s = std::max(report.max_pair_blackhole_s, d);
+  }
+}
+
+}  // namespace
+
+ConversionExecutor::ConversionExecutor(const Controller& controller,
+                                       ConversionExecOptions options)
+    : controller_{&controller}, options_{std::move(options)} {}
+
+ExecutionReport ConversionExecutor::execute(
+    const CompiledMode& from, const CompiledMode& to,
+    std::span<const std::pair<NodeId, NodeId>> pairs,
+    const ConversionFaults& faults, double t0_s) const {
+  options_.channel.validate();
+  controller_->options().delay.validate();
+  const FlatTree& tree = controller_->tree();
+  if (from.configs().size() != tree.converters().size() ||
+      to.configs().size() != tree.converters().size()) {
+    throw std::invalid_argument(
+        "ConversionExecutor: modes not compiled from this controller's tree");
+  }
+  if (!(t0_s >= 0.0)) {
+    throw std::invalid_argument("ConversionExecutor: t0_s must be >= 0");
+  }
+  const Graph& from_graph = from.graph();
+  for (NodeId sw : faults.dead_switches) {
+    if (sw.index() >= from_graph.node_count() ||
+        !is_switch(from_graph.node(sw).role)) {
+      throw std::invalid_argument(
+          "ConversionExecutor: dead_switches must name switches");
+    }
+  }
+  if (options_.ocs_partitions == 0) {
+    throw std::invalid_argument(
+        "ConversionExecutor: ocs_partitions must be >= 1");
+  }
+
+  const ConversionDelayModel& delay = controller_->options().delay;
+  ExecutionReport report;
+  report.staged = options_.staged;
+  report.start_s = t0_s;
+  report.pairs.assign(pairs.begin(), pairs.end());
+
+  obs::MetricsRegistry* reg = options_.sink.metrics();
+  Exec ex{.tree = tree,
+          .opt = options_,
+          .delay = delay,
+          .report = report,
+          .rng = Rng{options_.seed}};
+  ex.now = t0_s;
+  ex.k = from.k();
+  ex.configs = from.configs();
+  ex.graph = from.graph_ptr();
+  if (reg != nullptr) {
+    ex.c_steps = &reg->counter("conv_exec.steps");
+    ex.c_step_failures = &reg->counter("conv_exec.step_failures");
+    ex.c_retries = &reg->counter("conv_exec.retries");
+    ex.c_dropped = &reg->counter("conv_exec.messages_dropped");
+    ex.c_patched = &reg->counter("conv_exec.pairs_patched");
+    ex.c_inv_checks = &reg->counter("conv_exec.invariant_checks");
+    ex.c_violations = &reg->counter("conv_exec.violations");
+    ex.h_attempts =
+        &reg->histogram("conv_exec.step_attempts", {1, 2, 4, 8, 16, 32, 64});
+  }
+  ex.tracer = options_.sink.tracer();
+  ex.dead.assign(from_graph.node_count(), false);
+  ex.dead_list = faults.dead_switches;
+  std::sort(ex.dead_list.begin(), ex.dead_list.end());
+  ex.dead_list.erase(std::unique(ex.dead_list.begin(), ex.dead_list.end()),
+                     ex.dead_list.end());
+  for (NodeId sw : ex.dead_list) ex.dead[sw.index()] = true;
+
+  ex.routes.reserve(report.pairs.size());
+  std::vector<std::vector<Path>> from_routes;
+  from_routes.reserve(report.pairs.size());
+  for (const auto& [src, dst] : report.pairs) {
+    from_routes.push_back(from.paths().server_paths(src, dst));
+    ex.routes.push_back(from_routes.back());
+  }
+  ex.push_point(0.0, ConversionScope::kChangedOnly);  // the pre-conversion state
+
+  const std::vector<std::vector<std::uint32_t>> partitions = make_partitions(
+      tree, from.configs(), to.configs(), options_.ocs_partitions);
+  const auto ocs_forced = [&faults](std::uint32_t p) {
+    return std::find(faults.fail_ocs_partitions.begin(),
+                     faults.fail_ocs_partitions.end(),
+                     p) != faults.fail_ocs_partitions.end();
+  };
+  const auto resolve_to_routes = [&]() {
+    std::vector<std::vector<Path>> to_routes;
+    to_routes.reserve(report.pairs.size());
+    for (const auto& [src, dst] : report.pairs) {
+      to_routes.push_back(to.paths().server_paths(src, dst));
+    }
+    return to_routes;
+  };
+
+  bool failed = false;
+  bool committed = false;
+  bool ocs_applied = false;                 // atomic baseline's single pass
+  std::size_t partitions_applied = 0;       // staged passes that landed
+  std::vector<NodeId> added_switches;       // acked new-mode rule installs
+  std::vector<NodeId> deleted_switches;     // atomic: acked old-rule deletes
+  std::vector<std::uint64_t> to_fp;         // per-switch new-mode rules
+  std::vector<std::uint64_t> old_fp;        // per-switch outgoing rules
+  std::vector<std::vector<Path>> to_routes;
+
+  if (options_.staged) {
+    // -- phase 0: per-partition OCS passes with make-before-break patches.
+    for (std::uint32_t p = 0;
+         p < static_cast<std::uint32_t>(partitions.size()); ++p) {
+      if (!ex.rewire_partition(partitions[p], p, to.configs(), false,
+                               ocs_forced(p))) {
+        failed = true;
+        break;
+      }
+      ++partitions_applied;
+    }
+    // -- phase A: install the incoming mode's rules under the new epoch tag
+    // (inert until the flip, so every table stays pure old-mode).
+    if (!failed) {
+      to_routes = resolve_to_routes();
+      to_fp = ex.footprint_of(to_routes);
+      for (std::uint32_t n = 0;
+           n < static_cast<std::uint32_t>(to_fp.size()); ++n) {
+        if (to_fp[n] == 0) continue;
+        if (!ex.run_step(StepKind::kRuleAdd, false, NodeId{n}, 0, to_fp[n], 0,
+                         0.0, ex.dead[n])) {
+          failed = true;
+          break;
+        }
+        added_switches.push_back(NodeId{n});
+      }
+    }
+    // -- phase B: the barrier + epoch flip (the commit point), then GC.
+    if (!failed) {
+      old_fp = ex.footprint_of(ex.routes);
+      if (!ex.run_step(StepKind::kEpochFlip, false, NodeId{}, 0, 0, 0, 0.0,
+                       false)) {
+        failed = true;
+      } else {
+        committed = true;
+        ex.epoch = 1;
+        ex.routes = to_routes;
+        ex.push_point(0.0, ConversionScope::kChangedOnly);
+        // Old-epoch garbage collection: post-commit, best effort. A dead
+        // switch keeps its stale rules (inert under the new epoch).
+        for (std::uint32_t n = 0;
+             n < static_cast<std::uint32_t>(old_fp.size()); ++n) {
+          if (old_fp[n] == 0) continue;
+          if (ex.dead[n]) {
+            report.rules_skipped_dead += old_fp[n];
+            continue;
+          }
+          ex.run_step(StepKind::kRuleDelete, false, NodeId{n}, 0, 0,
+                      old_fp[n], 0.0, false);
+        }
+      }
+    }
+  } else {
+    // -- atomic-swap baseline: delete everything, one OCS pass, add
+    // everything. Routes die switch by switch; the rule hole between the
+    // first delete and the last add is the blackhole window the staged
+    // protocol exists to remove.
+    old_fp = ex.footprint_of(ex.routes);
+    for (std::uint32_t n = 0; n < static_cast<std::uint32_t>(old_fp.size());
+         ++n) {
+      if (old_fp[n] == 0) continue;
+      if (!ex.run_step(StepKind::kRuleDelete, false, NodeId{n}, 0, 0,
+                       old_fp[n], 0.0, ex.dead[n])) {
+        failed = true;
+        break;
+      }
+      deleted_switches.push_back(NodeId{n});
+      bool any_cleared = false;
+      for (std::size_t i = 0; i < ex.routes.size(); ++i) {
+        if (ex.routes[i].empty()) continue;
+        if (ex.pair_uses_switch(ex.routes[i], NodeId{n})) {
+          ex.routes[i].clear();
+          any_cleared = true;
+        }
+      }
+      if (any_cleared) ex.push_point(0.0, ConversionScope::kFullBlackout);
+    }
+    if (!failed && !partitions.empty()) {
+      if (!ex.run_step(StepKind::kOcs, false, NodeId{}, 0, 0, 0,
+                       delay.ocs_reconfigure_s, ocs_forced(0))) {
+        failed = true;
+      } else {
+        ocs_applied = true;
+        ex.configs = to.configs();
+        ex.graph = to.graph_ptr();
+        ex.push_point(delay.ocs_reconfigure_s, ConversionScope::kFullBlackout);
+      }
+    }
+    if (!failed) {
+      to_routes = resolve_to_routes();
+      to_fp = ex.footprint_of(to_routes);
+      // A pair comes back once every switch on its new routes is programmed.
+      std::vector<std::vector<std::uint32_t>> need(report.pairs.size());
+      for (std::size_t i = 0; i < to_routes.size(); ++i) {
+        for (const Path& path : to_routes[i]) {
+          for (NodeId n : path) {
+            if (is_switch(ex.graph->node(n).role)) need[i].push_back(n.value());
+          }
+        }
+        std::sort(need[i].begin(), need[i].end());
+        need[i].erase(std::unique(need[i].begin(), need[i].end()),
+                      need[i].end());
+      }
+      std::vector<bool> programmed(ex.graph->node_count(), false);
+      for (std::uint32_t n = 0; n < static_cast<std::uint32_t>(to_fp.size());
+           ++n) {
+        if (to_fp[n] == 0) continue;
+        if (!ex.run_step(StepKind::kRuleAdd, false, NodeId{n}, 0, to_fp[n], 0,
+                         0.0, ex.dead[n])) {
+          failed = true;
+          break;
+        }
+        added_switches.push_back(NodeId{n});
+        programmed[n] = true;
+        bool any_routed = false;
+        for (std::size_t i = 0; i < ex.routes.size(); ++i) {
+          if (!ex.routes[i].empty() || to_routes[i].empty()) continue;
+          const bool ready = std::all_of(
+              need[i].begin(), need[i].end(),
+              [&programmed](std::uint32_t sw) { return programmed[sw]; });
+          if (ready) {
+            ex.routes[i] = to_routes[i];
+            any_routed = true;
+          }
+        }
+        if (any_routed) ex.push_point(0.0, ConversionScope::kChangedOnly);
+      }
+      if (!failed) {
+        committed = true;
+        ex.epoch = 1;
+        ex.push_point(0.0, ConversionScope::kChangedOnly);
+      }
+    }
+  }
+
+  if (failed) {
+    // -- rollback to the last committed epoch (the outgoing mode). Every
+    // rollback step retries unbounded: the channel is lossy, not dead, and
+    // no rollback step addresses a dead switch — steps touching one fail
+    // before mutating it, so only acked (live) switches ever need undoing.
+    if (options_.staged) {
+      // Collect the inert new-epoch rules already installed.
+      for (auto it = added_switches.rbegin(); it != added_switches.rend();
+           ++it) {
+        ex.run_step(StepKind::kRuleDelete, true, *it, 0, 0,
+                    to_fp[it->index()], 0.0, false);
+      }
+      // Un-rewire the applied partitions in reverse order, with the same
+      // make-before-break patching the forward passes used.
+      for (std::size_t p = partitions_applied; p-- > 0;) {
+        ex.rewire_partition(partitions[p], static_cast<std::uint32_t>(p),
+                            from.configs(), true, false);
+      }
+      // Reinstate the outgoing mode's canonical routes.
+      std::uint64_t adds = 0;
+      std::uint64_t dels = 0;
+      std::uint64_t skipped = 0;
+      for (std::size_t i = 0; i < ex.routes.size(); ++i) {
+        if (ex.routes[i] == from_routes[i]) continue;
+        ex.count_rules(ex.routes[i], dels, skipped);
+        ex.count_rules(from_routes[i], adds, skipped);
+      }
+      ex.run_step(StepKind::kRuleRestore, true, NodeId{}, 0, adds, dels, 0.0,
+                  false);
+      report.rules_skipped_dead += skipped;
+      ex.routes = from_routes;
+      ex.push_point(0.0, ConversionScope::kChangedOnly);
+    } else {
+      // Collect whatever new-mode rules landed (their pairs go dark again
+      // before the circuits revert underneath them).
+      for (auto it = added_switches.rbegin(); it != added_switches.rend();
+           ++it) {
+        ex.run_step(StepKind::kRuleDelete, true, *it, 0, 0,
+                    to_fp[it->index()], 0.0, false);
+        bool any_cleared = false;
+        for (std::size_t i = 0; i < ex.routes.size(); ++i) {
+          if (ex.routes[i].empty()) continue;
+          if (ex.pair_uses_switch(ex.routes[i], *it)) {
+            ex.routes[i].clear();
+            any_cleared = true;
+          }
+        }
+        if (any_cleared) ex.push_point(0.0, ConversionScope::kFullBlackout);
+      }
+      if (ocs_applied) {
+        ex.run_step(StepKind::kOcs, true, NodeId{}, 0, 0, 0,
+                    delay.ocs_reconfigure_s, false);
+        ex.configs = from.configs();
+        ex.graph = from.graph_ptr();
+        ex.push_point(delay.ocs_reconfigure_s, ConversionScope::kFullBlackout);
+      }
+      // Reinstall the outgoing rules on every switch that deleted them; a
+      // pair comes back once all its switches are whole again.
+      std::vector<bool> missing(ex.graph->node_count(), false);
+      for (NodeId sw : deleted_switches) missing[sw.index()] = true;
+      for (NodeId sw : deleted_switches) {
+        ex.run_step(StepKind::kRuleRestore, true, sw, 0, old_fp[sw.index()],
+                    0, 0.0, false);
+        missing[sw.index()] = false;
+        bool any_routed = false;
+        for (std::size_t i = 0; i < ex.routes.size(); ++i) {
+          if (!ex.routes[i].empty()) continue;
+          const bool ready = std::none_of(
+              from_routes[i].begin(), from_routes[i].end(),
+              [&](const Path& path) {
+                return std::any_of(path.begin(), path.end(), [&](NodeId n) {
+                  return missing[n.index()];
+                });
+              });
+          if (ready && !from_routes[i].empty()) {
+            ex.routes[i] = from_routes[i];
+            any_routed = true;
+          }
+        }
+        if (any_routed) ex.push_point(0.0, ConversionScope::kFullBlackout);
+      }
+    }
+  }
+
+  report.outcome = committed ? ConversionOutcome::kConverted
+                             : ConversionOutcome::kRolledBack;
+  report.finish_s = ex.now;
+  finalize_blackout_windows(report);
+  compute_blackhole_integral(report);
+  if (reg != nullptr) {
+    reg->counter("conv_exec.executions").add();
+    reg->counter(committed ? "conv_exec.converted" : "conv_exec.rolled_back")
+        .add();
+    reg->counter("conv_exec.rules_added").add(report.rules_added);
+    reg->counter("conv_exec.rules_deleted").add(report.rules_deleted);
+    reg->counter("conv_exec.rules_skipped_dead").add(report.rules_skipped_dead);
+    reg->gauge("conv_exec.max_duration_s")
+        .set_max(report.finish_s - report.start_s);
+    reg->gauge("conv_exec.max_blackhole_s").set_max(report.total_blackhole_s);
+  }
+  return report;
+}
+
+// -- simulator drivers --------------------------------------------------------
+
+ConversionDrive make_conversion_drive(const ExecutionReport& report) {
+  if (report.timeline.empty()) {
+    throw std::invalid_argument("make_conversion_drive: empty timeline");
+  }
+  Graph merged = *report.timeline.front().graph;
+  for (std::size_t k = 1; k < report.timeline.size(); ++k) {
+    merged = graph_union(merged, *report.timeline[k].graph);
+  }
+  ConversionDrive drive;
+  drive.base = std::make_shared<const Graph>(std::move(merged));
+
+  // Per point: the union links absent from that point's operating topology
+  // (ascending ids — links_not_in iterates in id order).
+  std::vector<std::vector<LinkId>> absent(report.timeline.size());
+  for (std::size_t k = 0; k < report.timeline.size(); ++k) {
+    absent[k] = links_not_in(*drive.base, *report.timeline[k].graph);
+  }
+
+  // Event times are nudged strictly increasing across points so the k-th
+  // refresh the simulator performs always corresponds to the k-th emitted
+  // event (equal-time refreshes of one point are interchangeable — they
+  // serve the same snapshot).
+  double last_t = -1.0;
+  constexpr double kNudge = 1e-9;
+  for (std::size_t k = 0; k < report.timeline.size(); ++k) {
+    const double t = std::max(report.timeline[k].t, last_t + kNudge);
+    if (k == 0) {
+      // Union links outside the initial state are dark from the start.
+      if (!absent[0].empty()) {
+        drive.schedule.fail_at(t, FailureSet{absent[0], {}});
+        drive.refresh_point.push_back(0);
+        last_t = t;
+      }
+      continue;
+    }
+    std::vector<LinkId> now_failed;
+    std::vector<LinkId> now_recovered;
+    std::set_difference(absent[k].begin(), absent[k].end(),
+                        absent[k - 1].begin(), absent[k - 1].end(),
+                        std::back_inserter(now_failed));
+    std::set_difference(absent[k - 1].begin(), absent[k - 1].end(),
+                        absent[k].begin(), absent[k].end(),
+                        std::back_inserter(now_recovered));
+    std::size_t emitted = 0;
+    if (!now_failed.empty()) {
+      drive.schedule.fail_at(t, FailureSet{now_failed, {}});
+      drive.refresh_point.push_back(k);
+      ++emitted;
+    }
+    if (!now_recovered.empty()) {
+      drive.schedule.recover_at(t, FailureSet{now_recovered, {}});
+      drive.refresh_point.push_back(k);
+      ++emitted;
+    }
+    if (emitted == 0 &&
+        report.timeline[k].routes != report.timeline[k - 1].routes) {
+      // Route-only boundary: an empty recover event still triggers the
+      // refresh that installs this point's snapshot.
+      drive.schedule.recover_at(t, FailureSet{});
+      drive.refresh_point.push_back(k);
+      ++emitted;
+    }
+    if (emitted > 0) last_t = t;
+  }
+  return drive;
+}
+
+namespace {
+
+std::shared_ptr<const std::unordered_map<std::uint64_t, std::size_t>>
+pair_index_of(const ExecutionReport& report) {
+  auto index =
+      std::make_shared<std::unordered_map<std::uint64_t, std::size_t>>();
+  for (std::size_t i = 0; i < report.pairs.size(); ++i) {
+    (*index)[directed_pair_key(report.pairs[i].first,
+                               report.pairs[i].second)] = i;
+  }
+  return index;
+}
+
+}  // namespace
+
+std::vector<FluidFlowResult> run_fluid_with_conversion(
+    const ExecutionReport& report, const Workload& flows,
+    const FluidOptions& options, ScheduleRunStats* stats) {
+  const ConversionDrive drive = make_conversion_drive(report);
+  const auto index = pair_index_of(report);
+  const auto provider_for = [&report, index](std::size_t point)
+      -> PathProvider {
+    return [&report, index, point](NodeId src, NodeId dst,
+                                   std::uint32_t) -> std::vector<Path> {
+      const auto it = index->find(directed_pair_key(src, dst));
+      if (it == index->end()) return {};
+      return report.timeline[point].routes[it->second];
+    };
+  };
+  FluidSimulator sim{*drive.base, provider_for(0), options};
+  std::size_t next = 0;
+  const RoutingRefresh refresh = [&](const Graph&) -> PathProvider {
+    const std::size_t point = next < drive.refresh_point.size()
+                                  ? drive.refresh_point[next]
+                                  : report.timeline.size() - 1;
+    ++next;
+    return provider_for(point);
+  };
+  return sim.run_with_schedule(flows, drive.schedule, 0.0, refresh, stats);
+}
+
+void drive_packet_sim(PacketSim& sim, const ExecutionReport& report,
+                      const Workload& flows, double horizon_s) {
+  if (report.timeline.empty()) {
+    throw std::invalid_argument("drive_packet_sim: empty timeline");
+  }
+  const auto index = pair_index_of(report);
+  for (std::size_t k = 1; k < report.timeline.size(); ++k) {
+    const TimelinePoint& pt = report.timeline[k];
+    if (pt.t >= horizon_s) break;
+    sim.run_until(pt.t);
+    sim.begin_segment();
+    const auto paths_for = [&](std::uint32_t fi) -> std::vector<Path> {
+      if (fi < flows.size()) {
+        const Flow& f = flows[fi];
+        const auto it = index->find(
+            directed_pair_key(NodeId{f.src}, NodeId{f.dst}));
+        if (it != index->end() && !pt.routes[it->second].empty()) {
+          return pt.routes[it->second];
+        }
+      }
+      // Black-holed (or untracked) pair: the flow keeps its current paths —
+      // the blackout window models the hole; apply_conversion rejects empty
+      // path sets by contract.
+      return sim.flow_paths(fi);
+    };
+    sim.apply_conversion(*pt.graph, paths_for, pt.blackout_s, pt.scope);
+  }
+  sim.run_until(horizon_s);
+}
+
+std::vector<Path> conversion_paths_for(const ExecutionReport& report,
+                                       const Flow& flow, std::size_t point) {
+  if (point >= report.timeline.size()) {
+    throw std::out_of_range("conversion_paths_for: point out of range");
+  }
+  for (std::size_t i = 0; i < report.pairs.size(); ++i) {
+    if (report.pairs[i].first.value() == flow.src &&
+        report.pairs[i].second.value() == flow.dst) {
+      return report.timeline[point].routes[i];
+    }
+  }
+  return {};
+}
+
+}  // namespace flattree

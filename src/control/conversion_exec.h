@@ -1,0 +1,265 @@
+// Staged, fault-tolerant conversion execution (§4.3 made operational).
+//
+// Controller::plan_conversion prices a mode change as one atomic diff; this
+// module actually walks the network through it, live, and survives the
+// control plane misbehaving on the way. A ConversionExecutor decomposes the
+// diff into an ordered schedule of discrete steps:
+//
+//   per OCS partition p (the changed converter units, side-peer pairs kept
+//   atomic, chunked into `ocs_partitions` groups):
+//     1. kRulePatch   make-before-break: every pair whose installed routes
+//                     would break when p's circuits move is re-routed on the
+//                     intersection graph (valid both before and after the
+//                     rewire) — or, when a pair physically moves with the
+//                     rewire (its access circuit is part of p), armed with
+//                     routes that activate the instant the rewire completes.
+//     2. kOcs         partition p's converters rewire (one OCS pass).
+//   then the two-phase epoch rule protocol:
+//     3. kRuleAdd     per switch, the incoming mode's rules are installed
+//                     under the new epoch tag — inert until the flip, so
+//                     every packet still matches a pure old-mode table.
+//     4. kEpochFlip   the barrier + ingress epoch flip: the commit point.
+//                     Before it, any exhausted step rolls the fabric back to
+//                     the outgoing mode; after it, the conversion is
+//                     committed and remaining failures are best-effort.
+//     5. kRuleDelete  per switch, the old-epoch rules are garbage-collected.
+//
+// Every step executes over a lossy control channel (per-message drop
+// probability and delay, seeded RNG) with timeout, exponential backoff and
+// bounded idempotent retries. A step that exhausts its retries — an injected
+// OCS partition failure, a control-plane-dead switch that never acks, or
+// plain bad luck at high loss — triggers rollback to the last committed
+// epoch: applied partitions un-rewire in reverse order (with the same
+// make-before-break patching), installed new-epoch rules are collected, and
+// a final kRuleRestore step reinstates the outgoing mode's canonical routes.
+// Rollback steps retry unbounded (the channel is lossy, not dead), so every
+// execution terminates in exactly one of two states: kConverted or
+// kRolledBack.
+//
+// A transient-invariant checker runs after every state-changing step:
+// server-level connectivity, no black-holed pair (every pair keeps a
+// non-empty route set whose paths are all valid on the current graph), and
+// no routing loop. The atomic-swap baseline (staged = false: delete all old
+// rules, one OCS pass, add all new rules) violates no-blackhole by
+// construction during its rule window — that window is the cost the staged
+// protocol exists to remove, and bench_conversion_churn measures it.
+//
+// Control-plane-dead switches are fail-static: they keep forwarding the
+// rules already installed but never ack an update. Patch routes are
+// therefore solved avoiding dead switches as transit; rule operations that
+// would land on a dead switch inside a batched step are skipped and counted
+// (conv_exec.rules_skipped_dead), while a per-switch kRuleAdd/kRuleDelete
+// step addressed to a dead switch fails outright (the epoch protocol cannot
+// proceed without that exact table) and rolls the conversion back.
+//
+// The execution's ExecutionReport carries a timeline of boundary states
+// (graph, epoch, per-pair installed routes, packet blackout window) that
+// drives both simulators through every transient topology:
+// run_fluid_with_conversion replays it through
+// FluidSimulator::run_with_schedule on the union graph, and
+// drive_packet_sim replays it through PacketSim::apply_conversion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "control/controller.h"
+#include "net/failures.h"
+#include "net/graph.h"
+#include "obs/sink.h"
+#include "routing/path.h"
+#include "sim/fluid.h"
+#include "sim/packet.h"
+#include "traffic/flow.h"
+
+namespace flattree {
+
+// The lossy control channel between the controller and the devices it
+// programs. Every step is one idempotent command: each attempt draws the
+// command drop and (if delivered and executed) the ack drop independently;
+// a lost message surfaces as a timeout and the next attempt goes out after
+// timeout_s * backoff^(attempt-1), floored at one command round trip.
+struct ControlChannelOptions {
+  double drop_probability{0.0};   // per message, in [0, 1)
+  double delay_s{0.0005};         // one-way controller <-> device latency
+  double timeout_s{0.05};         // base retransmit timeout
+  double backoff{2.0};            // timeout multiplier per retry
+  std::uint32_t max_attempts{5};  // forward steps; rollback retries unbounded
+
+  // Throws std::invalid_argument on out-of-range fields (negative delays,
+  // drop_probability outside [0, 1), backoff < 1, zero attempts, NaN).
+  void validate() const;
+};
+
+// Injected control-plane faults for chaos testing.
+struct ConversionFaults {
+  // Switches that keep forwarding (fail-static) but never ack an update.
+  std::vector<NodeId> dead_switches;
+  // Forward OCS steps (by partition index in execution order) that fail
+  // permanently: the circuits never move, every attempt reports failure.
+  std::vector<std::uint32_t> fail_ocs_partitions;
+};
+
+struct ConversionExecOptions {
+  bool staged{true};              // false = atomic-swap baseline
+  std::uint32_t ocs_partitions{4};
+  ControlChannelOptions channel{};
+  std::uint64_t seed{1};
+  bool check_invariants{true};
+  // conv_exec.* metrics (steps, retries, drops, rollbacks, violations,
+  // blackhole time) and per-step tracer marks. All updates are commutative,
+  // so exports stay byte-identical across thread counts.
+  obs::ObsSink sink{};
+};
+
+enum class StepKind : std::uint8_t {
+  kRulePatch,    // make-before-break route patch ahead of an OCS step
+  kOcs,          // one OCS partition rewires its converters
+  kRuleAdd,      // one switch installs its new-epoch rules (inert)
+  kEpochFlip,    // barrier + ingress epoch flip: the commit point
+  kRuleDelete,   // one switch deletes rules (old-epoch GC, or the atomic
+                 // baseline's up-front delete phase)
+  kRuleRestore,  // rollback: reinstate the outgoing mode's canonical routes
+};
+
+[[nodiscard]] const char* to_string(StepKind kind);
+
+struct StepRecord {
+  StepKind kind{StepKind::kRulePatch};
+  bool rollback{false};          // executed while rolling back
+  NodeId target{};               // switch for per-switch rule steps
+  std::uint32_t partition{0};    // OCS partition index (kOcs/kRulePatch)
+  std::uint64_t rules_added{0};
+  std::uint64_t rules_deleted{0};
+  double start_s{0.0};
+  double finish_s{0.0};          // completion (or failure) time
+  std::uint32_t attempts{1};
+  bool ok{true};
+};
+
+enum class ViolationKind : std::uint8_t {
+  kDisconnected,  // servers_connected() failed on an intermediate graph
+  kBlackhole,     // a connected pair had no (fully) valid installed route
+  kLoop,          // an installed path repeated a node
+};
+
+struct TransientViolation {
+  ViolationKind kind{ViolationKind::kBlackhole};
+  std::size_t step{0};  // index into ExecutionReport::steps
+  std::size_t pair{0};  // index into ExecutionReport::pairs (0 for kDisconnected)
+};
+
+enum class ConversionOutcome : std::uint8_t { kConverted, kRolledBack };
+
+[[nodiscard]] const char* to_string(ConversionOutcome outcome);
+
+// One boundary state of the execution: everything the data plane would
+// observe between two steps. blackout_s models the in-progress window the
+// boundary closes (an OCS rewire or the atomic baseline's rule hole) for
+// the packet simulator, which stalls the affected pipes for that long.
+struct TimelinePoint {
+  double t{0.0};
+  std::shared_ptr<const Graph> graph;
+  std::uint32_t epoch{0};  // 0 = outgoing mode's tables, 1 = committed
+  double blackout_s{0.0};
+  ConversionScope scope{ConversionScope::kChangedOnly};
+  // Installed routes per pair (parallel to ExecutionReport::pairs). An
+  // empty set means the pair is black-holed at this boundary (atomic
+  // baseline's rule window only; the staged protocol never produces one).
+  std::vector<std::vector<Path>> routes;
+};
+
+struct ExecutionReport {
+  ConversionOutcome outcome{ConversionOutcome::kConverted};
+  bool staged{true};
+  double start_s{0.0};
+  double finish_s{0.0};
+  std::uint32_t retries{0};            // attempts beyond each step's first
+  std::uint32_t messages_dropped{0};
+  std::uint32_t steps_failed{0};       // exhausted forward steps
+  std::uint64_t rules_added{0};
+  std::uint64_t rules_deleted{0};
+  std::uint64_t rules_skipped_dead{0};
+  std::size_t pairs_patched{0};        // make-before-break re-routes
+  // Route-availability integral over the timeline: for each boundary
+  // interval, a pair is dark when it has no valid installed route.
+  double total_blackhole_s{0.0};       // summed across pairs
+  double max_pair_blackhole_s{0.0};    // worst single pair
+  std::vector<std::pair<NodeId, NodeId>> pairs;  // server pairs tracked
+  std::vector<StepRecord> steps;
+  std::vector<TransientViolation> violations;
+  std::vector<TimelinePoint> timeline;  // [0] = the pre-conversion state
+};
+
+class ConversionExecutor {
+ public:
+  ConversionExecutor(const Controller& controller,
+                     ConversionExecOptions options);
+
+  [[nodiscard]] const ConversionExecOptions& options() const {
+    return options_;
+  }
+
+  // Executes the conversion `from` -> `to` for the given tracked server
+  // pairs, starting at simulated time t0_s. Both modes must be compiled
+  // from the controller's flat-tree. Deterministic: a fixed (options.seed,
+  // arguments) pair always yields the identical report.
+  [[nodiscard]] ExecutionReport execute(
+      const CompiledMode& from, const CompiledMode& to,
+      std::span<const std::pair<NodeId, NodeId>> pairs,
+      const ConversionFaults& faults = ConversionFaults{},
+      double t0_s = 0.0) const;
+
+ private:
+  const Controller* controller_;
+  ConversionExecOptions options_;
+};
+
+// -- simulator drivers --------------------------------------------------------
+
+// The fluid-side replay of an execution: the union graph of every timeline
+// state, a FailureSchedule expressing each boundary's link delta against
+// that union (links absent from the current state are failed), and the
+// timeline point each routing refresh belongs to. Feed the schedule to
+// FluidSimulator::run_with_schedule with repair_lag 0 and a refresh that
+// serves refresh_point[k]'s routes at the k-th refresh —
+// run_fluid_with_conversion does exactly that.
+struct ConversionDrive {
+  std::shared_ptr<const Graph> base;
+  FailureSchedule schedule;
+  std::vector<std::size_t> refresh_point;
+};
+
+[[nodiscard]] ConversionDrive make_conversion_drive(
+    const ExecutionReport& report);
+
+// Runs `flows` through the fluid simulator while the conversion executes:
+// capacity follows the timeline's graphs, routes follow its installed route
+// snapshots (pairs outside report.pairs keep the point-0 routes they
+// resolve to, which is an error in the caller — track every pair the
+// workload uses). Flows over a black-holed pair stall until a later
+// boundary restores a route, exactly like a scheduled failure.
+[[nodiscard]] std::vector<FluidFlowResult> run_fluid_with_conversion(
+    const ExecutionReport& report, const Workload& flows,
+    const FluidOptions& options = FluidOptions{},
+    ScheduleRunStats* stats = nullptr);
+
+// Replays the timeline through a packet simulator: the caller has called
+// sim.set_network(*report.timeline.front().graph) and added `flows`
+// (index-aligned with the sim's flows, routed on the point-0 snapshot,
+// e.g. via conversion_paths_for). Each subsequent boundary applies as an
+// apply_conversion with the point's graph, routes, blackout and scope;
+// pairs with an empty snapshot keep their current (black-holed) paths.
+// Finally runs the event loop to horizon_s.
+void drive_packet_sim(PacketSim& sim, const ExecutionReport& report,
+                      const Workload& flows, double horizon_s);
+
+// The point-`point` route snapshot for a workload flow, for wiring
+// PacketSim::add_flow to a timeline state.
+[[nodiscard]] std::vector<Path> conversion_paths_for(
+    const ExecutionReport& report, const Flow& flow, std::size_t point = 0);
+
+}  // namespace flattree

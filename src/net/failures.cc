@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace flattree {
@@ -172,6 +173,40 @@ FailureSet core_column_failure(const Graph& graph, std::uint32_t first_core,
   }
   std::sort(set.switches.begin(), set.switches.end());
   return set;
+}
+
+namespace {
+
+std::uint64_t undirected_pair_key(NodeId a, NodeId b) {
+  const auto lo = std::min(a.value(), b.value());
+  const auto hi = std::max(a.value(), b.value());
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+std::vector<LinkId> links_not_in(const Graph& graph, const Graph& other) {
+  std::unordered_map<std::uint64_t, int> budget;
+  for (std::uint32_t i = 0; i < other.link_count(); ++i) {
+    const Link& l = other.link(LinkId{i});
+    ++budget[undirected_pair_key(l.a, l.b)];
+  }
+  std::vector<LinkId> extra;
+  for (std::uint32_t i = 0; i < graph.link_count(); ++i) {
+    const Link& l = graph.link(LinkId{i});
+    if (budget[undirected_pair_key(l.a, l.b)]-- > 0) continue;
+    extra.push_back(LinkId{i});
+  }
+  return extra;
+}
+
+Graph graph_union(const Graph& base, const Graph& extra) {
+  Graph out = base;
+  for (LinkId id : links_not_in(extra, base)) {
+    const Link& l = extra.link(id);
+    out.add_link(l.a, l.b, l.capacity_bps);
+  }
+  return out;
 }
 
 bool servers_connected(const Graph& graph) {

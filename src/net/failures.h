@@ -41,7 +41,13 @@ struct FailureSet {
 };
 
 // One fail or recover event. Events with equal timestamps apply in
-// insertion order.
+// insertion order. Both simulators drain every event due at a time
+// boundary before acting on the resulting state (FluidSimulator applies
+// the whole batch before reallocating rates; PacketSim's schedule driver
+// degrades against active_at(t), which folds the batch), so a fail and a
+// recover of the same element at the identical timestamp net out: the
+// element is never observed failed. Pinned by tests/test_failures.cc
+// (SameTimestampFailRecover*).
 struct FailureEvent {
   double time_s{0.0};
   bool recover{false};  // false = elements fail, true = elements recover
@@ -114,6 +120,23 @@ class FailureSchedule {
 [[nodiscard]] FailureSet core_column_failure(const Graph& graph,
                                              std::uint32_t first_core,
                                              std::uint32_t count);
+
+// Link ids of `graph` that have no counterpart in `other`: for each node
+// pair, `graph`'s links beyond `other`'s count between that pair (parallel
+// links match up count-aware; which ids of an over-full pair are reported
+// is deterministic — the highest-numbered ones). Both graphs must share
+// node ids. This is the link-level diff between two realizations of the
+// same flat-tree, the currency of staged conversion execution.
+[[nodiscard]] std::vector<LinkId> links_not_in(const Graph& graph,
+                                               const Graph& other);
+
+// `base` plus every link of `extra` it does not already contain
+// (count-aware for parallel links). Node ids must be shared. Simulations
+// spanning a conversion or a converter-rewire repair run on the union of
+// the realizations involved: links absent from the current operating
+// topology are failed (zero capacity) or simply unused, and become live
+// the moment a schedule event or refreshed route needs them.
+[[nodiscard]] Graph graph_union(const Graph& base, const Graph& extra);
 
 // True if every server can still reach every other server.
 [[nodiscard]] bool servers_connected(const Graph& graph);

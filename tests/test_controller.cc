@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
 
 #include "net/failures.h"
 
@@ -330,6 +332,88 @@ TEST(Repair, RepairCostScalesWithBlastRadius) {
   EXPECT_LT(link_plan.pairs_invalidated, column_plan.pairs_invalidated);
   EXPECT_LE(link_plan.rules_deleted, column_plan.rules_deleted);
   EXPECT_LT(link_plan.total_s(), column_plan.total_s());
+}
+
+// -- ConversionDelayModel validation ------------------------------------------
+// Regression: a negative (or NaN) per-operation timing silently priced
+// negative conversion totals before validate() was called at the pricing
+// sites. Both plan_conversion and plan_repair must reject bad models.
+
+Controller controller_with_delay(ConversionDelayModel delay) {
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  ControllerOptions options;
+  options.delay = delay;
+  return Controller{FlatTree{p}, options};
+}
+
+TEST(ConversionDelayModel, ValidateRejectsBadFields) {
+  ConversionDelayModel good;
+  EXPECT_NO_THROW(good.validate());
+
+  ConversionDelayModel d;
+  d.ocs_reconfigure_s = -0.1;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d = ConversionDelayModel{};
+  d.rule_delete_s = -1e-9;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d = ConversionDelayModel{};
+  d.rule_add_s = -0.5;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d = ConversionDelayModel{};
+  d.rule_add_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(ConversionDelayModel, PlanConversionRejectsNegativeTimings) {
+  ConversionDelayModel bad;
+  bad.rule_add_s = -0.001;
+  const Controller ctl = controller_with_delay(bad);
+  const CompiledMode clos = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode global = ctl.compile_uniform(PodMode::kGlobal);
+  EXPECT_THROW((void)ctl.plan_conversion(clos, global),
+               std::invalid_argument);
+}
+
+TEST(ConversionDelayModel, PlanRepairRejectsNegativeTimings) {
+  ConversionDelayModel bad;
+  bad.ocs_reconfigure_s = -1.0;
+  const Controller ctl = controller_with_delay(bad);
+  CompiledMode live = ctl.compile_uniform(PodMode::kClos);
+  // Any fabric link will do; validation fires before the plan is built.
+  const Graph& g = live.graph();
+  LinkId victim{};
+  for (std::uint32_t i = 0; i < g.link_count(); ++i) {
+    const Link& l = g.link(LinkId{i});
+    if (is_switch(g.node(l.a).role) && is_switch(g.node(l.b).role)) {
+      victim = LinkId{i};
+      break;
+    }
+  }
+  EXPECT_THROW((void)ctl.plan_repair(live, FailureSet{{victim}, {}}),
+               std::invalid_argument);
+}
+
+TEST(ConversionDelayModel, ZeroControllersPricesAsOne) {
+  // The zero-guard lives in effective_controllers(): controllers == 0 must
+  // price identically to controllers == 1, not divide by zero.
+  ConversionDelayModel zero;
+  zero.controllers = 0;
+  ConversionDelayModel one;
+  one.controllers = 1;
+  EXPECT_DOUBLE_EQ(zero.effective_controllers(), 1.0);
+  EXPECT_DOUBLE_EQ(one.effective_controllers(), 1.0);
+
+  const Controller ctl_zero = controller_with_delay(zero);
+  const Controller ctl_one = controller_with_delay(one);
+  const auto price = [](const Controller& ctl) {
+    const CompiledMode clos = ctl.compile_uniform(PodMode::kClos);
+    const CompiledMode global = ctl.compile_uniform(PodMode::kGlobal);
+    return ctl.plan_conversion(clos, global).total_s();
+  };
+  EXPECT_DOUBLE_EQ(price(ctl_zero), price(ctl_one));
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "core/flat_tree.h"
 #include "routing/ksp.h"
 #include "sim/fluid.h"
+#include "sim/packet.h"
 #include "topo/clos.h"
 #include "traffic/patterns.h"
 
@@ -374,6 +375,130 @@ TEST(FailureResilience, RoutingSurvivesModestFailures) {
       EXPECT_TRUE(is_valid_path(degraded, path));
     }
   }
+}
+
+// -- same-timestamp semantics -------------------------------------------------
+// FailureEvent's contract (net/failures.h): events at one timestamp apply in
+// insertion order, and both simulators drain the whole batch before acting on
+// the resulting state — so a fail and a recover of the same element at the
+// identical timestamp net out and the element is never observed failed.
+
+// Single-path dumbbell: s0 - e0 =100Mb= e1 - s1. Failing the bottleneck
+// stalls the one flow, so any observed outage shows up in its FCT.
+struct ScheduleDumbbell {
+  Graph g;
+  LinkId bottleneck{};
+  ScheduleDumbbell() {
+    const NodeId s0 = g.add_node(NodeRole::kServer);
+    const NodeId s1 = g.add_node(NodeRole::kServer);
+    const NodeId e0 = g.add_node(NodeRole::kEdge);
+    const NodeId e1 = g.add_node(NodeRole::kEdge);
+    g.add_link(s0, e0, 1e9);
+    g.add_link(s1, e1, 1e9);
+    bottleneck = g.add_link(e0, e1, 100e6);
+  }
+};
+
+TEST(SameTimestampFailRecover, FluidNeverObservesTheOutage) {
+  ScheduleDumbbell net;
+  auto cache = std::make_shared<PathCache>(net.g, 1);
+  const auto provider = [cache](NodeId s, NodeId d, std::uint32_t) {
+    return cache->server_paths(s, d);
+  };
+  // 10 MB: 0.8 s at 100 Mb/s.
+  const Workload flows{Flow{.src = 0, .dst = 1, .bytes = 1e7}};
+
+  FluidSimulator clean{net.g, provider};
+  const double baseline = clean.run(flows)[0].fct_s();
+
+  FailureSchedule schedule;
+  schedule.fail_at(0.2, FailureSet{{net.bottleneck}, {}});
+  schedule.recover_at(0.2, FailureSet{{net.bottleneck}, {}});
+  FluidSimulator sim{net.g, provider};
+  ScheduleRunStats stats;
+  const auto results =
+      sim.run_with_schedule(flows, schedule, 0.05, nullptr, &stats);
+  ASSERT_TRUE(results[0].completed);
+  EXPECT_NEAR(results[0].fct_s(), baseline, 1e-9);
+  // Both events were processed — they netted out, not got dropped.
+  EXPECT_EQ(stats.fail_events, 1u);
+  EXPECT_EQ(stats.recover_events, 1u);
+
+  // Control: the same two events pulled apart stall the flow for the gap,
+  // proving the zero-width window netted out rather than the link not
+  // mattering.
+  FailureSchedule apart;
+  apart.fail_at(0.2, FailureSet{{net.bottleneck}, {}});
+  apart.recover_at(1.0, FailureSet{{net.bottleneck}, {}});
+  FluidSimulator stalled{net.g, provider};
+  const auto slow = stalled.run_with_schedule(flows, apart, 0.05, nullptr);
+  ASSERT_TRUE(slow[0].completed);
+  EXPECT_NEAR(slow[0].fct_s(), baseline + 0.8, 1e-6);
+}
+
+TEST(SameTimestampFailRecover, FluidInsertionOrderBreaksTies) {
+  // Reversed insertion at the same timestamp: the recover lands first (a
+  // no-op on a healthy link), then the fail applies — the batch's net state
+  // is "failed" and the flow stalls until the later recovery.
+  ScheduleDumbbell net;
+  auto cache = std::make_shared<PathCache>(net.g, 1);
+  const auto provider = [cache](NodeId s, NodeId d, std::uint32_t) {
+    return cache->server_paths(s, d);
+  };
+  FailureSchedule schedule;
+  schedule.recover_at(0.2, FailureSet{{net.bottleneck}, {}});
+  schedule.fail_at(0.2, FailureSet{{net.bottleneck}, {}});
+  schedule.recover_at(1.0, FailureSet{{net.bottleneck}, {}});
+  FluidSimulator sim{net.g, provider};
+  const Workload flows{Flow{.src = 0, .dst = 1, .bytes = 1e7}};
+  const auto results = sim.run_with_schedule(flows, schedule, 0.05, nullptr);
+  ASSERT_TRUE(results[0].completed);
+  // 0.2 s of progress, a 0.8 s outage, the remaining 0.6 s.
+  EXPECT_NEAR(results[0].fct_s(), 1.6, 1e-6);
+}
+
+TEST(SameTimestampFailRecover, PacketNeverObservesTheOutage) {
+  ScheduleDumbbell net;
+  PathCache cache{net.g, 1};
+  const auto paths = cache.server_paths(NodeId{0}, NodeId{1});
+  ASSERT_FALSE(paths.empty());
+
+  PacketSim clean;
+  clean.set_network(net.g);
+  const auto base_id = clean.add_flow(0, 1, 10e6, 0.0, paths);
+  clean.run_until(5.0);
+  ASSERT_TRUE(clean.flow_completed(base_id));
+  const double baseline = clean.flow_finish_time(base_id);
+
+  PacketSim sim;
+  sim.set_network(net.g);
+  const auto id = sim.add_flow(0, 1, 10e6, 0.0, paths);
+  FailureSchedule schedule;
+  schedule.fail_at(0.5, FailureSet{{net.bottleneck}, {}});
+  schedule.recover_at(0.5, FailureSet{{net.bottleneck}, {}});
+  const auto repath = [](std::uint32_t, const Graph& degraded) {
+    PathCache fresh{degraded, 1};
+    return fresh.server_paths(NodeId{0}, NodeId{1});
+  };
+  run_with_schedule(sim, net.g, schedule, repath, /*horizon_s=*/5.0);
+  ASSERT_TRUE(sim.flow_completed(id));
+  // The schedule driver degrades against active_at(0.5), which folds the
+  // batch to the empty set: no pipe ever dies, no packet is ever dropped,
+  // and completion is bit-identical to the clean run.
+  EXPECT_NEAR(sim.flow_finish_time(id), baseline, 1e-9);
+
+  // Control: the same events pulled apart delay completion past the
+  // recovery (10 MB needs ~0.85 s, impossible before the t=0.5 outage).
+  PacketSim stalled;
+  stalled.set_network(net.g);
+  const auto slow_id = stalled.add_flow(0, 1, 10e6, 0.0, paths);
+  FailureSchedule apart;
+  apart.fail_at(0.5, FailureSet{{net.bottleneck}, {}});
+  apart.recover_at(1.5, FailureSet{{net.bottleneck}, {}});
+  run_with_schedule(stalled, net.g, apart, repath, /*horizon_s=*/5.0);
+  ASSERT_TRUE(stalled.flow_completed(slow_id));
+  EXPECT_GT(stalled.flow_finish_time(slow_id), 1.5);
+  EXPECT_GT(stalled.flow_finish_time(slow_id), baseline);
 }
 
 }  // namespace
