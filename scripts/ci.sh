@@ -29,7 +29,7 @@ echo "== sanitizer gate (preset: ${SANITIZE_PRESET}) =="
 cmake --preset "${SANITIZE_PRESET}"
 cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
   --target test_exec test_obs test_ksp_properties test_event_queue \
-           test_packet_diff test_conversion_exec
+           test_packet_diff test_conversion_exec test_conversion_storm
 "./build-${SANITIZE_PRESET}/tests/test_exec"
 "./build-${SANITIZE_PRESET}/tests/test_obs"
 "./build-${SANITIZE_PRESET}/tests/test_ksp_properties"
@@ -42,10 +42,16 @@ cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
 # dead switches, failed OCS partitions) — every trial must land fully
 # converted or fully rolled back, sanitizer-clean.
 "./build-${SANITIZE_PRESET}/tests/test_conversion_exec"
+# Conversion under fire: storms folded mid-step, compound faults (OCS
+# partition + link failure in the same tick), seeded controller failover —
+# every execution must terminate bit-for-bit on a checkpointed mode,
+# sanitizer-clean.
+"./build-${SANITIZE_PRESET}/tests/test_conversion_storm"
 
 if [ "${SANITIZE_PRESET}" = "tsan" ]; then
   cmake --build build-tsan -j "${JOBS}" \
-    --target bench_ablation_mn bench_failure_recovery bench_conversion_churn
+    --target bench_ablation_mn bench_failure_recovery bench_conversion_churn \
+             bench_conversion_storm
   ./build-tsan/bench/bench_ablation_mn --threads 4 --json-out none \
     > /dev/null
   # Concurrent metric/trace recording from pool workers under TSan.
@@ -58,6 +64,13 @@ if [ "${SANITIZE_PRESET}" = "tsan" ]; then
   ./build-tsan/bench/bench_conversion_churn --threads 4 --json-out none \
     --metrics-out "${obs_tmp}/churn_metrics.json" \
     --trace-out "${obs_tmp}/churn_trace.json" > /dev/null
+  # Ten storm cells (checkpointed + rollback protocols under flap storms,
+  # control loss and failover) fanned across pool workers, with the packet
+  # replay and conv_exec.replan/checkpoint/failover metrics recording
+  # concurrently.
+  ./build-tsan/bench/bench_conversion_storm --threads 4 --json-out none \
+    --metrics-out "${obs_tmp}/storm_metrics.json" \
+    --trace-out "${obs_tmp}/storm_trace.json" > /dev/null
   rm -rf "${obs_tmp}"
 fi
 

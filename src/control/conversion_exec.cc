@@ -29,6 +29,10 @@ void ControlChannelOptions::validate() const {
   if (!(backoff >= 1.0)) {
     throw std::invalid_argument("ControlChannelOptions: backoff must be >= 1");
   }
+  if (!(jitter >= 0.0 && jitter <= 1.0)) {
+    throw std::invalid_argument(
+        "ControlChannelOptions: jitter must be in [0, 1]");
+  }
   if (max_attempts == 0) {
     throw std::invalid_argument(
         "ControlChannelOptions: max_attempts must be >= 1");
@@ -50,6 +54,7 @@ const char* to_string(StepKind kind) {
 const char* to_string(ConversionOutcome outcome) {
   switch (outcome) {
     case ConversionOutcome::kConverted: return "converted";
+    case ConversionOutcome::kPartial: return "partial";
     case ConversionOutcome::kRolledBack: return "rolled_back";
   }
   return "?";
@@ -99,6 +104,10 @@ std::vector<std::vector<std::uint32_t>> make_partitions(
   return partitions;
 }
 
+bool same_failure_set(const FailureSet& a, const FailureSet& b) {
+  return a.links == b.links && a.switches == b.switches;
+}
+
 struct ChannelOutcome {
   bool ok{false};
   double finish_s{0.0};
@@ -111,18 +120,49 @@ struct ChannelOutcome {
 // the caller, so executions are trivially parallel across threads.
 struct Exec {
   const FlatTree& tree;
+  const Controller& controller;
   const ConversionExecOptions& opt;
   const ConversionDelayModel& delay;
+  const ConversionFaults& faults;
   ExecutionReport& report;
   Rng rng;
+  Rng jitter_rng;  // decorrelated from the drop stream by construction
   double now{0.0};
   std::uint32_t epoch{0};
   std::uint32_t k{4};
   std::vector<ConverterConfig> configs;
-  std::shared_ptr<const Graph> graph;
-  std::vector<std::vector<Path>> routes;  // parallel to report.pairs
-  std::vector<bool> dead;                 // per node id, control-plane dead
-  std::vector<NodeId> dead_list;          // the same, sorted
+  std::shared_ptr<const Graph> graph;  // current clean realization
+  std::shared_ptr<const Graph> live;   // graph minus active storm failures
+  std::vector<std::vector<Path>> routes;     // installed, parallel to pairs
+  std::vector<std::vector<Path>> canonical;  // the plan absent any storm
+  std::vector<bool> diverged;  // installed off-plan due to a storm re-plan
+  std::vector<bool> dead;      // per node id, control-plane dead
+  std::vector<NodeId> dead_list;  // the same, sorted
+
+  // Storm state. Link ids of `storm` live in `reference`'s space (the
+  // origin realization) and resolve to node pairs across realizations.
+  const FailureSchedule* storm{nullptr};
+  const Graph* reference{nullptr};
+  std::size_t storm_next{0};
+  // Intersection graph of an in-flight make-before-break rewire (set only
+  // while rewire_partition's patch chunks are landing). A re-plan that
+  // fires mid-rewire solves on this graph so its substitutes survive the
+  // imminent OCS pass.
+  const Graph* mbb_intersection{nullptr};
+  FailureSet storm_active;  // sorted, reference space
+  bool in_rollback{false};
+  bool replan_failed{false};  // a forward re-plan step exhausted its retries
+
+  // Failover state.
+  bool failed_over{false};
+  bool standby{false};  // steps from here on are issued by the standby
+
+  // The current stage's goal mode, for repairing its plan routes through
+  // Controller::plan_repair when the storm breaks them. stage_live is a
+  // storm-degraded repaired copy, rebuilt whenever the active set changes.
+  const CompiledMode* stage_target{nullptr};
+  std::optional<CompiledMode> stage_live;
+  FailureSet stage_live_fails;
 
   obs::Counter* c_steps{nullptr};
   obs::Counter* c_step_failures{nullptr};
@@ -131,13 +171,23 @@ struct Exec {
   obs::Counter* c_patched{nullptr};
   obs::Counter* c_inv_checks{nullptr};
   obs::Counter* c_violations{nullptr};
+  obs::Counter* c_replan_events{nullptr};
+  obs::Counter* c_replan_pairs{nullptr};
+  obs::Counter* c_replan_steps{nullptr};
+  obs::Counter* c_ckpt_committed{nullptr};
+  obs::Counter* c_ckpt_rollbacks{nullptr};
+  obs::Counter* c_fo_takeovers{nullptr};
+  obs::Counter* c_fo_reissued{nullptr};
   obs::Histogram* h_attempts{nullptr};
   obs::EventTracer* tracer{nullptr};
 
   // One command round over the lossy channel: per attempt the command drop
   // and (if delivered and executable) the ack drop are drawn independently;
   // a forced failure (dead switch, injected OCS fault) is delivered but
-  // never acks. Retries go out after a capped exponential backoff.
+  // never acks. Retries go out after a capped exponential backoff,
+  // shortened by up to channel.jitter of itself from the dedicated jitter
+  // stream — desynchronizing retry trains without touching the drop
+  // stream, so delivery outcomes are invariant under jitter changes.
   // `unbounded` (rollback) retries until success, with a far-out safety
   // valve so an adversarial seed cannot hang the executor.
   ChannelOutcome channel_round(double start_s, double service_s,
@@ -164,7 +214,7 @@ struct Exec {
         }
         ++out.dropped;
       }
-      t += timeout;
+      t += timeout * (1.0 - ch.jitter * jitter_rng.next_double());
       timeout = std::min(timeout * ch.backoff, timeout_cap);
     }
     out.finish_s = t;
@@ -175,7 +225,8 @@ struct Exec {
   // simulated time. Returns whether the step was acked.
   bool run_step(StepKind kind, bool rollback, NodeId target,
                 std::uint32_t partition, std::uint64_t adds,
-                std::uint64_t dels, double extra_service_s, bool forced_fail) {
+                std::uint64_t dels, double extra_service_s, bool forced_fail,
+                bool replan = false) {
     const double service =
         extra_service_s + (static_cast<double>(adds) * delay.rule_add_s +
                            static_cast<double>(dels) * delay.rule_delete_s) /
@@ -185,6 +236,8 @@ struct Exec {
     StepRecord rec;
     rec.kind = kind;
     rec.rollback = rollback;
+    rec.replan = replan;
+    rec.standby = standby;
     rec.target = target;
     rec.partition = partition;
     rec.rules_added = adds;
@@ -215,8 +268,373 @@ struct Exec {
     return out.ok;
   }
 
+  // -- storm machinery --------------------------------------------------------
+
+  void refresh_live() {
+    if (storm_active.empty()) {
+      live = graph;
+    } else {
+      live = std::make_shared<const Graph>(
+          degrade_mapped(*graph, *reference, storm_active));
+    }
+  }
+
+  void apply_storm_event(const FailureEvent& e) {
+    if (e.recover) {
+      for (LinkId id : e.elements.links) {
+        storm_active.links.erase(std::remove(storm_active.links.begin(),
+                                             storm_active.links.end(), id),
+                                 storm_active.links.end());
+      }
+      for (NodeId id : e.elements.switches) {
+        storm_active.switches.erase(
+            std::remove(storm_active.switches.begin(),
+                        storm_active.switches.end(), id),
+            storm_active.switches.end());
+      }
+    } else {
+      storm_active.merge(e.elements);
+      std::sort(storm_active.links.begin(), storm_active.links.end());
+      std::sort(storm_active.switches.begin(), storm_active.switches.end());
+    }
+  }
+
+  // Folds storm events due by `now` into the executor's live graph and,
+  // when anything changed, runs one re-plan / reconcile pass. Called at
+  // every step boundary — this is the executor's *detection* point, so the
+  // lag between a physical event and the next boundary is real detection
+  // latency. The physical event times themselves are bound into the
+  // reported timeline after execution (see the post-pass in
+  // execute_under_storm), not here.
+  void storm_tick() {
+    if (storm == nullptr) return;
+    const std::vector<FailureEvent>& evs = storm->events();
+    bool changed = false;
+    while (storm_next < evs.size() && evs[storm_next].time_s <= now) {
+      apply_storm_event(evs[storm_next]);
+      ++storm_next;
+      changed = true;
+    }
+    if (changed) {
+      refresh_live();
+      obs::add(c_replan_events);
+      if (opt.live_replanning) replan_pass();
+    }
+  }
+
+  // The stage target's plan, repaired around the active storm through the
+  // controller (Controller::plan_repair on a fresh compile of the stage
+  // assignment). Returns nullptr when there is no stage target or no storm.
+  PathCache* ensure_stage_live() {
+    if (stage_target == nullptr || storm_active.empty()) return nullptr;
+    if (stage_live.has_value() &&
+        same_failure_set(stage_live_fails, storm_active)) {
+      return &stage_live->paths();
+    }
+    CompiledMode repaired = controller.compile(stage_target->assignment(), k);
+    // Map the reference-space failed links onto this realization by node
+    // pair; switch ids are stable across realizations.
+    FailureSet mapped;
+    mapped.switches = storm_active.switches;
+    const auto pair_key = [](NodeId a, NodeId b) {
+      const auto lo = std::min(a.value(), b.value());
+      const auto hi = std::max(a.value(), b.value());
+      return (static_cast<std::uint64_t>(lo) << 32) | hi;
+    };
+    std::vector<std::uint64_t> severed;
+    for (LinkId id : storm_active.links) {
+      const Link& l = reference->link(id);
+      severed.push_back(pair_key(l.a, l.b));
+    }
+    const Graph& rg = repaired.graph();
+    for (std::uint32_t i = 0; i < rg.link_count(); ++i) {
+      const Link& l = rg.link(LinkId{i});
+      if (std::find(severed.begin(), severed.end(), pair_key(l.a, l.b)) !=
+          severed.end()) {
+        mapped.links.push_back(LinkId{i});
+      }
+    }
+    if (!mapped.empty()) {
+      (void)controller.plan_repair(repaired, mapped,
+                                   RepairOptions{.allow_converter_rewire = false});
+    }
+    stage_live.emplace(std::move(repaired));
+    stage_live_fails = storm_active;
+    return &stage_live->paths();
+  }
+
+  bool all_valid_on(const Graph& g, const std::vector<Path>& paths) const {
+    if (paths.empty()) return false;
+    return std::all_of(paths.begin(), paths.end(), [&](const Path& p) {
+      return is_valid_path(g, p);
+    });
+  }
+
+  // One batched re-plan / reconcile step: pairs whose installed routes the
+  // storm broke get a *targeted* patch — surviving paths stay installed,
+  // only the dead ones are swapped for live-valid substitutes (preferring
+  // the controller-repaired stage plan when the circuits already match the
+  // stage target) — and diverged pairs whose canonical plan routes became
+  // valid again are reconciled back, so a drained storm leaves the
+  // installed state bit-for-bit on plan. Rule counts are diff-based (only
+  // paths actually added/removed cost rules), which keeps the re-plan step
+  // fast enough to run inside an outage instead of after it.
+  void replan_pass() {
+    struct Update {
+      std::size_t pair;
+      std::vector<Path> paths;
+      bool to_canonical;
+      double dark;  // fraction of the pair's installed paths dead on live
+    };
+    std::vector<Update> updates;
+    // A re-plan that fires while a make-before-break rewire is in flight
+    // must hand out paths that survive the imminent OCS pass: solve and
+    // validate on the intersection graph minus the storm, not the full
+    // live realization — a live-only substitute could ride a link the
+    // rewire is about to delete, turning the fix into the next blackhole.
+    std::optional<Graph> mbb_live;
+    if (mbb_intersection != nullptr) {
+      mbb_live.emplace(storm_active.empty()
+                           ? *mbb_intersection
+                           : degrade_mapped(*mbb_intersection, *reference,
+                                            storm_active));
+    }
+    const Graph& eff = mbb_live.has_value() ? *mbb_live : *live;
+    std::optional<PathCache> live_cache;
+    std::optional<Graph> live_dead;
+    std::optional<PathCache> live_dead_cache;
+    const auto solve_live = [&](NodeId src, NodeId dst) -> std::vector<Path> {
+      if (!dead_list.empty()) {
+        if (!live_dead.has_value()) {
+          live_dead.emplace(degrade(eff, FailureSet{{}, dead_list}));
+          live_dead_cache.emplace(*live_dead, k);
+        }
+        if (live_dead->degree(src) > 0 && live_dead->degree(dst) > 0) {
+          std::vector<Path> sol = live_dead_cache->server_paths(src, dst);
+          if (!sol.empty()) return sol;
+        }
+      }
+      if (eff.degree(src) == 0 || eff.degree(dst) == 0) return {};
+      if (!live_cache.has_value()) live_cache.emplace(eff, k);
+      return live_cache->server_paths(src, dst);
+    };
+    const bool on_target = stage_target != nullptr &&
+                           configs == stage_target->configs();
+    for (std::size_t i = 0; i < report.pairs.size(); ++i) {
+      // Reconciliation back to plan waits for the storm to drain: a
+      // diverged pair is live-valid, so swapping it mid-storm buys nothing
+      // and its rules stretch the very step that fixes real blackholes.
+      if (diverged[i] && storm_active.empty() &&
+          all_valid_on(eff, canonical[i])) {
+        updates.push_back(Update{i, canonical[i], true, 0.0});
+        continue;
+      }
+      const std::vector<Path>& rs = routes[i];
+      if (rs.empty()) continue;
+      // The trigger is live-validity — is the pair dark *now*? Routes that
+      // are live-valid but die at the in-flight OCS pass are the pending
+      // patches' job, not this re-plan's; re-planning them here would only
+      // stretch the step while real blackholes wait.
+      std::size_t dead_paths = 0;
+      for (const Path& p : rs) {
+        if (!is_valid_path(*live, p)) ++dead_paths;
+      }
+      if (dead_paths == 0) continue;
+      const double dark =
+          static_cast<double>(dead_paths) / static_cast<double>(rs.size());
+      const auto [src, dst] = report.pairs[i];
+      std::vector<Path> sol;
+      if (on_target) {
+        // The circuits match the stage target: serve the controller's
+        // repaired stage plan directly.
+        if (PathCache* repaired = ensure_stage_live(); repaired != nullptr) {
+          std::vector<Path> cand = repaired->server_paths(src, dst);
+          if (all_valid_on(eff, cand)) sol = std::move(cand);
+        }
+      }
+      if (sol.empty()) sol = solve_live(src, dst);
+      // Targeted patch: keep the surviving paths, top the set back up from
+      // the solve. A pair whose solve comes up empty still sheds its dead
+      // paths (the ECMP group shrinks to the live subset); a pair with no
+      // live path at all is storm-disconnected and left alone — the
+      // checker holds only reachable pairs to the no-blackhole invariant.
+      std::vector<Path> next;
+      for (const Path& p : rs) {
+        if (is_valid_path(eff, p)) next.push_back(p);
+      }
+      for (const Path& p : sol) {
+        if (next.size() >= rs.size()) break;
+        if (std::find(next.begin(), next.end(), p) == next.end()) {
+          next.push_back(p);
+        }
+      }
+      if (next.empty()) continue;
+      updates.push_back(Update{i, std::move(next), false, dark});
+    }
+    if (updates.empty()) return;
+    // Most-dark pairs first: a pair whose whole ECMP set is dead bleeds
+    // every flow hashed onto it, a partially-dead pair only a fraction, and
+    // a reconcile swap nothing at all. The re-plan then lands as bounded
+    // rule batches, each committed and timestamped on its own — the first
+    // pair fixed stops bleeding after one chunk's worth of rules, not after
+    // the whole fleet's.
+    std::stable_sort(updates.begin(), updates.end(),
+                     [](const Update& a, const Update& b) {
+                       return a.dark > b.dark;
+                     });
+    ++report.replans;
+    const std::uint64_t budget = opt.patch_chunk_rules;
+    const auto diff_rules = [&](const Update& u, std::uint64_t& a,
+                                std::uint64_t& d, std::uint64_t& s) {
+      std::vector<Path> removed;
+      std::vector<Path> installed;
+      for (const Path& p : routes[u.pair]) {
+        if (std::find(u.paths.begin(), u.paths.end(), p) == u.paths.end()) {
+          removed.push_back(p);
+        }
+      }
+      for (const Path& p : u.paths) {
+        if (std::find(routes[u.pair].begin(), routes[u.pair].end(), p) ==
+            routes[u.pair].end()) {
+          installed.push_back(p);
+        }
+      }
+      count_rules(removed, d, s);
+      count_rules(installed, a, s);
+    };
+    std::size_t begin = 0;
+    while (begin < updates.size()) {
+      std::uint64_t adds = 0;
+      std::uint64_t dels = 0;
+      std::uint64_t skipped = 0;
+      std::size_t end = begin;
+      while (end < updates.size()) {
+        std::uint64_t a = adds;
+        std::uint64_t d = dels;
+        std::uint64_t s = skipped;
+        diff_rules(updates[end], a, d, s);
+        if (end > begin && budget != 0 && a + d > budget) break;
+        adds = a;
+        dels = d;
+        skipped = s;
+        ++end;
+      }
+      const bool ok = run_step(StepKind::kRulePatch, in_rollback, NodeId{}, 0,
+                               adds, dels, 0.0, false, /*replan=*/true);
+      obs::add(c_replan_steps);
+      if (!ok && !in_rollback) {
+        replan_failed = true;
+        return;
+      }
+      report.rules_skipped_dead += skipped;
+      for (std::size_t j = begin; j < end; ++j) {
+        Update& u = updates[j];
+        routes[u.pair] = std::move(u.paths);
+        diverged[u.pair] = !u.to_canonical;
+        if (!u.to_canonical) {
+          ++report.pairs_replanned;
+          obs::add(c_replan_pairs);
+        }
+      }
+      push_point(0.0, ConversionScope::kChangedOnly);
+      begin = end;
+    }
+  }
+
+  // Installs a mode's canonical routes (stage commit or rollback restore).
+  // Under an active storm, pairs whose plan routes are broken on the live
+  // graph get the controller-repaired stage plan (or a live-graph solve)
+  // instead and are marked diverged for later reconciliation.
+  void install_canonical(const std::vector<std::vector<Path>>& target) {
+    canonical = target;
+    if (storm_active.empty() || !opt.live_replanning) {
+      routes = target;
+      std::fill(diverged.begin(), diverged.end(), false);
+      return;
+    }
+    std::optional<PathCache> live_cache;
+    for (std::size_t i = 0; i < report.pairs.size(); ++i) {
+      if (all_valid_on(*live, target[i])) {
+        routes[i] = target[i];
+        diverged[i] = false;
+        continue;
+      }
+      const auto [src, dst] = report.pairs[i];
+      std::vector<Path> sol;
+      if (PathCache* repaired = ensure_stage_live(); repaired != nullptr) {
+        std::vector<Path> cand = repaired->server_paths(src, dst);
+        if (all_valid_on(*live, cand)) sol = std::move(cand);
+      }
+      if (sol.empty() && live->degree(src) > 0 && live->degree(dst) > 0) {
+        if (!live_cache.has_value()) live_cache.emplace(*live, k);
+        std::vector<Path> cand = live_cache->server_paths(src, dst);
+        if (all_valid_on(*live, cand)) sol = std::move(cand);
+      }
+      if (sol.empty()) {
+        // Storm-disconnected: install the plan and let reconciliation (or
+        // the reachability-gated checker) account for it.
+        routes[i] = target[i];
+        diverged[i] = false;
+      } else {
+        routes[i] = std::move(sol);
+        diverged[i] = true;
+        ++report.pairs_replanned;
+        obs::add(c_replan_pairs);
+      }
+    }
+  }
+
+  // -- failover ---------------------------------------------------------------
+
+  // At a step boundary: if the primary died during the last step, the
+  // standby takes over — promotion costs failover_takeover_s, and the step
+  // whose ack went to the dead primary is re-issued as an idempotent
+  // confirm. Returns true exactly once, when the takeover happens; callers
+  // driving durable-state scans restart them so the standby's position is
+  // reconstructed from the network, not from the dead primary's memory.
+  bool maybe_failover() {
+    if (failed_over || faults.kill_primary_at_s < 0.0 ||
+        now < faults.kill_primary_at_s) {
+      return false;
+    }
+    failed_over = true;
+    standby = true;
+    now += opt.failover_takeover_s;
+    ++report.failovers;
+    obs::add(c_fo_takeovers);
+    if (tracer != nullptr) tracer->mark("conv_exec", "failover", 0, 1);
+    if (!report.steps.empty() &&
+        report.steps.back().start_s < faults.kill_primary_at_s) {
+      const StepRecord prev = report.steps.back();
+      const ChannelOutcome out = channel_round(now, 0.0, false, true);
+      StepRecord rec;
+      rec.kind = prev.kind;
+      rec.rollback = prev.rollback;
+      rec.replan = prev.replan;
+      rec.standby = true;
+      rec.target = prev.target;
+      rec.partition = prev.partition;
+      rec.start_s = now;
+      rec.finish_s = out.finish_s;
+      rec.attempts = out.attempts;
+      rec.ok = out.ok;
+      report.steps.push_back(rec);
+      now = out.finish_s;
+      report.retries += out.attempts - 1;
+      report.messages_dropped += out.dropped;
+      ++report.steps_reissued;
+      obs::add(c_fo_reissued);
+    }
+    return true;
+  }
+
+  // -- timeline / invariants --------------------------------------------------
+
   // Snapshots the current state onto the timeline and runs the transient
-  // invariant checker against it.
+  // invariant checker against it. The snapshot carries the *clean* current
+  // realization: storm damage is applied to every point afterwards, at the
+  // storm's physical event times, so a failure folded late still darkens
+  // the interval it actually covered.
   void push_point(double blackout_s, ConversionScope scope) {
     TimelinePoint pt;
     pt.t = now;
@@ -238,21 +656,35 @@ struct Exec {
   void check_invariants() {
     if (!opt.check_invariants) return;
     obs::add(c_inv_checks);
+    // Connectivity is judged on the clean realization: a storm partition is
+    // the storm's doing, not the executor's. Route validity is judged on
+    // the live graph, but only for pairs the storm left reachable.
     const bool connected = servers_connected(*graph);
     if (!connected) add_violation(ViolationKind::kDisconnected, 0);
+    const bool storm_on = !storm_active.empty();
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> dist_memo;
+    const auto reachable = [&](std::size_t i) {
+      if (!storm_on) return true;
+      const auto [src, dst] = report.pairs[i];
+      auto it = dist_memo.find(src.value());
+      if (it == dist_memo.end()) {
+        it = dist_memo.emplace(src.value(), live->bfs_distances(src)).first;
+      }
+      return it->second[dst.index()] != Graph::kUnreachable;
+    };
     for (std::size_t i = 0; i < report.pairs.size(); ++i) {
       const std::vector<Path>& rs = routes[i];
       if (rs.empty()) {
         // No installed route while the physical pair is connected: the
         // atomic baseline's rule hole.
-        if (connected) add_violation(ViolationKind::kBlackhole, i);
+        if (connected && reachable(i)) add_violation(ViolationKind::kBlackhole, i);
         continue;
       }
       for (const Path& path : rs) {
         if (has_repeated_node(path)) {
           add_violation(ViolationKind::kLoop, i);
-        } else if (!is_valid_path(*graph, path)) {
-          add_violation(ViolationKind::kBlackhole, i);
+        } else if (!is_valid_path(*live, path)) {
+          if (reachable(i)) add_violation(ViolationKind::kBlackhole, i);
         }
       }
     }
@@ -274,7 +706,7 @@ struct Exec {
 
   // Splits one route set's rule count into operations on live switches and
   // operations skipped because the switch is control-plane dead.
-  void count_rules(const std::vector<Path>& paths, std::uint64_t& live,
+  void count_rules(const std::vector<Path>& paths, std::uint64_t& live_rules,
                    std::uint64_t& skipped) const {
     for (const Path& path : paths) {
       for (NodeId n : path) {
@@ -282,7 +714,7 @@ struct Exec {
         if (dead[n.index()]) {
           ++skipped;
         } else {
-          ++live;
+          ++live_rules;
         }
       }
     }
@@ -317,6 +749,14 @@ struct Exec {
     // the rewire. Any path on it is valid both before and after the pass.
     const std::vector<LinkId> removed = links_not_in(*graph, *next_graph);
     const Graph safe = degrade(*graph, FailureSet{removed, {}});
+    // Any re-plan that fires while this rewire is in flight (a storm fold
+    // at a patch-chunk boundary) must solve against the intersection, not
+    // the full realization — see replan_pass.
+    struct MbbScope {
+      const Graph*& slot;
+      ~MbbScope() { slot = nullptr; }
+    } mbb_scope{mbb_intersection};
+    mbb_intersection = &safe;
 
     struct PairPatch {
       std::size_t pair;
@@ -326,16 +766,21 @@ struct Exec {
     std::vector<PairPatch> patches;
 
     // Preferred solve graphs avoid dead switches as transit (their tables
-    // cannot take the patch rules); the with-dead fallbacks only keep a
-    // pair from being abandoned when the dead boxes are its sole capacity.
+    // cannot take the patch rules) and active storm failures (patching onto
+    // a failed link trades one blackhole for another); the fallbacks only
+    // keep a pair from being abandoned when those are its sole capacity.
     const FailureSet dead_set{{}, dead_list};
+    const bool storm_on = !storm_active.empty();
     PathCache safe_cache{safe, k};
     PathCache next_cache{*next_graph, k};
     std::optional<Graph> safe_live, next_live;
     std::optional<PathCache> safe_live_cache, next_live_cache;
-    if (!dead_list.empty()) {
-      safe_live.emplace(degrade(safe, dead_set));
-      next_live.emplace(degrade(*next_graph, dead_set));
+    if (!dead_list.empty() || storm_on) {
+      const auto minus_storm = [&](const Graph& g) {
+        return storm_on ? degrade_mapped(g, *reference, storm_active) : g;
+      };
+      safe_live.emplace(degrade(minus_storm(safe), dead_set));
+      next_live.emplace(degrade(minus_storm(*next_graph), dead_set));
       safe_live_cache.emplace(*safe_live, k);
       next_live_cache.emplace(*next_live, k);
     }
@@ -361,7 +806,7 @@ struct Exec {
       const auto [src, dst] = report.pairs[i];
       std::vector<Path> sol;
       bool armed = false;
-      if (!dead_list.empty()) {
+      if (safe_live_cache.has_value()) {
         sol = solve(*safe_live_cache, *safe_live, src, dst);
         if (sol.empty()) {
           sol = solve(*next_live_cache, *next_live, src, dst);
@@ -382,28 +827,117 @@ struct Exec {
       patches.push_back(PairPatch{i, std::move(sol), armed});
     }
 
-    if (!patches.empty()) {
-      std::uint64_t adds = 0;
-      std::uint64_t dels = 0;
-      std::uint64_t skipped = 0;
-      for (const PairPatch& p : patches) {
-        count_rules(routes[p.pair], dels, skipped);
-        count_rules(p.paths, adds, skipped);
-      }
-      const bool ok = run_step(StepKind::kRulePatch, rollback, NodeId{},
-                               pindex, adds, dels, 0.0, false);
-      if (!ok && !rollback) return false;
-      report.rules_skipped_dead += skipped;
-      bool any_immediate = false;
-      for (PairPatch& p : patches) {
-        ++report.pairs_patched;
-        obs::add(c_patched);
-        if (!p.armed) {
-          routes[p.pair] = std::move(p.paths);
-          any_immediate = true;
+    // Commits one pair's patch. A storm fold that lands mid-patch (between
+    // chunks) can kill candidate paths solved before the fold: with live
+    // re-planning the survivors stay, the casualties are topped back up
+    // from a fresh solve and the pair is marked diverged (reconciled once
+    // the plan routes come back); the baseline installs the stale solve
+    // as-is and dangles whatever the storm broke. Pre-OCS commits fit
+    // against the intersection graph minus the storm — a top-up path drawn
+    // from the full live realization could ride a link the OCS pass is
+    // about to delete, turning the fix into the next blackhole. Post-OCS
+    // (armed) commits fit against `live` itself, already refreshed to the
+    // new realization.
+    bool fit_post_ocs = false;
+    std::optional<Graph> fit_graph;      // pre-OCS: safe minus storm/dead
+    std::optional<PathCache> fit_cache;  // reset whenever the fit graph dies
+    const auto commit_patch = [&](PairPatch& p) {
+      canonical[p.pair] = p.paths;
+      if (opt.live_replanning && !storm_active.empty() &&
+          !all_valid_on(*live, p.paths)) {
+        if (!fit_cache.has_value()) {
+          if (fit_post_ocs) {
+            fit_graph.reset();
+          } else {
+            fit_graph.emplace(degrade(
+                degrade_mapped(safe, *reference, storm_active), dead_set));
+          }
+          fit_cache.emplace(fit_post_ocs ? *live : *fit_graph, k);
         }
+        const Graph& fg = fit_post_ocs ? *live : *fit_graph;
+        std::vector<Path> fitted;
+        for (const Path& path : p.paths) {
+          if (is_valid_path(fg, path)) fitted.push_back(path);
+        }
+        const auto [src, dst] = report.pairs[p.pair];
+        if (fitted.size() < p.paths.size() && fg.degree(src) > 0 &&
+            fg.degree(dst) > 0) {
+          for (const Path& path : fit_cache->server_paths(src, dst)) {
+            if (fitted.size() >= p.paths.size()) break;
+            if (std::find(fitted.begin(), fitted.end(), path) ==
+                fitted.end()) {
+              fitted.push_back(path);
+            }
+          }
+        }
+        if (!fitted.empty()) {
+          diverged[p.pair] = fitted != p.paths;
+          routes[p.pair] = std::move(fitted);
+          return;
+        }
+        // Nothing survives on live: the pair is storm-disconnected right
+        // now. Install the plan anyway — the checker holds only reachable
+        // pairs, and reconciliation restores the plan once the storm
+        // drains.
       }
-      if (any_immediate) push_point(0.0, ConversionScope::kChangedOnly);
+      routes[p.pair] = p.paths;
+      diverged[p.pair] = false;
+    };
+
+    if (!patches.empty()) {
+      // The patch lands as a sequence of bounded rule batches with storm
+      // detection and failover checks between them: a failure landing
+      // mid-patch is observed within one chunk's worth of rules, not after
+      // the whole partition's — the difference between re-planning inside
+      // an outage and after it. With no failure schedule wired in there is
+      // nothing to detect mid-step, so calm executions keep the monolithic
+      // patch and skip the per-chunk channel round-trips.
+      const std::uint64_t budget =
+          storm != nullptr ? opt.patch_chunk_rules : 0;
+      std::size_t begin = 0;
+      while (begin < patches.size()) {
+        if (begin > 0) {
+          const std::size_t folded = storm_next;
+          storm_tick();
+          (void)maybe_failover();
+          if (storm_next != folded) {
+            fit_graph.reset();
+            fit_cache.reset();
+          }
+        }
+        std::uint64_t adds = 0;
+        std::uint64_t dels = 0;
+        std::uint64_t skipped = 0;
+        std::size_t end = begin;
+        while (end < patches.size()) {
+          std::uint64_t a = adds;
+          std::uint64_t d = dels;
+          std::uint64_t s = skipped;
+          count_rules(routes[patches[end].pair], d, s);
+          count_rules(patches[end].paths, a, s);
+          if (end > begin && budget != 0 && a + d > budget) break;
+          adds = a;
+          dels = d;
+          skipped = s;
+          ++end;
+        }
+        const bool ok = run_step(StepKind::kRulePatch, rollback, NodeId{},
+                                 pindex, adds, dels, 0.0, false);
+        if (!ok && !rollback) return false;
+        report.rules_skipped_dead += skipped;
+        bool any_immediate = false;
+        for (std::size_t j = begin; j < end; ++j) {
+          PairPatch& p = patches[j];
+          ++report.pairs_patched;
+          obs::add(c_patched);
+          if (!p.armed) {
+            commit_patch(p);
+            any_immediate = true;
+          }
+        }
+        if (any_immediate) push_point(0.0, ConversionScope::kChangedOnly);
+        begin = end;
+      }
     }
 
     const bool ok = run_step(StepKind::kOcs, rollback, NodeId{}, pindex, 0, 0,
@@ -411,8 +945,12 @@ struct Exec {
     if (!ok && !rollback) return false;
     configs = std::move(next);
     graph = std::move(next_graph);
+    refresh_live();
+    fit_post_ocs = true;  // the realization changed: fit against live now
+    fit_graph.reset();
+    fit_cache.reset();
     for (PairPatch& p : patches) {
-      if (p.armed) routes[p.pair] = std::move(p.paths);
+      if (p.armed) commit_patch(p);
     }
     push_point(delay.ocs_reconfigure_s, ConversionScope::kChangedOnly);
     return true;
@@ -444,8 +982,12 @@ void finalize_blackout_windows(ExecutionReport& report) {
   }
 }
 
-// Route-availability integral: over each boundary interval a pair is dark
-// when none of its installed paths is valid on that interval's graph.
+// Route-availability integral: over each timeline interval a pair is
+// charged the fraction of its installed paths that are invalid on that
+// interval's graph. A pair with no routes at all (the atomic baseline's
+// rule hole) or none valid charges the whole interval; a pair with one of
+// four ECMP paths dead charges a quarter — the flows hashed onto the dead
+// path black-hole until the executor re-plans it or the link recovers.
 void compute_blackhole_integral(ExecutionReport& report) {
   std::vector<double> dark(report.pairs.size(), 0.0);
   for (std::size_t k = 0; k < report.timeline.size(); ++k) {
@@ -456,14 +998,19 @@ void compute_blackhole_integral(ExecutionReport& report) {
     const double dt = std::max(0.0, t_end - pt.t);
     if (dt == 0.0) continue;
     for (std::size_t i = 0; i < report.pairs.size(); ++i) {
-      bool any_valid = false;
-      for (const Path& path : pt.routes[i]) {
-        if (is_valid_path(*pt.graph, path)) {
-          any_valid = true;
-          break;
-        }
+      const std::vector<Path>& rs = pt.routes[i];
+      if (rs.empty()) {
+        dark[i] += dt;
+        continue;
       }
-      if (!any_valid) dark[i] += dt;
+      std::size_t invalid = 0;
+      for (const Path& path : rs) {
+        if (!is_valid_path(*pt.graph, path)) ++invalid;
+      }
+      if (invalid != 0) {
+        dark[i] += dt * static_cast<double>(invalid) /
+                   static_cast<double>(rs.size());
+      }
     }
   }
   report.total_blackhole_s = 0.0;
@@ -484,6 +1031,14 @@ ExecutionReport ConversionExecutor::execute(
     const CompiledMode& from, const CompiledMode& to,
     std::span<const std::pair<NodeId, NodeId>> pairs,
     const ConversionFaults& faults, double t0_s) const {
+  return execute_under_storm(from, to, pairs, FailureSchedule{}, faults, t0_s);
+}
+
+ExecutionReport ConversionExecutor::execute_under_storm(
+    const CompiledMode& from, const CompiledMode& to,
+    std::span<const std::pair<NodeId, NodeId>> pairs,
+    const FailureSchedule& storm, const ConversionFaults& faults,
+    double t0_s) const {
   options_.channel.validate();
   controller_->options().delay.validate();
   const FlatTree& tree = controller_->tree();
@@ -507,6 +1062,27 @@ ExecutionReport ConversionExecutor::execute(
     throw std::invalid_argument(
         "ConversionExecutor: ocs_partitions must be >= 1");
   }
+  if (options_.stage_checkpoints && !options_.staged) {
+    throw std::invalid_argument(
+        "ConversionExecutor: stage_checkpoints requires the staged protocol");
+  }
+  storm.validate();
+  for (const FailureEvent& e : storm.events()) {
+    for (LinkId id : e.elements.links) {
+      if (id.index() >= from_graph.link_count()) {
+        throw std::invalid_argument(
+            "ConversionExecutor: storm link ids must name links of the "
+            "origin realization");
+      }
+    }
+    for (NodeId sw : e.elements.switches) {
+      if (sw.index() >= from_graph.node_count() ||
+          !is_switch(from_graph.node(sw).role)) {
+        throw std::invalid_argument(
+            "ConversionExecutor: storm switches must name switches");
+      }
+    }
+  }
 
   const ConversionDelayModel& delay = controller_->options().delay;
   ExecutionReport report;
@@ -516,14 +1092,20 @@ ExecutionReport ConversionExecutor::execute(
 
   obs::MetricsRegistry* reg = options_.sink.metrics();
   Exec ex{.tree = tree,
+          .controller = *controller_,
           .opt = options_,
           .delay = delay,
+          .faults = faults,
           .report = report,
-          .rng = Rng{options_.seed}};
+          .rng = Rng{options_.seed},
+          .jitter_rng = Rng{options_.seed ^ 0x9e3779b97f4a7c15ULL}};
   ex.now = t0_s;
   ex.k = from.k();
   ex.configs = from.configs();
   ex.graph = from.graph_ptr();
+  ex.live = ex.graph;
+  ex.reference = &from.graph();
+  if (!storm.empty()) ex.storm = &storm;
   if (reg != nullptr) {
     ex.c_steps = &reg->counter("conv_exec.steps");
     ex.c_step_failures = &reg->counter("conv_exec.step_failures");
@@ -532,6 +1114,13 @@ ExecutionReport ConversionExecutor::execute(
     ex.c_patched = &reg->counter("conv_exec.pairs_patched");
     ex.c_inv_checks = &reg->counter("conv_exec.invariant_checks");
     ex.c_violations = &reg->counter("conv_exec.violations");
+    ex.c_replan_events = &reg->counter("conv_exec.replan.events");
+    ex.c_replan_pairs = &reg->counter("conv_exec.replan.pairs");
+    ex.c_replan_steps = &reg->counter("conv_exec.replan.steps");
+    ex.c_ckpt_committed = &reg->counter("conv_exec.checkpoint.committed");
+    ex.c_ckpt_rollbacks = &reg->counter("conv_exec.checkpoint.rollbacks");
+    ex.c_fo_takeovers = &reg->counter("conv_exec.failover.takeovers");
+    ex.c_fo_reissued = &reg->counter("conv_exec.failover.steps_reissued");
     ex.h_attempts =
         &reg->histogram("conv_exec.step_attempts", {1, 2, 4, 8, 16, 32, 64});
   }
@@ -550,95 +1139,275 @@ ExecutionReport ConversionExecutor::execute(
     from_routes.push_back(from.paths().server_paths(src, dst));
     ex.routes.push_back(from_routes.back());
   }
-  ex.push_point(0.0, ConversionScope::kChangedOnly);  // the pre-conversion state
+  ex.canonical = ex.routes;
+  ex.diverged.assign(report.pairs.size(), false);
 
-  const std::vector<std::vector<std::uint32_t>> partitions = make_partitions(
-      tree, from.configs(), to.configs(), options_.ocs_partitions);
+  // Pre-history: storm events already due at t0 fold silently into the
+  // starting state (they are inherited conditions, not execution events).
+  bool inherited_storm = false;
+  if (ex.storm != nullptr) {
+    const auto& evs = ex.storm->events();
+    while (ex.storm_next < evs.size() &&
+           evs[ex.storm_next].time_s <= t0_s) {
+      ex.apply_storm_event(evs[ex.storm_next]);
+      ++ex.storm_next;
+      inherited_storm = true;
+    }
+    if (inherited_storm) ex.refresh_live();
+  }
+  ex.push_point(0.0, ConversionScope::kChangedOnly);  // the pre-conversion state
+  if (inherited_storm && options_.live_replanning) ex.replan_pass();
+
   const auto ocs_forced = [&faults](std::uint32_t p) {
     return std::find(faults.fail_ocs_partitions.begin(),
                      faults.fail_ocs_partitions.end(),
                      p) != faults.fail_ocs_partitions.end();
   };
-  const auto resolve_to_routes = [&]() {
-    std::vector<std::vector<Path>> to_routes;
-    to_routes.reserve(report.pairs.size());
+  const auto resolve_routes_of = [&](const CompiledMode& mode) {
+    std::vector<std::vector<Path>> rs;
+    rs.reserve(report.pairs.size());
     for (const auto& [src, dst] : report.pairs) {
-      to_routes.push_back(to.paths().server_paths(src, dst));
+      rs.push_back(mode.paths().server_paths(src, dst));
     }
-    return to_routes;
+    return rs;
   };
 
-  bool failed = false;
-  bool committed = false;
-  bool ocs_applied = false;                 // atomic baseline's single pass
-  std::size_t partitions_applied = 0;       // staged passes that landed
-  std::vector<NodeId> added_switches;       // acked new-mode rule installs
-  std::vector<NodeId> deleted_switches;     // atomic: acked old-rule deletes
-  std::vector<std::uint64_t> to_fp;         // per-switch new-mode rules
-  std::vector<std::uint64_t> old_fp;        // per-switch outgoing rules
-  std::vector<std::vector<Path>> to_routes;
-
-  if (options_.staged) {
-    // -- phase 0: per-partition OCS passes with make-before-break patches.
-    for (std::uint32_t p = 0;
-         p < static_cast<std::uint32_t>(partitions.size()); ++p) {
-      if (!ex.rewire_partition(partitions[p], p, to.configs(), false,
-                               ocs_forced(p))) {
-        failed = true;
-        break;
+  // The stage sequence: gradual_plan's per-Pod assignments when checkpoints
+  // are on (each intermediate compiled here), else the target alone.
+  std::vector<CompiledMode> interim;
+  std::vector<const CompiledMode*> stage_seq;
+  if (options_.stage_checkpoints) {
+    const std::vector<ModeAssignment> plan =
+        Controller::gradual_plan(from.assignment(), to.assignment());
+    if (plan.size() > 1) {
+      interim.reserve(plan.size() - 1);
+      for (std::size_t s = 0; s + 1 < plan.size(); ++s) {
+        interim.push_back(controller_->compile(plan[s], to.k()));
       }
-      ++partitions_applied;
+      for (const CompiledMode& m : interim) stage_seq.push_back(&m);
     }
-    // -- phase A: install the incoming mode's rules under the new epoch tag
-    // (inert until the flip, so every table stays pure old-mode).
-    if (!failed) {
-      to_routes = resolve_to_routes();
-      to_fp = ex.footprint_of(to_routes);
-      for (std::uint32_t n = 0;
-           n < static_cast<std::uint32_t>(to_fp.size()); ++n) {
-        if (to_fp[n] == 0) continue;
-        if (!ex.run_step(StepKind::kRuleAdd, false, NodeId{n}, 0, to_fp[n], 0,
-                         0.0, ex.dead[n])) {
+    stage_seq.push_back(&to);
+  } else {
+    stage_seq.push_back(&to);
+  }
+  report.stages_total = static_cast<std::uint32_t>(stage_seq.size());
+  report.checkpoints.push_back(CheckpointRecord{
+      0, t0_s, 0, from.assignment(), from.configs(), from_routes});
+
+  // Runs one from->to mini-conversion through the epoch protocol; on a
+  // forward failure rolls back to `stage_from` (the last checkpoint) and
+  // returns false. The loops scan durable state — converter configs and
+  // per-switch next-epoch rule counts — so a standby takeover resumes from
+  // what is actually installed.
+  const auto run_stage = [&](const CompiledMode& stage_from,
+                             const std::vector<std::vector<Path>>& from_canon,
+                             const CompiledMode& stage_to,
+                             std::uint32_t ocs_base, std::uint32_t ocs_count,
+                             std::uint32_t commit_epoch,
+                             const std::vector<std::vector<std::uint32_t>>&
+                                 partitions) -> bool {
+    ex.stage_target = &stage_to;
+    ex.stage_live.reset();
+    ex.replan_failed = false;
+    bool failed = false;
+    (void)ocs_count;
+
+    // -- phase 0: per-partition OCS passes with make-before-break patches.
+    bool rescan = true;
+    while (rescan && !failed) {
+      rescan = false;
+      for (std::uint32_t p = 0;
+           p < static_cast<std::uint32_t>(partitions.size()); ++p) {
+        ex.storm_tick();
+        if (ex.replan_failed) {
           failed = true;
           break;
         }
-        added_switches.push_back(NodeId{n});
+        if (ex.maybe_failover()) {
+          // Durable-state reconstruction: rescan from the first partition —
+          // applied ones no-op against the configs the OCS reports.
+          rescan = true;
+          break;
+        }
+        if (!ex.rewire_partition(partitions[p], ocs_base + p,
+                                 stage_to.configs(), false,
+                                 ocs_forced(ocs_base + p))) {
+          failed = true;
+          break;
+        }
+      }
+    }
+
+    // -- phase A: install the incoming mode's rules under the new epoch tag
+    // (inert until the flip, so every table stays pure old-mode). The
+    // per-switch next-epoch rule counts are the durable protocol state.
+    std::vector<std::vector<Path>> to_routes;
+    std::vector<std::uint64_t> to_fp;
+    std::vector<std::uint64_t> next_epoch_rules(from_graph.node_count(), 0);
+    if (!failed) {
+      to_routes = resolve_routes_of(stage_to);
+      to_fp = ex.footprint_of(to_routes);
+      rescan = true;
+      while (rescan && !failed) {
+        rescan = false;
+        for (std::uint32_t n = 0;
+             n < static_cast<std::uint32_t>(to_fp.size()); ++n) {
+          if (to_fp[n] == 0 || next_epoch_rules[n] != 0) continue;
+          ex.storm_tick();
+          if (ex.replan_failed) {
+            failed = true;
+            break;
+          }
+          if (ex.maybe_failover()) {
+            rescan = true;
+            break;
+          }
+          if (!ex.run_step(StepKind::kRuleAdd, false, NodeId{n}, 0, to_fp[n],
+                           0, 0.0, ex.dead[n])) {
+            failed = true;
+            break;
+          }
+          next_epoch_rules[n] = to_fp[n];
+        }
       }
     }
     // -- phase B: the barrier + epoch flip (the commit point), then GC.
     if (!failed) {
-      old_fp = ex.footprint_of(ex.routes);
-      if (!ex.run_step(StepKind::kEpochFlip, false, NodeId{}, 0, 0, 0, 0.0,
-                       false)) {
-        failed = true;
-      } else {
-        committed = true;
-        ex.epoch = 1;
-        ex.routes = to_routes;
-        ex.push_point(0.0, ConversionScope::kChangedOnly);
-        // Old-epoch garbage collection: post-commit, best effort. A dead
-        // switch keeps its stale rules (inert under the new epoch).
-        for (std::uint32_t n = 0;
-             n < static_cast<std::uint32_t>(old_fp.size()); ++n) {
-          if (old_fp[n] == 0) continue;
-          if (ex.dead[n]) {
-            report.rules_skipped_dead += old_fp[n];
-            continue;
+      ex.storm_tick();
+      if (ex.replan_failed) failed = true;
+      if (!failed) {
+        (void)ex.maybe_failover();
+        const std::vector<std::uint64_t> old_fp = ex.footprint_of(ex.routes);
+        if (!ex.run_step(StepKind::kEpochFlip, false, NodeId{}, 0, 0, 0, 0.0,
+                         false)) {
+          failed = true;
+        } else {
+          ex.epoch = commit_epoch;
+          ex.install_canonical(to_routes);
+          ex.push_point(0.0, ConversionScope::kChangedOnly);
+          // Old-epoch garbage collection: post-commit, best effort. A dead
+          // switch keeps its stale rules (inert under the new epoch).
+          for (std::uint32_t n = 0;
+               n < static_cast<std::uint32_t>(old_fp.size()); ++n) {
+            if (old_fp[n] == 0) continue;
+            if (ex.dead[n]) {
+              report.rules_skipped_dead += old_fp[n];
+              continue;
+            }
+            ex.storm_tick();
+            ex.replan_failed = false;  // post-commit re-plans are best-effort
+            (void)ex.maybe_failover();
+            ex.run_step(StepKind::kRuleDelete, false, NodeId{n}, 0, 0,
+                        old_fp[n], 0.0, false);
           }
-          ex.run_step(StepKind::kRuleDelete, false, NodeId{n}, 0, 0,
-                      old_fp[n], 0.0, false);
+          ex.storm_tick();
+          ex.replan_failed = false;
+          ex.stage_target = nullptr;
+          ex.stage_live.reset();
+          return true;
         }
       }
+    }
+
+    // -- rollback to the last checkpoint. Every rollback step retries
+    // unbounded: the channel is lossy, not dead, and no rollback step
+    // addresses a dead switch — steps touching one fail before mutating it,
+    // so only acked (live) switches ever need undoing.
+    ex.in_rollback = true;
+    ex.replan_failed = false;
+    ex.stage_target = &stage_from;
+    ex.stage_live.reset();
+    // Collect the inert new-epoch rules already installed (durable scan, in
+    // reverse install order).
+    for (std::uint32_t n = static_cast<std::uint32_t>(next_epoch_rules.size());
+         n-- > 0;) {
+      if (next_epoch_rules[n] == 0) continue;
+      ex.storm_tick();
+      (void)ex.maybe_failover();
+      ex.run_step(StepKind::kRuleDelete, true, NodeId{n}, 0, 0,
+                  next_epoch_rules[n], 0.0, false);
+      next_epoch_rules[n] = 0;
+    }
+    // Un-rewire the partitions in reverse order, with the same
+    // make-before-break patching the forward passes used. Partitions that
+    // never applied no-op against the durable configs.
+    for (std::size_t p = partitions.size(); p-- > 0;) {
+      ex.storm_tick();
+      (void)ex.maybe_failover();
+      ex.rewire_partition(partitions[p],
+                          ocs_base + static_cast<std::uint32_t>(p),
+                          stage_from.configs(), true, false);
+    }
+    // Reinstate the checkpoint's canonical routes.
+    ex.storm_tick();
+    (void)ex.maybe_failover();
+    std::uint64_t adds = 0;
+    std::uint64_t dels = 0;
+    std::uint64_t skipped = 0;
+    for (std::size_t i = 0; i < ex.routes.size(); ++i) {
+      if (ex.routes[i] == from_canon[i]) continue;
+      ex.count_rules(ex.routes[i], dels, skipped);
+      ex.count_rules(from_canon[i], adds, skipped);
+    }
+    ex.run_step(StepKind::kRuleRestore, true, NodeId{}, 0, adds, dels, 0.0,
+                false);
+    report.rules_skipped_dead += skipped;
+    ex.install_canonical(from_canon);
+    ex.push_point(0.0, ConversionScope::kChangedOnly);
+    ex.storm_tick();  // a recovery landing here still reconciles to plan
+    ex.in_rollback = false;
+    ex.stage_target = nullptr;
+    ex.stage_live.reset();
+    return false;
+  };
+
+  bool committed = false;
+  if (options_.staged) {
+    const CompiledMode* cur = &from;
+    std::vector<std::vector<Path>> cur_routes = from_routes;
+    std::uint32_t ocs_base = 0;
+    committed = true;
+    for (std::size_t s = 0; s < stage_seq.size(); ++s) {
+      const std::vector<std::vector<std::uint32_t>> partitions =
+          make_partitions(tree, cur->configs(), stage_seq[s]->configs(),
+                          options_.ocs_partitions);
+      const bool ok = run_stage(*cur, cur_routes, *stage_seq[s], ocs_base,
+                                static_cast<std::uint32_t>(partitions.size()),
+                                static_cast<std::uint32_t>(s) + 1, partitions);
+      if (!ok) {
+        committed = false;
+        obs::add(ex.c_ckpt_rollbacks);
+        break;
+      }
+      ++report.stages_committed;
+      obs::add(ex.c_ckpt_committed);
+      cur = stage_seq[s];
+      cur_routes = ex.canonical;
+      report.checkpoints.push_back(CheckpointRecord{
+          static_cast<std::uint32_t>(s) + 1, ex.now, ex.epoch,
+          cur->assignment(), cur->configs(), cur_routes});
+      ocs_base += static_cast<std::uint32_t>(partitions.size());
     }
   } else {
     // -- atomic-swap baseline: delete everything, one OCS pass, add
     // everything. Routes die switch by switch; the rule hole between the
     // first delete and the last add is the blackhole window the staged
     // protocol exists to remove.
-    old_fp = ex.footprint_of(ex.routes);
+    const std::vector<std::vector<std::uint32_t>> partitions = make_partitions(
+        tree, from.configs(), to.configs(), options_.ocs_partitions);
+    bool failed = false;
+    bool ocs_applied = false;
+    std::vector<NodeId> added_switches;
+    std::vector<NodeId> deleted_switches;
+    std::vector<std::uint64_t> to_fp;
+    std::vector<std::vector<Path>> to_routes;
+    const std::vector<std::uint64_t> old_fp = ex.footprint_of(ex.routes);
     for (std::uint32_t n = 0; n < static_cast<std::uint32_t>(old_fp.size());
          ++n) {
       if (old_fp[n] == 0) continue;
+      ex.storm_tick();
+      ex.replan_failed = false;  // the baseline never aborts on a re-plan
+      (void)ex.maybe_failover();
       if (!ex.run_step(StepKind::kRuleDelete, false, NodeId{n}, 0, 0,
                        old_fp[n], 0.0, ex.dead[n])) {
         failed = true;
@@ -650,12 +1419,17 @@ ExecutionReport ConversionExecutor::execute(
         if (ex.routes[i].empty()) continue;
         if (ex.pair_uses_switch(ex.routes[i], NodeId{n})) {
           ex.routes[i].clear();
+          ex.canonical[i].clear();
+          ex.diverged[i] = false;
           any_cleared = true;
         }
       }
       if (any_cleared) ex.push_point(0.0, ConversionScope::kFullBlackout);
     }
     if (!failed && !partitions.empty()) {
+      ex.storm_tick();
+      ex.replan_failed = false;
+      (void)ex.maybe_failover();
       if (!ex.run_step(StepKind::kOcs, false, NodeId{}, 0, 0, 0,
                        delay.ocs_reconfigure_s, ocs_forced(0))) {
         failed = true;
@@ -663,11 +1437,12 @@ ExecutionReport ConversionExecutor::execute(
         ocs_applied = true;
         ex.configs = to.configs();
         ex.graph = to.graph_ptr();
+        ex.refresh_live();
         ex.push_point(delay.ocs_reconfigure_s, ConversionScope::kFullBlackout);
       }
     }
     if (!failed) {
-      to_routes = resolve_to_routes();
+      to_routes = resolve_routes_of(to);
       to_fp = ex.footprint_of(to_routes);
       // A pair comes back once every switch on its new routes is programmed.
       std::vector<std::vector<std::uint32_t>> need(report.pairs.size());
@@ -685,6 +1460,9 @@ ExecutionReport ConversionExecutor::execute(
       for (std::uint32_t n = 0; n < static_cast<std::uint32_t>(to_fp.size());
            ++n) {
         if (to_fp[n] == 0) continue;
+        ex.storm_tick();
+        ex.replan_failed = false;
+        (void)ex.maybe_failover();
         if (!ex.run_step(StepKind::kRuleAdd, false, NodeId{n}, 0, to_fp[n], 0,
                          0.0, ex.dead[n])) {
           failed = true;
@@ -700,6 +1478,7 @@ ExecutionReport ConversionExecutor::execute(
               [&programmed](std::uint32_t sw) { return programmed[sw]; });
           if (ready) {
             ex.routes[i] = to_routes[i];
+            ex.canonical[i] = to_routes[i];
             any_routed = true;
           }
         }
@@ -709,47 +1488,22 @@ ExecutionReport ConversionExecutor::execute(
         committed = true;
         ex.epoch = 1;
         ex.push_point(0.0, ConversionScope::kChangedOnly);
+        report.stages_committed = 1;
+        obs::add(ex.c_ckpt_committed);
+        report.checkpoints.push_back(CheckpointRecord{
+            1, ex.now, 1, to.assignment(), to.configs(), to_routes});
       }
     }
-  }
 
-  if (failed) {
-    // -- rollback to the last committed epoch (the outgoing mode). Every
-    // rollback step retries unbounded: the channel is lossy, not dead, and
-    // no rollback step addresses a dead switch — steps touching one fail
-    // before mutating it, so only acked (live) switches ever need undoing.
-    if (options_.staged) {
-      // Collect the inert new-epoch rules already installed.
-      for (auto it = added_switches.rbegin(); it != added_switches.rend();
-           ++it) {
-        ex.run_step(StepKind::kRuleDelete, true, *it, 0, 0,
-                    to_fp[it->index()], 0.0, false);
-      }
-      // Un-rewire the applied partitions in reverse order, with the same
-      // make-before-break patching the forward passes used.
-      for (std::size_t p = partitions_applied; p-- > 0;) {
-        ex.rewire_partition(partitions[p], static_cast<std::uint32_t>(p),
-                            from.configs(), true, false);
-      }
-      // Reinstate the outgoing mode's canonical routes.
-      std::uint64_t adds = 0;
-      std::uint64_t dels = 0;
-      std::uint64_t skipped = 0;
-      for (std::size_t i = 0; i < ex.routes.size(); ++i) {
-        if (ex.routes[i] == from_routes[i]) continue;
-        ex.count_rules(ex.routes[i], dels, skipped);
-        ex.count_rules(from_routes[i], adds, skipped);
-      }
-      ex.run_step(StepKind::kRuleRestore, true, NodeId{}, 0, adds, dels, 0.0,
-                  false);
-      report.rules_skipped_dead += skipped;
-      ex.routes = from_routes;
-      ex.push_point(0.0, ConversionScope::kChangedOnly);
-    } else {
+    if (failed) {
+      ex.in_rollback = true;
+      obs::add(ex.c_ckpt_rollbacks);
       // Collect whatever new-mode rules landed (their pairs go dark again
       // before the circuits revert underneath them).
       for (auto it = added_switches.rbegin(); it != added_switches.rend();
            ++it) {
+        ex.storm_tick();
+        (void)ex.maybe_failover();
         ex.run_step(StepKind::kRuleDelete, true, *it, 0, 0,
                     to_fp[it->index()], 0.0, false);
         bool any_cleared = false;
@@ -757,16 +1511,21 @@ ExecutionReport ConversionExecutor::execute(
           if (ex.routes[i].empty()) continue;
           if (ex.pair_uses_switch(ex.routes[i], *it)) {
             ex.routes[i].clear();
+            ex.canonical[i].clear();
+            ex.diverged[i] = false;
             any_cleared = true;
           }
         }
         if (any_cleared) ex.push_point(0.0, ConversionScope::kFullBlackout);
       }
       if (ocs_applied) {
+        ex.storm_tick();
+        (void)ex.maybe_failover();
         ex.run_step(StepKind::kOcs, true, NodeId{}, 0, 0, 0,
                     delay.ocs_reconfigure_s, false);
         ex.configs = from.configs();
         ex.graph = from.graph_ptr();
+        ex.refresh_live();
         ex.push_point(delay.ocs_reconfigure_s, ConversionScope::kFullBlackout);
       }
       // Reinstall the outgoing rules on every switch that deleted them; a
@@ -774,6 +1533,8 @@ ExecutionReport ConversionExecutor::execute(
       std::vector<bool> missing(ex.graph->node_count(), false);
       for (NodeId sw : deleted_switches) missing[sw.index()] = true;
       for (NodeId sw : deleted_switches) {
+        ex.storm_tick();
+        (void)ex.maybe_failover();
         ex.run_step(StepKind::kRuleRestore, true, sw, 0, old_fp[sw.index()],
                     0, 0.0, false);
         missing[sw.index()] = false;
@@ -789,17 +1550,58 @@ ExecutionReport ConversionExecutor::execute(
               });
           if (ready && !from_routes[i].empty()) {
             ex.routes[i] = from_routes[i];
+            ex.canonical[i] = from_routes[i];
             any_routed = true;
           }
         }
         if (any_routed) ex.push_point(0.0, ConversionScope::kFullBlackout);
       }
+      ex.in_rollback = false;
     }
   }
 
-  report.outcome = committed ? ConversionOutcome::kConverted
-                             : ConversionOutcome::kRolledBack;
+  if (committed) {
+    report.outcome = ConversionOutcome::kConverted;
+  } else if (report.stages_committed > 0) {
+    report.outcome = ConversionOutcome::kPartial;
+  } else {
+    report.outcome = ConversionOutcome::kRolledBack;
+  }
+  report.terminal_assignment = report.checkpoints.back().assignment;
+  report.terminal_configs = ex.configs;
   report.finish_s = ex.now;
+  // Bind the storm to the timeline at its *physical* times. The executor
+  // only observes damage at step boundaries (detection latency), but the
+  // data plane experiences a dead link the instant it dies: each event time
+  // becomes a timeline point carrying the then-prevailing routes, and every
+  // point's graph is degraded by the storm state active at its time. The
+  // blackhole integral therefore charges a broken route from the moment of
+  // failure until the executor re-planned it or the link physically
+  // recovered — whichever came first.
+  if (ex.storm != nullptr) {
+    const std::vector<FailureEvent>& evs = storm.events();
+    for (std::size_t e = 0; e < evs.size();) {
+      const double t = evs[e].time_s;
+      while (e < evs.size() && evs[e].time_s == t) ++e;
+      if (t <= t0_s || t >= report.finish_s) continue;
+      const auto pos = std::upper_bound(
+          report.timeline.begin(), report.timeline.end(), t,
+          [](double tt, const TimelinePoint& p) { return tt < p.t; });
+      TimelinePoint pt = *(pos - 1);  // timeline[0] sits at t0 < t
+      pt.t = t;
+      pt.blackout_s = 0.0;
+      pt.scope = ConversionScope::kChangedOnly;
+      report.timeline.insert(pos, std::move(pt));
+    }
+    for (TimelinePoint& pt : report.timeline) {
+      FailureSet active = storm.active_at(pt.t);
+      if (active.empty()) continue;
+      std::sort(active.links.begin(), active.links.end());
+      std::sort(active.switches.begin(), active.switches.end());
+      pt.graph = std::make_shared<const Graph>(
+          degrade_mapped(*pt.graph, *ex.reference, active));
+    }
+  }
   finalize_blackout_windows(report);
   compute_blackhole_integral(report);
   if (reg != nullptr) {

@@ -1,9 +1,11 @@
-// Staged, fault-tolerant conversion execution (§4.3 made operational).
+// Staged, fault-tolerant conversion execution (§4.3 made operational),
+// hardened against concurrent failures ("conversion under fire").
 //
 // Controller::plan_conversion prices a mode change as one atomic diff; this
-// module actually walks the network through it, live, and survives the
-// control plane misbehaving on the way. A ConversionExecutor decomposes the
-// diff into an ordered schedule of discrete steps:
+// module actually walks the network through it, live, and survives both the
+// control plane misbehaving and the data plane failing underneath it on the
+// way. A ConversionExecutor decomposes the diff into an ordered schedule of
+// discrete steps:
 //
 //   per OCS partition p (the changed converter units, side-peer pairs kept
 //   atomic, chunked into `ocs_partitions` groups):
@@ -20,29 +22,62 @@
 //                     every packet still matches a pure old-mode table.
 //     4. kEpochFlip   the barrier + ingress epoch flip: the commit point.
 //                     Before it, any exhausted step rolls the fabric back to
-//                     the outgoing mode; after it, the conversion is
-//                     committed and remaining failures are best-effort.
+//                     the last checkpoint; after it, the stage is committed
+//                     and remaining failures are best-effort.
 //     5. kRuleDelete  per switch, the old-epoch rules are garbage-collected.
 //
 // Every step executes over a lossy control channel (per-message drop
-// probability and delay, seeded RNG) with timeout, exponential backoff and
-// bounded idempotent retries. A step that exhausts its retries — an injected
-// OCS partition failure, a control-plane-dead switch that never acks, or
-// plain bad luck at high loss — triggers rollback to the last committed
-// epoch: applied partitions un-rewire in reverse order (with the same
-// make-before-break patching), installed new-epoch rules are collected, and
-// a final kRuleRestore step reinstates the outgoing mode's canonical routes.
-// Rollback steps retry unbounded (the channel is lossy, not dead), so every
-// execution terminates in exactly one of two states: kConverted or
-// kRolledBack.
+// probability and delay, seeded RNG) with timeout, exponential backoff with
+// deterministic decorrelated jitter, and bounded idempotent retries. A step
+// that exhausts its retries — an injected OCS partition failure, a
+// control-plane-dead switch that never acks, or plain bad luck at high loss
+// — triggers rollback to the last committed epoch: applied partitions
+// un-rewire in reverse order (with the same make-before-break patching),
+// installed new-epoch rules are collected, and a final kRuleRestore step
+// reinstates the checkpoint's canonical routes. Rollback steps retry
+// unbounded (the channel is lossy, not dead).
+//
+// Storm tolerance (execute_under_storm) adds three layers on top:
+//
+//   * Live invalidation + re-planning. A FailureSchedule of data-plane
+//     fail/recover events (link ids in the origin realization's space, as a
+//     reference for node-pair resolution across realizations) runs
+//     concurrently with the step schedule. Due events fold into the live
+//     graph at every step boundary; installed routes broken by a failure
+//     are re-planned on the live graph in a batched kRulePatch step
+//     (StepRecord::replan) instead of aborting, stage-target routes are
+//     repaired through Controller::plan_repair on a storm-degraded copy of
+//     the stage plan, and recoveries reconcile diverged pairs back to the
+//     canonical plan — so a fully recovered storm leaves routes bit-for-bit
+//     equal to the plan.
+//   * Stage checkpoints (options.stage_checkpoints). The conversion runs as
+//     Controller::gradual_plan's per-Pod stages, each driven through the
+//     full epoch protocol above. Every committed stage is a durable
+//     rollback point (a CheckpointRecord: assignment, configs, canonical
+//     routes); an exhausted step rolls back to the *last checkpoint* — a
+//     valid partial mode from the paper's convertibility spectrum — not the
+//     origin, and the execution reports kPartial. The terminal state is
+//     always bit-for-bit one of the checkpointed modes once active storm
+//     failures have recovered.
+//   * Controller failover (faults.kill_primary_at_s). A primary/standby
+//     pair shares the lossy channel; when the primary dies mid-conversion
+//     the standby takes over after failover_takeover_s, re-issues the step
+//     that was in flight (idempotent confirm — its ack went to the dead
+//     primary), and resumes. The execution loops derive their position
+//     purely from durable state — converter configs readable from the OCS
+//     hardware, per-switch epoch-tagged rule counts, and the last
+//     checkpoint record — so the takeover genuinely reconstructs execution
+//     intent from the network, never leaving mixed-epoch state behind.
 //
 // A transient-invariant checker runs after every state-changing step:
-// server-level connectivity, no black-holed pair (every pair keeps a
-// non-empty route set whose paths are all valid on the current graph), and
-// no routing loop. The atomic-swap baseline (staged = false: delete all old
-// rules, one OCS pass, add all new rules) violates no-blackhole by
-// construction during its rule window — that window is the cost the staged
-// protocol exists to remove, and bench_conversion_churn measures it.
+// server-level connectivity (of the clean realization — a storm partition
+// is the storm's fault, not the executor's), no black-holed pair (every
+// pair that is physically reachable on the live graph keeps a non-empty
+// route set whose paths are all valid on it), and no routing loop. The
+// atomic-swap baseline (staged = false: delete all old rules, one OCS pass,
+// add all new rules) violates no-blackhole by construction during its rule
+// window — that window is the cost the staged protocol exists to remove,
+// and bench_conversion_churn / bench_conversion_storm measure it.
 //
 // Control-plane-dead switches are fail-static: they keep forwarding the
 // rules already installed but never ack an update. Patch routes are
@@ -53,10 +88,10 @@
 // proceed without that exact table) and rolls the conversion back.
 //
 // The execution's ExecutionReport carries a timeline of boundary states
-// (graph, epoch, per-pair installed routes, packet blackout window) that
-// drives both simulators through every transient topology:
-// run_fluid_with_conversion replays it through
-// FluidSimulator::run_with_schedule on the union graph, and
+// (live graph, epoch, per-pair installed routes, packet blackout window) —
+// including a point per folded storm batch — that drives both simulators
+// through every transient topology: run_fluid_with_conversion replays it
+// through FluidSimulator::run_with_schedule on the union graph, and
 // drive_packet_sim replays it through PacketSim::apply_conversion.
 #pragma once
 
@@ -81,16 +116,22 @@ namespace flattree {
 // programs. Every step is one idempotent command: each attempt draws the
 // command drop and (if delivered and executed) the ack drop independently;
 // a lost message surfaces as a timeout and the next attempt goes out after
-// timeout_s * backoff^(attempt-1), floored at one command round trip.
+// timeout_s * backoff^(attempt-1), floored at one command round trip and
+// shortened by up to `jitter` of itself. The jitter draw comes from a
+// dedicated RNG stream decorrelated from the per-message drop stream, so
+// changing it reshapes retry *timing* without perturbing any delivery
+// outcome — and executions stay byte-identical across thread counts.
 struct ControlChannelOptions {
   double drop_probability{0.0};   // per message, in [0, 1)
   double delay_s{0.0005};         // one-way controller <-> device latency
   double timeout_s{0.05};         // base retransmit timeout
   double backoff{2.0};            // timeout multiplier per retry
+  double jitter{0.1};             // backoff desynchronization, in [0, 1]
   std::uint32_t max_attempts{5};  // forward steps; rollback retries unbounded
 
   // Throws std::invalid_argument on out-of-range fields (negative delays,
-  // drop_probability outside [0, 1), backoff < 1, zero attempts, NaN).
+  // drop_probability outside [0, 1), backoff < 1, jitter outside [0, 1],
+  // zero attempts, NaN).
   void validate() const;
 };
 
@@ -98,9 +139,13 @@ struct ControlChannelOptions {
 struct ConversionFaults {
   // Switches that keep forwarding (fail-static) but never ack an update.
   std::vector<NodeId> dead_switches;
-  // Forward OCS steps (by partition index in execution order) that fail
-  // permanently: the circuits never move, every attempt reports failure.
+  // Forward OCS steps (by partition index in execution order, global across
+  // stages) that fail permanently: the circuits never move, every attempt
+  // reports failure.
   std::vector<std::uint32_t> fail_ocs_partitions;
+  // When >= 0, the primary controller dies at this simulated time; the
+  // standby takes over at the next step boundary (see the header comment).
+  double kill_primary_at_s{-1.0};
 };
 
 struct ConversionExecOptions {
@@ -109,20 +154,37 @@ struct ConversionExecOptions {
   ControlChannelOptions channel{};
   std::uint64_t seed{1};
   bool check_invariants{true};
+  // Drive Controller::gradual_plan's per-Pod stages through the epoch
+  // protocol, each committed stage a durable rollback point. Requires
+  // staged; rejected with the atomic baseline.
+  bool stage_checkpoints{false};
+  // Re-plan routes broken by storm failures instead of letting them dangle.
+  // Only observable under execute_under_storm with a non-empty schedule.
+  bool live_replanning{true};
+  // Standby promotion delay after the primary dies (kill_primary_at_s).
+  double failover_takeover_s{0.25};
+  // Make-before-break patches land as bounded batches of at most this many
+  // rule operations, with storm detection and failover checks between
+  // batches — a failure landing mid-patch is observed within one chunk,
+  // not after the whole partition's worth of rules. 0 = one monolithic
+  // patch step per partition.
+  std::uint64_t patch_chunk_rules{256};
   // conv_exec.* metrics (steps, retries, drops, rollbacks, violations,
-  // blackhole time) and per-step tracer marks. All updates are commutative,
-  // so exports stay byte-identical across thread counts.
+  // blackhole time, replan/checkpoint/failover activity) and per-step
+  // tracer marks. All updates are commutative, so exports stay
+  // byte-identical across thread counts.
   obs::ObsSink sink{};
 };
 
 enum class StepKind : std::uint8_t {
-  kRulePatch,    // make-before-break route patch ahead of an OCS step
+  kRulePatch,    // make-before-break route patch ahead of an OCS step, or a
+                 // storm re-plan batch (StepRecord::replan)
   kOcs,          // one OCS partition rewires its converters
   kRuleAdd,      // one switch installs its new-epoch rules (inert)
   kEpochFlip,    // barrier + ingress epoch flip: the commit point
   kRuleDelete,   // one switch deletes rules (old-epoch GC, or the atomic
                  // baseline's up-front delete phase)
-  kRuleRestore,  // rollback: reinstate the outgoing mode's canonical routes
+  kRuleRestore,  // rollback: reinstate the checkpoint's canonical routes
 };
 
 [[nodiscard]] const char* to_string(StepKind kind);
@@ -130,6 +192,8 @@ enum class StepKind : std::uint8_t {
 struct StepRecord {
   StepKind kind{StepKind::kRulePatch};
   bool rollback{false};          // executed while rolling back
+  bool replan{false};            // storm re-plan / reconcile batch
+  bool standby{false};           // issued by the standby after failover
   NodeId target{};               // switch for per-switch rule steps
   std::uint32_t partition{0};    // OCS partition index (kOcs/kRulePatch)
   std::uint64_t rules_added{0};
@@ -152,18 +216,41 @@ struct TransientViolation {
   std::size_t pair{0};  // index into ExecutionReport::pairs (0 for kDisconnected)
 };
 
-enum class ConversionOutcome : std::uint8_t { kConverted, kRolledBack };
+enum class ConversionOutcome : std::uint8_t {
+  kConverted,   // every stage committed: the fabric runs the target mode
+  kPartial,     // >= 1 stage committed, then rolled back to that checkpoint
+  kRolledBack,  // no stage committed: back to the origin mode
+};
 
 [[nodiscard]] const char* to_string(ConversionOutcome outcome);
 
-// One boundary state of the execution: everything the data plane would
-// observe between two steps. blackout_s models the in-progress window the
-// boundary closes (an OCS rewire or the atomic baseline's rule hole) for
-// the packet simulator, which stalls the affected pipes for that long.
+// A durable rollback point: the complete description of a mode the fabric
+// has fully committed (origin, a per-Pod gradual stage, or the target).
+// routes are the mode's *canonical* plan routes — what reconciliation
+// restores once storm failures recover — per tracked pair.
+struct CheckpointRecord {
+  std::uint32_t stage{0};  // 0 = origin, s = after committing stage s
+  double t{0.0};
+  std::uint32_t epoch{0};
+  ModeAssignment assignment;
+  std::vector<ConverterConfig> configs;
+  std::vector<std::vector<Path>> routes;
+};
+
+// One state of the execution timeline: everything the data plane would
+// observe until the next point. Points come from executor step boundaries
+// and, under a storm, from the storm's physical event times (the executor
+// detects damage only at boundaries, but the timeline binds each failure
+// and recovery when it actually happened). The graph is the live topology
+// over the point's interval: the prevailing realization minus the storm
+// failures physically active at t. blackout_s models the
+// in-progress window the boundary closes (an OCS rewire or the atomic
+// baseline's rule hole) for the packet simulator, which stalls the affected
+// pipes for that long.
 struct TimelinePoint {
   double t{0.0};
   std::shared_ptr<const Graph> graph;
-  std::uint32_t epoch{0};  // 0 = outgoing mode's tables, 1 = committed
+  std::uint32_t epoch{0};  // committed stages so far (0 = outgoing mode)
   double blackout_s{0.0};
   ConversionScope scope{ConversionScope::kChangedOnly};
   // Installed routes per pair (parallel to ExecutionReport::pairs). An
@@ -184,14 +271,31 @@ struct ExecutionReport {
   std::uint64_t rules_deleted{0};
   std::uint64_t rules_skipped_dead{0};
   std::size_t pairs_patched{0};        // make-before-break re-routes
-  // Route-availability integral over the timeline: for each boundary
-  // interval, a pair is dark when it has no valid installed route.
-  double total_blackhole_s{0.0};       // summed across pairs
+  // Storm tolerance.
+  std::uint32_t replans{0};            // batched re-plan/reconcile steps
+  std::size_t pairs_replanned{0};      // pair-route installs off-plan
+  std::uint32_t stages_total{1};
+  std::uint32_t stages_committed{0};
+  std::uint32_t failovers{0};          // standby takeovers
+  std::uint32_t steps_reissued{0};     // in-flight steps confirmed by standby
+  // Route-availability integral over the timeline: each interval charges a
+  // pair the fraction of its installed paths invalid on that interval's
+  // graph (no routes at all = fully dark). Storm events bind at their
+  // physical times, so a broken path is charged from the instant of
+  // failure until re-planned or recovered.
+  double total_blackhole_s{0.0};       // summed across pairs (pair-seconds)
   double max_pair_blackhole_s{0.0};    // worst single pair
   std::vector<std::pair<NodeId, NodeId>> pairs;  // server pairs tracked
   std::vector<StepRecord> steps;
   std::vector<TransientViolation> violations;
   std::vector<TimelinePoint> timeline;  // [0] = the pre-conversion state
+  // checkpoints[0] is always the origin; one more per committed stage. The
+  // terminal mode is checkpoints.back(): terminal_configs equals its
+  // configs, and — once every storm failure has recovered — the installed
+  // routes equal its canonical routes bit-for-bit.
+  std::vector<CheckpointRecord> checkpoints;
+  ModeAssignment terminal_assignment;
+  std::vector<ConverterConfig> terminal_configs;
 };
 
 class ConversionExecutor {
@@ -210,6 +314,19 @@ class ConversionExecutor {
   [[nodiscard]] ExecutionReport execute(
       const CompiledMode& from, const CompiledMode& to,
       std::span<const std::pair<NodeId, NodeId>> pairs,
+      const ConversionFaults& faults = ConversionFaults{},
+      double t0_s = 0.0) const;
+
+  // execute() with a concurrent data-plane failure storm. `storm` names
+  // links in `from`'s realization (the reference space; ids are resolved to
+  // node pairs across intermediate realizations) and must satisfy
+  // FailureSchedule's construction invariants. Events fold into the live
+  // graph at step boundaries; see the header comment for the re-planning,
+  // checkpoint and failover semantics.
+  [[nodiscard]] ExecutionReport execute_under_storm(
+      const CompiledMode& from, const CompiledMode& to,
+      std::span<const std::pair<NodeId, NodeId>> pairs,
+      const FailureSchedule& storm,
       const ConversionFaults& faults = ConversionFaults{},
       double t0_s = 0.0) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -14,6 +15,75 @@ void FailureSet::merge(const FailureSet& other) {
                   other.switches.end());
 }
 
+namespace {
+
+// Walks one entity's fail/recover alternation across `events` (plus, at
+// index `insert_pos`, the elements of `pending`). Throws on a fail of an
+// already-failed entity or a recover of a not-failed one. The entity's id
+// type selects which element list of each FailureSet it lives in.
+template <typename Id>
+void check_alternation(const std::vector<FailureEvent>& events,
+                       const FailureEvent* pending, std::size_t insert_pos,
+                       Id entity) {
+  const auto contains = [&](const FailureSet& set) {
+    if constexpr (std::is_same_v<Id, LinkId>) {
+      return std::count(set.links.begin(), set.links.end(), entity) > 0;
+    } else {
+      return std::count(set.switches.begin(), set.switches.end(), entity) > 0;
+    }
+  };
+  bool failed = false;
+  const auto apply = [&](const FailureEvent& e) {
+    if (!contains(e.elements)) return;
+    if (e.recover) {
+      if (!failed) {
+        throw std::invalid_argument(
+            "FailureSchedule: recover of an element that is not failed "
+            "(recover-before-fail ordering)");
+      }
+      failed = false;
+    } else {
+      if (failed) {
+        throw std::invalid_argument(
+            "FailureSchedule: duplicate fail without an intervening recover");
+      }
+      failed = true;
+    }
+  };
+  for (std::size_t i = 0; i <= events.size(); ++i) {
+    if (pending != nullptr && i == insert_pos) apply(*pending);
+    if (i < events.size()) apply(events[i]);
+  }
+}
+
+// Checks every entity the event names, against `events` with the event
+// inserted at `insert_pos`. Duplicate ids inside one element list trip the
+// same alternation errors (a set failing {L0, L0} is a duplicate fail).
+void check_event_alternation(const std::vector<FailureEvent>& events,
+                             const FailureEvent& pending,
+                             std::size_t insert_pos) {
+  for (LinkId id : pending.elements.links) {
+    check_alternation(events, &pending, insert_pos, id);
+  }
+  for (NodeId id : pending.elements.switches) {
+    check_alternation(events, &pending, insert_pos, id);
+  }
+  // A duplicate inside the pending set itself walks the same entity twice
+  // above and is caught there only if the prior state disagrees; catch the
+  // literal duplicates explicitly.
+  const auto has_duplicate = [](auto ids) {
+    std::sort(ids.begin(), ids.end());
+    return std::adjacent_find(ids.begin(), ids.end()) != ids.end();
+  };
+  if (has_duplicate(pending.elements.links) ||
+      has_duplicate(pending.elements.switches)) {
+    throw std::invalid_argument(
+        "FailureSchedule: duplicate element inside one event");
+  }
+}
+
+}  // namespace
+
 void FailureSchedule::insert(FailureEvent event) {
   if (!(event.time_s >= 0.0)) {
     throw std::invalid_argument("FailureSchedule: event time must be >= 0");
@@ -22,7 +92,28 @@ void FailureSchedule::insert(FailureEvent event) {
   const auto pos = std::upper_bound(
       events_.begin(), events_.end(), event.time_s,
       [](double t, const FailureEvent& e) { return t < e.time_s; });
+  // Construction-time validation: inserting here must keep every named
+  // entity's fail/recover alternation intact. Rejected events leave the
+  // schedule untouched.
+  check_event_alternation(
+      events_, event, static_cast<std::size_t>(pos - events_.begin()));
   events_.insert(pos, std::move(event));
+}
+
+void FailureSchedule::validate() const {
+  for (std::size_t i = 1; i < events_.size(); ++i) {
+    if (events_[i].time_s < events_[i - 1].time_s) {
+      throw std::invalid_argument("FailureSchedule: events out of order");
+    }
+  }
+  for (const FailureEvent& e : events_) {
+    for (LinkId id : e.elements.links) {
+      check_alternation(events_, nullptr, 0, id);
+    }
+    for (NodeId id : e.elements.switches) {
+      check_alternation(events_, nullptr, 0, id);
+    }
+  }
 }
 
 FailureSchedule& FailureSchedule::fail_at(double time_s,

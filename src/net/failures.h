@@ -55,8 +55,15 @@ struct FailureEvent {
 };
 
 // A time-ordered script of fail/recover events, the unit both simulators
-// and the controller consume. Recovering an element that is not currently
-// failed is a no-op (schedules may be sliced and replayed).
+// and the controller consume. Construction is validated: every entity's
+// event sequence must alternate fail / recover in time order (ties in
+// insertion order), so a fail of an already-failed element, a recover of
+// an element that was never failed (or has already recovered), and an
+// out-of-order insertion that would produce either are all rejected with
+// std::invalid_argument at fail_at()/recover_at() time. A consumer can
+// therefore trust any schedule it receives; validate() re-checks the whole
+// script (sortedness + per-entity alternation) for schedules that crossed
+// a trust boundary.
 class FailureSchedule {
  public:
   FailureSchedule& fail_at(double time_s, FailureSet elements);
@@ -69,6 +76,12 @@ class FailureSchedule {
 
   // Cumulative failed set after applying every event with time <= time_s.
   [[nodiscard]] FailureSet active_at(double time_s) const;
+
+  // Full-script re-check of the construction invariants: events sorted by
+  // time, and per entity a strict fail/recover alternation starting with a
+  // fail. Throws std::invalid_argument on the first violation. A schedule
+  // built through fail_at()/recover_at() always passes.
+  void validate() const;
 
  private:
   void insert(FailureEvent event);

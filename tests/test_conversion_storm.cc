@@ -1,0 +1,493 @@
+// Conversion under fire: the storm-tolerant executor layers.
+//
+// Three guarantees are load-bearing and pinned here:
+//   1. Live re-planning: data-plane failures concurrent with the step
+//      schedule re-route broken pairs instead of aborting, and a fully
+//      recovered storm leaves the installed routes bit-for-bit on plan.
+//   2. Stage checkpoints: gradual per-Pod stages each commit as a durable
+//      rollback point; an exhausted step rolls back to the last checkpoint
+//      (kPartial), and the terminal state is exactly that checkpoint.
+//   3. Controller failover: a standby takes over mid-conversion from
+//      durable state alone, re-issues the in-flight step, and the
+//      execution still terminates in a checkpointed mode.
+// Plus the channel-jitter contract: retry backoff jitter is decorrelated
+// from the drop stream, so it reshapes timing without touching outcomes.
+#include "control/conversion_exec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/flat_tree.h"
+#include "net/failures.h"
+#include "routing/path.h"
+
+namespace flattree {
+namespace {
+
+Controller testbed_controller(std::uint32_t k = 4) {
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  ControllerOptions options;
+  options.k_global = k;
+  options.k_local = k;
+  options.k_clos = k;
+  options.count_rules = false;
+  return Controller{FlatTree{p}, options};
+}
+
+std::vector<std::pair<NodeId, NodeId>> tracked_pairs(const Graph& graph,
+                                                     std::size_t stride = 3) {
+  const std::vector<NodeId> servers = graph.servers();
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (std::size_t i = 0; i < servers.size(); i += stride) {
+    pairs.emplace_back(servers[i],
+                       servers[(i + servers.size() / 2) % servers.size()]);
+  }
+  return pairs;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> link_multiset(
+    const Graph& g) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  for (std::uint32_t i = 0; i < g.link_count(); ++i) {
+    const Link& l = g.link(LinkId{i});
+    out.emplace_back(std::min(l.a.value(), l.b.value()),
+                     std::max(l.a.value(), l.b.value()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t count_violations(const ExecutionReport& report, ViolationKind k) {
+  return static_cast<std::size_t>(
+      std::count_if(report.violations.begin(), report.violations.end(),
+                    [k](const TransientViolation& v) { return v.kind == k; }));
+}
+
+// A fabric link of `graph` that some installed route of `mode` actually
+// crosses — failing it is guaranteed to break a tracked pair.
+LinkId route_fabric_link(const CompiledMode& mode,
+                         const std::pair<NodeId, NodeId>& pair,
+                         std::size_t hop = 1) {
+  const std::vector<Path> paths =
+      mode.paths().server_paths(pair.first, pair.second);
+  EXPECT_FALSE(paths.empty());
+  const Path& path = paths.front();
+  EXPECT_GT(path.size(), hop + 1);
+  const NodeId a = path[hop];
+  const NodeId b = path[hop + 1];
+  const Graph& g = mode.graph();
+  for (std::uint32_t i = 0; i < g.link_count(); ++i) {
+    const Link& l = g.link(LinkId{i});
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return LinkId{i};
+  }
+  ADD_FAILURE() << "no fabric link between consecutive route hops";
+  return LinkId{0};
+}
+
+// The terminal contract: the last timeline point runs exactly the terminal
+// checkpoint's mode — same physical graph, same canonical routes, per pair,
+// bit for bit.
+void expect_terminal_is_checkpoint(const Controller& ctl,
+                                   const ExecutionReport& report) {
+  ASSERT_FALSE(report.checkpoints.empty());
+  const CheckpointRecord& terminal = report.checkpoints.back();
+  EXPECT_EQ(report.terminal_assignment.pod_modes, terminal.assignment.pod_modes);
+  EXPECT_EQ(report.terminal_configs, terminal.configs);
+  const Graph realized = ctl.tree().realize(terminal.configs);
+  const TimelinePoint& last = report.timeline.back();
+  EXPECT_EQ(link_multiset(*last.graph), link_multiset(realized));
+  ASSERT_EQ(last.routes.size(), terminal.routes.size());
+  for (std::size_t i = 0; i < last.routes.size(); ++i) {
+    EXPECT_EQ(last.routes[i], terminal.routes[i]) << "pair " << i;
+  }
+}
+
+TEST(ConversionStorm, ReplansAroundFlapAndEndsOnPlan) {
+  const Controller ctl = testbed_controller();
+  const CompiledMode from = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode to = ctl.compile_uniform(PodMode::kGlobal);
+  const auto pairs = tracked_pairs(from.graph());
+  const ConversionExecutor exec{ctl, ConversionExecOptions{}};
+
+  // Calibrate storm times off the undisturbed execution.
+  const ExecutionReport clean = exec.execute(from, to, pairs);
+  ASSERT_EQ(clean.outcome, ConversionOutcome::kConverted);
+  const double T = clean.finish_s;
+
+  const LinkId victim = route_fabric_link(from, pairs.front());
+  FailureSchedule storm;
+  storm.fail_at(0.25 * T, FailureSet{{victim}, {}});
+  storm.recover_at(0.60 * T, FailureSet{{victim}, {}});
+
+  const ExecutionReport report =
+      exec.execute_under_storm(from, to, pairs, storm);
+
+  EXPECT_EQ(report.outcome, ConversionOutcome::kConverted);
+  EXPECT_GE(report.replans, 1u);
+  // At every boundary the executor had a chance to act, no reachable pair
+  // is black-holed and no route loops: every broken pair is re-planned at
+  // the fold boundary.
+  EXPECT_EQ(count_violations(report, ViolationKind::kBlackhole), 0u);
+  EXPECT_EQ(count_violations(report, ViolationKind::kLoop), 0u);
+  EXPECT_EQ(count_violations(report, ViolationKind::kDisconnected), 0u);
+  // The timeline binds the failure at its physical time, so the victim pair
+  // is dark for the detection latency (failure -> next boundary's re-plan)
+  // — but strictly less than the full outage a non-re-planning executor
+  // would eat.
+  ConversionExecOptions frozen_opts;
+  frozen_opts.live_replanning = false;
+  const ExecutionReport frozen = ConversionExecutor{ctl, frozen_opts}
+                                     .execute_under_storm(from, to, pairs, storm);
+  EXPECT_GT(frozen.total_blackhole_s, 0.0);
+  EXPECT_LT(report.total_blackhole_s, frozen.total_blackhole_s);
+  // Re-plan steps are marked as such.
+  EXPECT_TRUE(std::any_of(
+      report.steps.begin(), report.steps.end(),
+      [](const StepRecord& s) { return s.replan && s.ok; }));
+  // Terminal state: bit-for-bit the target plan (the storm recovered).
+  expect_terminal_is_checkpoint(ctl, report);
+  EXPECT_EQ(report.terminal_configs, to.configs());
+  const TimelinePoint& last = report.timeline.back();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(last.routes[i],
+              to.paths().server_paths(pairs[i].first, pairs[i].second));
+  }
+}
+
+TEST(ConversionStorm, DivergedRoutesReconcileOnRecovery) {
+  const Controller ctl = testbed_controller();
+  const CompiledMode from = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode to = ctl.compile_uniform(PodMode::kGlobal);
+  const auto pairs = tracked_pairs(from.graph());
+  const ConversionExecutor exec{ctl, ConversionExecOptions{}};
+  const double T = exec.execute(from, to, pairs).finish_s;
+
+  // Two victims on different tracked routes; the second one never recovers
+  // until very late, so mid-execution state is genuinely diverged.
+  const LinkId v1 = route_fabric_link(from, pairs.front());
+  const LinkId v2 = route_fabric_link(from, pairs.back());
+  FailureSchedule storm;
+  storm.fail_at(0.20 * T, FailureSet{{v1}, {}});
+  if (v2 != v1) storm.fail_at(0.30 * T, FailureSet{{v2}, {}});
+  storm.recover_at(0.55 * T, FailureSet{{v1}, {}});
+  if (v2 != v1) storm.recover_at(0.70 * T, FailureSet{{v2}, {}});
+
+  const ExecutionReport report =
+      exec.execute_under_storm(from, to, pairs, storm);
+  EXPECT_EQ(report.outcome, ConversionOutcome::kConverted);
+  EXPECT_GE(report.pairs_replanned, 1u);
+  EXPECT_EQ(count_violations(report, ViolationKind::kBlackhole), 0u);
+  expect_terminal_is_checkpoint(ctl, report);
+  EXPECT_EQ(report.terminal_configs, to.configs());
+}
+
+TEST(ConversionStorm, StageCheckpointsCommitPerPod) {
+  const Controller ctl = testbed_controller();
+  const CompiledMode from = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode to = ctl.compile_uniform(PodMode::kGlobal);
+  const auto pairs = tracked_pairs(from.graph());
+  ConversionExecOptions opts;
+  opts.stage_checkpoints = true;
+  const ConversionExecutor exec{ctl, opts};
+  const ExecutionReport report = exec.execute(from, to, pairs);
+
+  const auto pods =
+      static_cast<std::uint32_t>(from.assignment().pod_modes.size());
+  EXPECT_EQ(report.outcome, ConversionOutcome::kConverted);
+  EXPECT_EQ(report.stages_total, pods);  // one Pod converts per stage
+  EXPECT_EQ(report.stages_committed, pods);
+  ASSERT_EQ(report.checkpoints.size(), pods + 1);
+  // Checkpoints march one Pod at a time from origin to target, and the
+  // epoch counter counts committed stages.
+  for (std::size_t s = 0; s < report.checkpoints.size(); ++s) {
+    const CheckpointRecord& cp = report.checkpoints[s];
+    EXPECT_EQ(cp.stage, s);
+    EXPECT_EQ(cp.epoch, s);
+    const auto converted = static_cast<std::size_t>(std::count(
+        cp.assignment.pod_modes.begin(), cp.assignment.pod_modes.end(),
+        PodMode::kGlobal));
+    EXPECT_EQ(converted, s);
+  }
+  EXPECT_EQ(report.timeline.back().epoch, pods);
+  EXPECT_EQ(report.checkpoints.back().assignment.pod_modes,
+            to.assignment().pod_modes);
+  // Every intermediate boundary keeps every pair routed (the hybrid stages
+  // are real modes, driven through the same make-before-break protocol).
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.total_blackhole_s, 0.0);
+  expect_terminal_is_checkpoint(ctl, report);
+}
+
+TEST(ConversionStorm, ExhaustedStepRollsBackToLastCheckpointNotOrigin) {
+  const Controller ctl = testbed_controller();
+  const CompiledMode from = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode to = ctl.compile_uniform(PodMode::kGlobal);
+  const auto pairs = tracked_pairs(from.graph());
+  ConversionExecOptions opts;
+  opts.stage_checkpoints = true;
+  const ConversionExecutor exec{ctl, opts};
+
+  // The last stage's last OCS partition, from a clean reference run
+  // (StepRecord::partition carries the global partition index).
+  const ExecutionReport clean = exec.execute(from, to, pairs);
+  std::uint32_t last_partition = 0;
+  for (const StepRecord& s : clean.steps) {
+    if (s.kind == StepKind::kOcs && !s.rollback) {
+      last_partition = std::max(last_partition, s.partition);
+    }
+  }
+
+  ConversionFaults faults;
+  faults.fail_ocs_partitions = {last_partition};
+  const ExecutionReport report = exec.execute(from, to, pairs, faults);
+
+  EXPECT_EQ(report.outcome, ConversionOutcome::kPartial);
+  EXPECT_EQ(report.stages_committed, report.stages_total - 1);
+  ASSERT_EQ(report.checkpoints.size(), report.stages_committed + 1);
+  // The fabric landed on the *last checkpoint* — a hybrid mode with every
+  // Pod but one converted — not back at the origin.
+  const CheckpointRecord& terminal = report.checkpoints.back();
+  EXPECT_NE(terminal.assignment.pod_modes, from.assignment().pod_modes);
+  EXPECT_NE(terminal.assignment.pod_modes, to.assignment().pod_modes);
+  expect_terminal_is_checkpoint(ctl, report);
+  // The staged protocol keeps its transient guarantees through the
+  // rollback: no pair ever black-holes.
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.total_blackhole_s, 0.0);
+}
+
+TEST(ConversionStorm, FailoverStandbyResumesFromDurableState) {
+  const Controller ctl = testbed_controller();
+  const CompiledMode from = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode to = ctl.compile_uniform(PodMode::kGlobal);
+  const auto pairs = tracked_pairs(from.graph());
+  ConversionExecOptions opts;
+  opts.stage_checkpoints = true;
+  opts.channel.drop_probability = 0.02;
+  opts.seed = 11;
+  const ConversionExecutor exec{ctl, opts};
+  const double T = exec.execute(from, to, pairs).finish_s;
+
+  ConversionFaults faults;
+  faults.kill_primary_at_s = 0.45 * T;
+  const ExecutionReport report = exec.execute(from, to, pairs, faults);
+
+  EXPECT_EQ(report.failovers, 1u);
+  EXPECT_EQ(report.steps_reissued, 1u);
+  EXPECT_EQ(report.outcome, ConversionOutcome::kConverted);
+  EXPECT_TRUE(report.violations.empty());
+  // Exactly one takeover point: primary steps strictly before standby
+  // steps, and the re-issued confirm is the first standby step.
+  bool seen_standby = false;
+  for (const StepRecord& s : report.steps) {
+    if (s.standby) {
+      seen_standby = true;
+    } else {
+      EXPECT_FALSE(seen_standby) << "primary step after the takeover";
+    }
+  }
+  EXPECT_TRUE(seen_standby);
+  // The takeover costs promotion time but never epoch mixing: the terminal
+  // state is still bit-for-bit the target.
+  expect_terminal_is_checkpoint(ctl, report);
+  EXPECT_EQ(report.terminal_configs, to.configs());
+}
+
+TEST(ConversionStorm, FailoverDuringStormStillTerminatesCheckpointed) {
+  const Controller ctl = testbed_controller();
+  const CompiledMode from = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode to = ctl.compile_uniform(PodMode::kGlobal);
+  const auto pairs = tracked_pairs(from.graph());
+  ConversionExecOptions opts;
+  opts.stage_checkpoints = true;
+  opts.channel.drop_probability = 0.05;
+  opts.seed = 29;
+  const ConversionExecutor exec{ctl, opts};
+  const double T = exec.execute(from, to, pairs).finish_s;
+
+  const LinkId victim = route_fabric_link(from, pairs.front());
+  FailureSchedule storm;
+  storm.fail_at(0.30 * T, FailureSet{{victim}, {}});
+  storm.recover_at(0.50 * T, FailureSet{{victim}, {}});
+  ConversionFaults faults;
+  faults.kill_primary_at_s = 0.40 * T;
+
+  const ExecutionReport report =
+      exec.execute_under_storm(from, to, pairs, storm, faults);
+  EXPECT_EQ(report.failovers, 1u);
+  // Whatever the outcome at this loss rate, the terminal state is one of
+  // the checkpointed modes, exactly.
+  expect_terminal_is_checkpoint(ctl, report);
+  EXPECT_EQ(count_violations(report, ViolationKind::kBlackhole), 0u);
+  EXPECT_EQ(count_violations(report, ViolationKind::kLoop), 0u);
+}
+
+// Satellite: the compound fault. An OCS partition failure and a data-plane
+// link failure land on the in-flight stage in the same tick; the stage must
+// roll back to the last checkpoint and the terminal state must still be
+// bit-for-bit a checkpointed mode once the link recovers. (This test also
+// runs under ASan/UBSan and TSan in CI.)
+TEST(ConversionStorm, CompoundOcsAndLinkFaultSameTick) {
+  const Controller ctl = testbed_controller();
+  const CompiledMode from = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode to = ctl.compile_uniform(PodMode::kGlobal);
+  const auto pairs = tracked_pairs(from.graph());
+  ConversionExecOptions opts;
+  opts.stage_checkpoints = true;
+  const ConversionExecutor exec{ctl, opts};
+
+  // From the clean run, take the last stage's final OCS pass and schedule
+  // the link failure at exactly its start time: both faults hit the same
+  // execution tick of an in-flight (uncommitted) stage.
+  const ExecutionReport clean = exec.execute(from, to, pairs);
+  std::uint32_t last_partition = 0;
+  double ocs_start = 0.0;
+  for (const StepRecord& s : clean.steps) {
+    if (s.kind == StepKind::kOcs && !s.rollback &&
+        s.partition >= last_partition) {
+      last_partition = s.partition;
+      ocs_start = s.start_s;
+    }
+  }
+  const LinkId victim = route_fabric_link(from, pairs.front());
+  FailureSchedule storm;
+  storm.fail_at(ocs_start, FailureSet{{victim}, {}});
+  storm.recover_at(ocs_start + 1.0, FailureSet{{victim}, {}});
+  ConversionFaults faults;
+  faults.fail_ocs_partitions = {last_partition};
+
+  const ExecutionReport report =
+      exec.execute_under_storm(from, to, pairs, storm, faults);
+
+  EXPECT_EQ(report.outcome, ConversionOutcome::kPartial);
+  EXPECT_EQ(report.stages_committed, report.stages_total - 1);
+  EXPECT_EQ(count_violations(report, ViolationKind::kBlackhole), 0u);
+  EXPECT_EQ(count_violations(report, ViolationKind::kLoop), 0u);
+  // The link recovered during the rollback, so the terminal state is
+  // exactly the last checkpoint: graph, configs and routes, bit for bit.
+  expect_terminal_is_checkpoint(ctl, report);
+}
+
+// Satellite: deterministic decorrelated jitter. The jitter stream only
+// shapes retry *timing*; every delivery outcome (attempt counts, drops,
+// step success, conversion outcome) is identical across jitter settings
+// because the drop stream never sees a jitter draw.
+TEST(ConversionStorm, JitterReshapesTimingWithoutTouchingOutcomes) {
+  const Controller ctl = testbed_controller();
+  const CompiledMode from = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode to = ctl.compile_uniform(PodMode::kGlobal);
+  const auto pairs = tracked_pairs(from.graph());
+
+  ConversionExecOptions a;
+  a.channel.drop_probability = 0.20;
+  a.channel.jitter = 0.0;
+  a.seed = 7;
+  ConversionExecOptions b = a;
+  b.channel.jitter = 0.30;
+
+  const ExecutionReport ra = ConversionExecutor{ctl, a}.execute(from, to, pairs);
+  const ExecutionReport rb = ConversionExecutor{ctl, b}.execute(from, to, pairs);
+
+  EXPECT_EQ(ra.outcome, rb.outcome);
+  EXPECT_EQ(ra.retries, rb.retries);
+  EXPECT_EQ(ra.messages_dropped, rb.messages_dropped);
+  EXPECT_EQ(ra.steps_failed, rb.steps_failed);
+  ASSERT_EQ(ra.steps.size(), rb.steps.size());
+  bool any_retry = false;
+  for (std::size_t i = 0; i < ra.steps.size(); ++i) {
+    EXPECT_EQ(ra.steps[i].kind, rb.steps[i].kind);
+    EXPECT_EQ(ra.steps[i].attempts, rb.steps[i].attempts);
+    EXPECT_EQ(ra.steps[i].ok, rb.steps[i].ok);
+    EXPECT_EQ(ra.steps[i].rules_added, rb.steps[i].rules_added);
+    EXPECT_EQ(ra.steps[i].rules_deleted, rb.steps[i].rules_deleted);
+    if (ra.steps[i].attempts > 1) any_retry = true;
+  }
+  ASSERT_TRUE(any_retry);  // at 20% loss the seed must produce retries
+  // Jitter strictly shortens backoff waits, so the jittered run finishes
+  // earlier — timing moved, outcomes did not.
+  EXPECT_LT(rb.finish_s, ra.finish_s);
+}
+
+TEST(ConversionStorm, ZeroDropRunsAreByteIdenticalAcrossJitter) {
+  const Controller ctl = testbed_controller();
+  const CompiledMode from = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode to = ctl.compile_uniform(PodMode::kGlobal);
+  const auto pairs = tracked_pairs(from.graph());
+  ConversionExecOptions a;
+  a.channel.jitter = 0.0;
+  ConversionExecOptions b;
+  b.channel.jitter = 1.0;
+  const ExecutionReport ra = ConversionExecutor{ctl, a}.execute(from, to, pairs);
+  const ExecutionReport rb = ConversionExecutor{ctl, b}.execute(from, to, pairs);
+  // No retry ever happens, so no jitter is ever drawn: identical timings.
+  ASSERT_EQ(ra.steps.size(), rb.steps.size());
+  for (std::size_t i = 0; i < ra.steps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.steps[i].finish_s, rb.steps[i].finish_s);
+  }
+  EXPECT_DOUBLE_EQ(ra.finish_s, rb.finish_s);
+}
+
+TEST(ConversionStorm, ApiValidation) {
+  const Controller ctl = testbed_controller();
+  const CompiledMode from = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode to = ctl.compile_uniform(PodMode::kGlobal);
+  const auto pairs = tracked_pairs(from.graph());
+
+  ControlChannelOptions ch;
+  ch.jitter = -0.1;
+  EXPECT_THROW(ch.validate(), std::invalid_argument);
+  ch.jitter = 1.5;
+  EXPECT_THROW(ch.validate(), std::invalid_argument);
+
+  // stage_checkpoints requires the staged protocol.
+  ConversionExecOptions opts;
+  opts.staged = false;
+  opts.stage_checkpoints = true;
+  const ConversionExecutor bad{ctl, opts};
+  EXPECT_THROW((void)bad.execute(from, to, pairs), std::invalid_argument);
+
+  // Storm link ids must name links of the origin realization, and storm
+  // switches must be switches.
+  const ConversionExecutor exec{ctl, ConversionExecOptions{}};
+  FailureSchedule out_of_range;
+  out_of_range.fail_at(0.1,
+                       FailureSet{{LinkId{from.graph().link_count()}}, {}});
+  EXPECT_THROW(
+      (void)exec.execute_under_storm(from, to, pairs, out_of_range),
+      std::invalid_argument);
+  FailureSchedule server_storm;
+  server_storm.fail_at(0.1, FailureSet{{}, {from.graph().servers().front()}});
+  EXPECT_THROW(
+      (void)exec.execute_under_storm(from, to, pairs, server_storm),
+      std::invalid_argument);
+}
+
+TEST(ConversionStorm, EmptyStormMatchesPlainExecute) {
+  const Controller ctl = testbed_controller();
+  const CompiledMode from = ctl.compile_uniform(PodMode::kClos);
+  const CompiledMode to = ctl.compile_uniform(PodMode::kGlobal);
+  const auto pairs = tracked_pairs(from.graph());
+  ConversionExecOptions opts;
+  opts.channel.drop_probability = 0.05;
+  opts.seed = 3;
+  const ConversionExecutor exec{ctl, opts};
+  const ExecutionReport plain = exec.execute(from, to, pairs);
+  const ExecutionReport storm =
+      exec.execute_under_storm(from, to, pairs, FailureSchedule{});
+  ASSERT_EQ(plain.steps.size(), storm.steps.size());
+  for (std::size_t i = 0; i < plain.steps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.steps[i].finish_s, storm.steps[i].finish_s);
+    EXPECT_EQ(plain.steps[i].attempts, storm.steps[i].attempts);
+  }
+  EXPECT_EQ(plain.replans, storm.replans);
+  EXPECT_DOUBLE_EQ(plain.finish_s, storm.finish_s);
+}
+
+}  // namespace
+}  // namespace flattree

@@ -169,7 +169,7 @@ TEST(FailureSchedule, EventsSortedStably) {
   FailureSchedule schedule;
   schedule.fail_at(2.0, FailureSet{{LinkId{2}}, {}});
   schedule.fail_at(1.0, FailureSet{{LinkId{0}}, {}});
-  schedule.recover_at(1.0, FailureSet{{LinkId{1}}, {}});
+  schedule.recover_at(1.0, FailureSet{{LinkId{0}}, {}});
   ASSERT_EQ(schedule.events().size(), 3u);
   EXPECT_DOUBLE_EQ(schedule.events()[0].time_s, 1.0);
   // Equal timestamps keep insertion order: the fail added first stays first.
@@ -192,10 +192,56 @@ TEST(FailureSchedule, ActiveAtAccumulates) {
   EXPECT_EQ(late.switches.size(), 1u);
 }
 
-TEST(FailureSchedule, RecoverWithoutFailIsNoop) {
+TEST(FailureSchedule, RejectsRecoverBeforeFail) {
+  // Recovering an element that was never failed used to be a silent no-op;
+  // it is now rejected at construction time, and the rejected event leaves
+  // the schedule untouched.
   FailureSchedule schedule;
-  schedule.recover_at(1.0, FailureSet{{LinkId{3}}, {NodeId{2}}});
-  EXPECT_TRUE(schedule.active_at(5.0).empty());
+  EXPECT_THROW(schedule.recover_at(1.0, FailureSet{{LinkId{3}}, {NodeId{2}}}),
+               std::invalid_argument);
+  EXPECT_TRUE(schedule.empty());
+  // Recover scheduled before (or colliding into the slot ahead of) the
+  // element's fail is the same violation, even when inserted fail-first.
+  schedule.fail_at(2.0, FailureSet{{LinkId{3}}, {}});
+  EXPECT_THROW(schedule.recover_at(1.0, FailureSet{{LinkId{3}}, {}}),
+               std::invalid_argument);
+  EXPECT_EQ(schedule.events().size(), 1u);
+}
+
+TEST(FailureSchedule, RejectsDuplicateFailWithoutRecover) {
+  FailureSchedule schedule;
+  schedule.fail_at(1.0, FailureSet{{LinkId{0}}, {NodeId{7}}});
+  EXPECT_THROW(schedule.fail_at(2.0, FailureSet{{LinkId{0}}, {}}),
+               std::invalid_argument);
+  EXPECT_THROW(schedule.fail_at(2.0, FailureSet{{}, {NodeId{7}}}),
+               std::invalid_argument);
+  // A fail landing *before* the existing fail is the same double-fail.
+  EXPECT_THROW(schedule.fail_at(0.5, FailureSet{{LinkId{0}}, {}}),
+               std::invalid_argument);
+  // After a recover the element may fail again (flap).
+  schedule.recover_at(2.0, FailureSet{{LinkId{0}}, {}});
+  schedule.fail_at(3.0, FailureSet{{LinkId{0}}, {}});
+  EXPECT_EQ(schedule.events().size(), 3u);
+  ASSERT_EQ(schedule.active_at(5.0).links.size(), 1u);
+}
+
+TEST(FailureSchedule, RejectsDuplicateElementInOneEvent) {
+  FailureSchedule schedule;
+  EXPECT_THROW(schedule.fail_at(1.0, FailureSet{{LinkId{4}, LinkId{4}}, {}}),
+               std::invalid_argument);
+  EXPECT_THROW(schedule.fail_at(1.0, FailureSet{{}, {NodeId{4}, NodeId{4}}}),
+               std::invalid_argument);
+  EXPECT_TRUE(schedule.empty());
+}
+
+TEST(FailureSchedule, ValidatePassesConstructedSchedules) {
+  FailureSchedule schedule;
+  schedule.fail_at(1.0, FailureSet{{LinkId{0}}, {NodeId{3}}});
+  schedule.recover_at(2.0, FailureSet{{LinkId{0}}, {}});
+  schedule.fail_at(2.5, FailureSet{{LinkId{0}}, {}});
+  schedule.recover_at(3.0, FailureSet{{LinkId{0}}, {NodeId{3}}});
+  EXPECT_NO_THROW(schedule.validate());
+  EXPECT_NO_THROW(FailureSchedule{}.validate());
 }
 
 TEST(FailureSchedule, NegativeTimeThrows) {
@@ -437,15 +483,19 @@ TEST(SameTimestampFailRecover, FluidNeverObservesTheOutage) {
 }
 
 TEST(SameTimestampFailRecover, FluidInsertionOrderBreaksTies) {
-  // Reversed insertion at the same timestamp: the recover lands first (a
-  // no-op on a healthy link), then the fail applies — the batch's net state
-  // is "failed" and the flow stalls until the later recovery.
+  // A flap whose recover collides with the next fail: at t=0.2 the recover
+  // (inserted first) lands first, then the fail re-applies — the batch's
+  // net state is "failed", so the outage that started at t=0.1 runs
+  // unbroken until the final recovery. If equal-timestamp events applied
+  // in reverse insertion order the link would be UP after 0.2 and the flow
+  // would finish ~0.8 s earlier.
   ScheduleDumbbell net;
   auto cache = std::make_shared<PathCache>(net.g, 1);
   const auto provider = [cache](NodeId s, NodeId d, std::uint32_t) {
     return cache->server_paths(s, d);
   };
   FailureSchedule schedule;
+  schedule.fail_at(0.1, FailureSet{{net.bottleneck}, {}});
   schedule.recover_at(0.2, FailureSet{{net.bottleneck}, {}});
   schedule.fail_at(0.2, FailureSet{{net.bottleneck}, {}});
   schedule.recover_at(1.0, FailureSet{{net.bottleneck}, {}});
@@ -453,8 +503,8 @@ TEST(SameTimestampFailRecover, FluidInsertionOrderBreaksTies) {
   const Workload flows{Flow{.src = 0, .dst = 1, .bytes = 1e7}};
   const auto results = sim.run_with_schedule(flows, schedule, 0.05, nullptr);
   ASSERT_TRUE(results[0].completed);
-  // 0.2 s of progress, a 0.8 s outage, the remaining 0.6 s.
-  EXPECT_NEAR(results[0].fct_s(), 1.6, 1e-6);
+  // 0.1 s of progress, a 0.9 s outage, the remaining 0.7 s.
+  EXPECT_NEAR(results[0].fct_s(), 1.7, 1e-6);
 }
 
 TEST(SameTimestampFailRecover, PacketNeverObservesTheOutage) {
