@@ -29,7 +29,8 @@ echo "== sanitizer gate (preset: ${SANITIZE_PRESET}) =="
 cmake --preset "${SANITIZE_PRESET}"
 cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
   --target test_exec test_obs test_ksp_properties test_event_queue \
-           test_packet_diff test_conversion_exec test_conversion_storm
+           test_packet_diff test_conversion_exec test_conversion_storm \
+           test_autopilot
 "./build-${SANITIZE_PRESET}/tests/test_exec"
 "./build-${SANITIZE_PRESET}/tests/test_obs"
 "./build-${SANITIZE_PRESET}/tests/test_ksp_properties"
@@ -47,11 +48,14 @@ cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
 # every execution must terminate bit-for-bit on a checkpointed mode,
 # sanitizer-clean.
 "./build-${SANITIZE_PRESET}/tests/test_conversion_storm"
+# The closed loop: estimator folds, candidate pricing (nested fluid runs),
+# decision-log replay and staged conversions, sanitizer-clean.
+"./build-${SANITIZE_PRESET}/tests/test_autopilot"
 
 if [ "${SANITIZE_PRESET}" = "tsan" ]; then
   cmake --build build-tsan -j "${JOBS}" \
     --target bench_ablation_mn bench_failure_recovery bench_conversion_churn \
-             bench_conversion_storm
+             bench_conversion_storm bench_autopilot
   ./build-tsan/bench/bench_ablation_mn --threads 4 --json-out none \
     > /dev/null
   # Concurrent metric/trace recording from pool workers under TSan.
@@ -71,6 +75,12 @@ if [ "${SANITIZE_PRESET}" = "tsan" ]; then
   ./build-tsan/bench/bench_conversion_storm --threads 4 --json-out none \
     --metrics-out "${obs_tmp}/storm_metrics.json" \
     --trace-out "${obs_tmp}/storm_trace.json" > /dev/null
+  # Twelve autopilot cells (closed loop, statics, oracle, thrash arms)
+  # fanned across pool workers, each cell nesting fluid pricing runs and
+  # staged conversions while autopilot.* metrics record concurrently.
+  ./build-tsan/bench/bench_autopilot --threads 4 --json-out none \
+    --metrics-out "${obs_tmp}/autopilot_metrics.json" \
+    --trace-out "${obs_tmp}/autopilot_trace.json" > /dev/null
   rm -rf "${obs_tmp}"
 fi
 

@@ -1,21 +1,85 @@
 #include "control/advisor.h"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace flattree {
+namespace {
+
+void check_fraction(double v, const char* field) {
+  if (std::isnan(v) || v < 0.0 || v > 1.0) {
+    throw std::invalid_argument(std::string("AdvisorOptions.") + field +
+                                ": must be in [0, 1] and not NaN");
+  }
+}
+
+void check_bytes(double v, const char* context, const char* field) {
+  if (std::isnan(v)) {
+    throw std::invalid_argument(std::string(context) + "." + field +
+                                ": NaN demand");
+  }
+  if (v < 0.0) {
+    throw std::invalid_argument(std::string(context) + "." + field +
+                                ": negative demand");
+  }
+}
+
+}  // namespace
+
+void AdvisorOptions::validate() const {
+  check_fraction(rack_threshold, "rack_threshold");
+  check_fraction(pod_threshold, "pod_threshold");
+}
+
+void PodTrafficProfile::validate(const char* context) const {
+  check_bytes(intra_rack, context, "intra_rack");
+  check_bytes(intra_pod, context, "intra_pod");
+  check_bytes(inter_pod, context, "inter_pod");
+  check_bytes(total_bytes, context, "total_bytes");
+  // The components partition the total; allow rounding slack proportional
+  // to the magnitude (EWMA-decayed profiles accumulate float error).
+  const double sum = intra_rack + intra_pod + inter_pod;
+  const double slack = 1e-6 * std::max(1.0, total_bytes);
+  if (sum > total_bytes + slack) {
+    throw std::invalid_argument(
+        std::string(context) +
+        ": locality components exceed total_bytes (" + std::to_string(sum) +
+        " > " + std::to_string(total_bytes) + ")");
+  }
+}
+
+void Advice::validate() const {
+  if (assignment.pod_modes.size() != per_pod.size()) {
+    throw std::invalid_argument(
+        "Advice: assignment covers " +
+        std::to_string(assignment.pod_modes.size()) + " Pods but " +
+        std::to_string(per_pod.size()) + " profiles present");
+  }
+  for (std::size_t p = 0; p < per_pod.size(); ++p) {
+    const std::string context = "Advice.per_pod[" + std::to_string(p) + "]";
+    per_pod[p].validate(context.c_str());
+  }
+}
 
 PodMode PodTrafficProfile::recommended(const AdvisorOptions& options) const {
-  if (total_bytes <= 0) return PodMode::kGlobal;
+  if (!(total_bytes > 0)) return PodMode::kGlobal;
   const double rack = intra_rack / total_bytes;
   const double pod = (intra_rack + intra_pod) / total_bytes;
-  if (rack >= options.rack_threshold) return PodMode::kClos;
-  if (pod >= options.pod_threshold) return PodMode::kLocal;
+  // Explicit qualification + tie order (see the header): a fraction equal
+  // to its threshold qualifies, and of the qualifying modes the most local
+  // one wins — Clos before local before global.
+  const bool clos_qualifies = rack >= options.rack_threshold;
+  const bool local_qualifies = pod >= options.pod_threshold;
+  if (clos_qualifies) return PodMode::kClos;
+  if (local_qualifies) return PodMode::kLocal;
   return PodMode::kGlobal;
 }
 
 Advice advise_modes(const ClosParams& layout, const Workload& flows,
                     const AdvisorOptions& options) {
   layout.validate();
+  options.validate();
   const std::uint32_t per_rack = layout.servers_per_edge;
   const std::uint32_t per_pod = per_rack * layout.edge_per_pod;
   const std::uint32_t servers = layout.total_servers();

@@ -23,6 +23,10 @@ struct AdvisorOptions {
   // mode to win, or inside the Pod (rack included) for local mode to win.
   double rack_threshold{0.5};
   double pod_threshold{0.5};
+
+  // Rejects NaN or out-of-[0, 1] thresholds with a per-field diagnostic
+  // (std::invalid_argument). Called by advise_modes.
+  void validate() const;
 };
 
 // Byte-weighted locality of the traffic touching one Pod.
@@ -32,13 +36,35 @@ struct PodTrafficProfile {
   double inter_pod{0.0};
   double total_bytes{0.0};
 
+  // Mode recommendation with an *explicit* tie order so closed-loop
+  // decisions are seed- and platform-stable (mirroring the determinism
+  // contract everywhere else in the tree):
+  //   1. a fraction landing exactly on its threshold qualifies (>=, never >),
+  //   2. when several modes qualify, the most local wins: Clos > local >
+  //      global (rack locality implies Pod locality, so a rack-local Pod
+  //      always qualifies for both; the tie rule makes the winner explicit
+  //      instead of an artifact of branch ordering),
+  //   3. a Pod with no traffic recommends global (it only serves transit).
+  // Pinned by Advisor.TieBreak* in tests/test_advisor.cc.
   [[nodiscard]] PodMode recommended(const AdvisorOptions& options) const;
+
+  // Rejects negative or NaN entries, and component sums exceeding
+  // total_bytes beyond rounding slack, each with a per-field diagnostic
+  // (std::invalid_argument) — mirroring FailureSchedule::validate for
+  // profiles that crossed a trust boundary (e.g. a demand estimate handed
+  // to the policy engine). `context` prefixes the diagnostic.
+  void validate(const char* context = "PodTrafficProfile") const;
 };
 
 struct Advice {
   ModeAssignment assignment;              // per-Pod recommendation
   std::vector<PodTrafficProfile> per_pod;
   PodMode uniform{PodMode::kClos};        // single-mode recommendation
+
+  // Structural + per-profile validation: assignment and per_pod must be
+  // parallel, and every profile must pass PodTrafficProfile::validate.
+  // Throws std::invalid_argument with the offending Pod in the diagnostic.
+  void validate() const;
 };
 
 // Profiles `flows` against the Clos layout (positional rack/Pod membership,

@@ -388,6 +388,16 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
     }
 
     double next_time = std::min(now + dt_complete, change_t);
+    // Zeno stall guard: a flow tail can sit just above the retirement
+    // threshold with a completion increment smaller than one ulp of `now`,
+    // so `now + dt_complete` rounds back to `now` and the loop spins with
+    // dt == 0 forever. Force the minimal representable step; it drains at
+    // least rate * ulp / 8 bytes, which exceeds any remainder whose drain
+    // time rounds to zero, so the stuck flow retires.
+    if (std::isfinite(dt_complete) && next_time <= now) {
+      next_time =
+          std::nextafter(now, std::numeric_limits<double>::infinity());
+    }
     bool horizon_hit = false;
     if (next_time > options_.max_time_s) {
       next_time = options_.max_time_s;
@@ -456,6 +466,26 @@ std::vector<CoflowStats> coflow_completion_times(
     out.push_back(stats);
   }
   return out;
+}
+
+std::vector<obs::FlowRecord> collect_flow_records(
+    const Workload& flows, const std::vector<FluidFlowResult>& results) {
+  if (flows.size() != results.size()) {
+    throw std::invalid_argument("collect_flow_records: result size mismatch");
+  }
+  std::vector<obs::FlowRecord> records;
+  records.reserve(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    obs::FlowRecord r;
+    r.src = flows[i].src;
+    r.dst = flows[i].dst;
+    r.completed = results[i].completed;
+    r.bytes = results[i].completed ? flows[i].bytes : 0.0;
+    r.start_s = results[i].start_s;
+    r.fct_s = results[i].completed ? results[i].fct_s() : 0.0;
+    records.push_back(r);
+  }
+  return records;
 }
 
 }  // namespace flattree

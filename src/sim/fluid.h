@@ -24,6 +24,7 @@
 #include "net/failures.h"
 #include "net/graph.h"
 #include "obs/sink.h"
+#include "obs/telemetry.h"
 #include "routing/path.h"
 #include "traffic/flow.h"
 
@@ -70,6 +71,16 @@ struct FluidOptions {
 // the span from the earliest member start to the latest member finish (the
 // application-level metric for shuffle jobs; see Flow::group).
 [[nodiscard]] std::vector<CoflowStats> coflow_completion_times(
+    const Workload& flows, const std::vector<FluidFlowResult>& results);
+
+// Per-flow telemetry export (obs/telemetry.h): one FlowRecord per workload
+// flow, in flow order. Completed flows report their full size and FCT;
+// unfinished flows report zero delivered bytes (the fluid model has no
+// partial-delivery accounting). `results` must be parallel to `flows`, as
+// returned by run()/run_with_schedule(). This is the fluid half of the
+// per-pair counter feed the demand estimator folds; the packet half is
+// PacketSim::export_flow_records.
+[[nodiscard]] std::vector<obs::FlowRecord> collect_flow_records(
     const Workload& flows, const std::vector<FluidFlowResult>& results);
 
 // Called when the control plane refreshes routing state after a failure or

@@ -618,6 +618,22 @@ std::uint64_t PacketSim::total_bytes_acked() const {
   return total;
 }
 
+std::vector<obs::FlowRecord> PacketSim::export_flow_records() const {
+  std::vector<obs::FlowRecord> records;
+  records.reserve(flows_.size());
+  for (const SimFlow& flow : flows_) {
+    obs::FlowRecord r;
+    r.src = flow.src;
+    r.dst = flow.dst;
+    r.bytes = static_cast<double>(flow.bytes_acked);
+    r.start_s = flow.start_s;
+    r.completed = flow.done;
+    r.fct_s = flow.done ? flow.finish_s - flow.start_s : 0.0;
+    records.push_back(r);
+  }
+  return records;
+}
+
 void run_with_schedule(
     PacketSim& sim, const Graph& base, const FailureSchedule& schedule,
     const std::function<std::vector<Path>(std::uint32_t, const Graph&)>&

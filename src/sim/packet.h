@@ -34,6 +34,7 @@
 #include "net/failures.h"
 #include "net/graph.h"
 #include "obs/sink.h"
+#include "obs/telemetry.h"
 #include "routing/path.h"
 #include "sim/event_queue.h"
 
@@ -143,6 +144,11 @@ class PacketSim {
   [[nodiscard]] double flow_start_time(std::uint32_t flow) const;
   [[nodiscard]] double flow_finish_time(std::uint32_t flow) const;
   [[nodiscard]] std::uint64_t total_bytes_acked() const;
+  // Per-flow telemetry (obs/telemetry.h), one record per flow in flow
+  // order. Bytes are the transport-acked count at the current simulated
+  // time, so an in-progress flow reports its partial delivery — the packet
+  // half of the per-pair counter feed the demand estimator folds.
+  [[nodiscard]] std::vector<obs::FlowRecord> export_flow_records() const;
   [[nodiscard]] std::uint64_t packets_dropped() const { return drops_; }
   [[nodiscard]] std::uint64_t events_processed() const { return events_done_; }
   [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }

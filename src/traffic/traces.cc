@@ -1,9 +1,48 @@
 #include "traffic/traces.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace flattree {
+namespace {
+
+// Pareto xm for a target mean: mean = alpha * xm / (alpha - 1).
+double pareto_xm(double mean, double alpha) {
+  return mean * (alpha - 1) / alpha;
+}
+
+// Destination draw with the shared locality semantics: intra-rack with
+// probability `rack_frac`, intra-Pod (cross-rack) with `pod_frac`, the
+// rest inter-Pod. Identical logic to generate_trace's inline version.
+std::uint32_t pick_dst(std::uint32_t src, std::uint32_t servers,
+                       std::uint32_t per_rack, std::uint32_t per_pod,
+                       double rack_frac, double pod_frac, Rng& rng) {
+  const std::uint32_t rack = src / per_rack;
+  const std::uint32_t pod = src / per_pod;
+  const double locality = rng.next_double();
+  std::uint32_t dst = src;
+  if (locality < rack_frac && per_rack > 1) {
+    while (dst == src) {
+      dst = rack * per_rack +
+            static_cast<std::uint32_t>(rng.next_below(per_rack));
+    }
+  } else if (locality < rack_frac + pod_frac && per_pod > per_rack) {
+    do {
+      dst = pod * per_pod +
+            static_cast<std::uint32_t>(rng.next_below(per_pod));
+    } while (dst / per_rack == rack);
+  } else {
+    do {
+      dst = static_cast<std::uint32_t>(rng.next_below(servers));
+    } while (dst / per_pod == pod);
+  }
+  return dst;
+}
+
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+}  // namespace
 
 TraceParams TraceParams::hadoop1() {
   TraceParams p;
@@ -113,6 +152,180 @@ Workload generate_trace(const ClosParams& layout, const TraceParams& params) {
   if (flows.empty()) {
     throw std::invalid_argument("trace: duration too short for any arrival");
   }
+  return flows;
+}
+
+Workload generate_modulated_trace(const ClosParams& layout,
+                                  const ModulatedTraceParams& params) {
+  const auto check = [](const TraceParams& p, const char* which) {
+    if (p.intra_rack_frac < 0 || p.intra_pod_frac < 0 ||
+        p.intra_rack_frac + p.intra_pod_frac > 1.0 + 1e-9) {
+      throw std::invalid_argument(
+          std::string("modulated trace: ") + which +
+          " locality fractions out of range");
+    }
+    if (p.flows_per_s <= 0 || p.mean_flow_bytes <= 0 || p.pareto_alpha <= 1) {
+      throw std::invalid_argument(std::string("modulated trace: ") + which +
+                                  " rate/size parameters out of range");
+    }
+  };
+  check(params.low, "low");
+  check(params.high, "high");
+  if (params.duration_s <= 0) {
+    throw std::invalid_argument("modulated trace: duration must be positive");
+  }
+  if (params.shape != ModulatedTraceParams::Shape::kRamp &&
+      params.period_s <= 0) {
+    throw std::invalid_argument("modulated trace: period must be positive");
+  }
+  const std::uint32_t servers = layout.total_servers();
+  const std::uint32_t per_rack = layout.servers_per_edge;
+  const std::uint32_t per_pod = per_rack * layout.edge_per_pod;
+  if (servers < 2 * per_pod) {
+    throw std::invalid_argument("modulated trace: need at least 2 pods");
+  }
+
+  const auto blend_at = [&](double t) -> double {
+    switch (params.shape) {
+      case ModulatedTraceParams::Shape::kRamp:
+        return t / params.duration_s;
+      case ModulatedTraceParams::Shape::kSine:
+        return 0.5 * (1.0 - std::cos(2.0 * 3.14159265358979323846 * t /
+                                     params.period_s));
+      case ModulatedTraceParams::Shape::kSquare:
+        return static_cast<std::uint64_t>(t / (0.5 * params.period_s)) % 2 ==
+                       0
+                   ? 0.0
+                   : 1.0;
+    }
+    return 0.0;
+  };
+
+  Rng rng{params.seed};
+  // Time-varying Poisson arrivals via thinning against the peak rate: the
+  // accept draw happens for every candidate, so the stream stays
+  // deterministic whatever a(t) does.
+  const double peak_rate =
+      std::max(params.low.flows_per_s, params.high.flows_per_s);
+  Workload flows;
+  double t = 0;
+  for (;;) {
+    t += rng.next_exponential(peak_rate);
+    if (t >= params.duration_s) break;
+    const double a = blend_at(t);
+    const double rate =
+        lerp(params.low.flows_per_s, params.high.flows_per_s, a);
+    const double accept = rng.next_double();
+    if (accept >= rate / peak_rate) continue;
+
+    const double rack_frac =
+        lerp(params.low.intra_rack_frac, params.high.intra_rack_frac, a);
+    const double pod_frac =
+        lerp(params.low.intra_pod_frac, params.high.intra_pod_frac, a);
+    const double mean =
+        lerp(params.low.mean_flow_bytes, params.high.mean_flow_bytes, a);
+    const double alpha =
+        lerp(params.low.pareto_alpha, params.high.pareto_alpha, a);
+
+    Flow flow;
+    flow.src = static_cast<std::uint32_t>(rng.next_below(servers));
+    flow.dst = pick_dst(flow.src, servers, per_rack, per_pod, rack_frac,
+                        pod_frac, rng);
+    flow.bytes = std::min(rng.next_pareto(alpha, pareto_xm(mean, alpha)),
+                          1e10);
+    flow.start_s = t;
+    flows.push_back(flow);
+  }
+  if (flows.empty()) {
+    throw std::invalid_argument(
+        "modulated trace: duration too short for any arrival");
+  }
+  return flows;
+}
+
+Workload generate_tenant_churn(const ClosParams& layout,
+                               const TenantChurnParams& params) {
+  if (params.duration_s <= 0 || params.arrivals_per_s <= 0 ||
+      params.mean_lifetime_s <= 0 || params.flows_per_s <= 0 ||
+      params.mean_flow_bytes <= 0 || params.pareto_alpha <= 1 ||
+      params.racks_per_tenant == 0) {
+    throw std::invalid_argument("tenant churn: parameters out of range");
+  }
+  if (params.rack_local_frac < 0 || params.rack_local_frac > 1 ||
+      params.pod_local_frac < 0 || params.pod_local_frac > 1) {
+    throw std::invalid_argument("tenant churn: locality fractions out of range");
+  }
+  const std::uint32_t servers = layout.total_servers();
+  const std::uint32_t per_rack = layout.servers_per_edge;
+  const std::uint32_t per_pod = per_rack * layout.edge_per_pod;
+  const std::uint32_t racks = layout.total_edges();
+  if (servers < 2 * per_pod) {
+    throw std::invalid_argument("tenant churn: need at least 2 pods");
+  }
+  const std::uint32_t span_racks =
+      std::min(params.racks_per_tenant, racks);
+  const double xm = pareto_xm(params.mean_flow_bytes, params.pareto_alpha);
+
+  Rng rng{params.seed};
+  Workload flows;
+  std::uint32_t tenant = 0;
+  double arrive = 0;
+  for (;;) {
+    arrive += rng.next_exponential(params.arrivals_per_s);
+    if (arrive >= params.duration_s) break;
+    const double depart = std::min(
+        arrive + rng.next_exponential(1.0 / params.mean_lifetime_s),
+        params.duration_s);
+    // Placement rotates around the fabric; type cycles rack-local ->
+    // Pod-local -> network-wide in arrival order.
+    const std::uint32_t first_rack = (tenant * span_racks) % racks;
+    const std::uint32_t type = tenant % 3;
+    ++tenant;
+
+    const auto span_server = [&]() -> std::uint32_t {
+      const std::uint32_t rack =
+          (first_rack + static_cast<std::uint32_t>(
+                            rng.next_below(span_racks))) %
+          racks;
+      return rack * per_rack +
+             static_cast<std::uint32_t>(rng.next_below(per_rack));
+    };
+
+    double t = arrive;
+    for (;;) {
+      t += rng.next_exponential(params.flows_per_s);
+      if (t >= depart) break;
+      Flow flow;
+      flow.src = span_server();
+      switch (type) {
+        case 0:  // rack-local tenant (Hadoop-2-like)
+          flow.dst = pick_dst(flow.src, servers, per_rack, per_pod,
+                              params.rack_local_frac,
+                              1.0 - params.rack_local_frac, rng);
+          break;
+        case 1:  // Pod-local tenant (Web-like)
+          flow.dst = pick_dst(flow.src, servers, per_rack, per_pod, 0.0,
+                              params.pod_local_frac, rng);
+          break;
+        default:  // network-wide tenant (Hadoop-1-like)
+          flow.dst = pick_dst(flow.src, servers, per_rack, per_pod, 0.0,
+                              0.0, rng);
+          break;
+      }
+      flow.bytes =
+          std::min(rng.next_pareto(params.pareto_alpha, xm), 1e10);
+      flow.start_s = t;
+      flows.push_back(flow);
+    }
+  }
+  if (flows.empty()) {
+    throw std::invalid_argument(
+        "tenant churn: duration too short for any tenant flow");
+  }
+  std::stable_sort(flows.begin(), flows.end(),
+                   [](const Flow& a, const Flow& b) {
+                     return a.start_s < b.start_s;
+                   });
   return flows;
 }
 

@@ -56,4 +56,56 @@ struct LocalityMix {
 [[nodiscard]] LocalityMix measure_locality(const ClosParams& layout,
                                            const Workload& flows);
 
+// -- time-varying traces ------------------------------------------------------
+//
+// The closed-loop experiments need demand that *shifts* while the fabric
+// runs: a diurnal Web -> Hadoop locality swing, a square-wave oscillation
+// for hysteresis stress, and tenant arrival/departure churn. Both
+// generators are deterministic in their seed (single Rng stream, thinning
+// for the time-varying arrival rate), so autopilot decision logs are
+// replayable bit-for-bit.
+
+// Blends two static trace profiles with a time-dependent weight a(t):
+// locality fractions, mean flow size, tail index and arrival rate all
+// interpolate linearly between `low` (a = 0) and `high` (a = 1).
+struct ModulatedTraceParams {
+  TraceParams low;      // the a(t) = 0 profile (e.g. Web: Pod-local)
+  TraceParams high;     // the a(t) = 1 profile (e.g. Hadoop-1: network-wide)
+  double duration_s{10.0};
+  std::uint64_t seed{7};
+  // kRamp: a(t) = t / duration (one monotone shift, the diurnal drift).
+  // kSine: a(t) = (1 - cos(2*pi*t / period)) / 2 (smooth day/night cycle).
+  // kSquare: a alternates 0 / 1 every period/2 (worst-case oscillation for
+  // hysteresis stress — demand flips faster than any conversion pays off).
+  enum class Shape : std::uint8_t { kRamp, kSine, kSquare };
+  Shape shape{Shape::kRamp};
+  double period_s{4.0};  // kSine / kSquare only
+};
+[[nodiscard]] Workload generate_modulated_trace(
+    const ClosParams& layout, const ModulatedTraceParams& params);
+
+// Multi-tenant churn: tenants arrive as a Poisson process, occupy a
+// contiguous rack span (placement rotates deterministically around the
+// fabric), emit flows with a per-tenant locality profile for an
+// exponential lifetime, and depart. The fabric-wide locality mix therefore
+// drifts with the tenant population — the demand-shift pattern the
+// autopilot's per-Pod decisions are built for.
+struct TenantChurnParams {
+  double duration_s{10.0};
+  double arrivals_per_s{0.5};       // tenant arrival rate
+  double mean_lifetime_s{4.0};      // exponential tenant lifetime
+  std::uint32_t racks_per_tenant{2};
+  double flows_per_s{800.0};        // per active tenant
+  double mean_flow_bytes{2e6};
+  double pareto_alpha{1.6};
+  // Tenant types cycle deterministically in arrival order:
+  //   rack-local (Hadoop-2-like) -> Pod-local (Web-like) -> network-wide
+  // with these weights (count per cycle of 3 arrivals scaled by weight).
+  double rack_local_frac{0.7};      // intra-rack byte share of a rack-local tenant
+  double pod_local_frac{0.8};       // intra-Pod share of a Pod-local tenant
+  std::uint64_t seed{7};
+};
+[[nodiscard]] Workload generate_tenant_churn(const ClosParams& layout,
+                                             const TenantChurnParams& params);
+
 }  // namespace flattree

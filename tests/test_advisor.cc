@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "traffic/patterns.h"
 #include "traffic/traces.h"
 
@@ -133,6 +135,83 @@ TEST(Advisor, ThresholdsAreTunable) {
             PodMode::kGlobal);
   EXPECT_EQ(advise_modes(kLayout, flows, loose).assignment.pod_modes[0],
             PodMode::kClos);
+}
+
+TEST(Advisor, TieBreakExactRackThresholdIsClos) {
+  // Rack fraction landing exactly on the threshold qualifies (>=, never >),
+  // and Clos outranks local and global on a tie.
+  PodTrafficProfile profile;
+  profile.intra_rack = 50.0;
+  profile.intra_pod = 0.0;
+  profile.inter_pod = 50.0;
+  profile.total_bytes = 100.0;
+  EXPECT_EQ(profile.recommended(AdvisorOptions{}), PodMode::kClos);
+}
+
+TEST(Advisor, TieBreakExactPodThresholdIsLocal) {
+  // Below the rack threshold, exactly on the Pod threshold: local wins over
+  // global, never the other way round.
+  PodTrafficProfile profile;
+  profile.intra_rack = 10.0;
+  profile.intra_pod = 40.0;
+  profile.inter_pod = 50.0;
+  profile.total_bytes = 100.0;
+  EXPECT_EQ(profile.recommended(AdvisorOptions{}), PodMode::kLocal);
+}
+
+TEST(Advisor, TieBreakBothThresholdsMetPrefersMostLocal) {
+  // A fully rack-local Pod qualifies for Clos AND local (rack locality
+  // implies Pod locality); the explicit order makes Clos the winner rather
+  // than an artifact of branch ordering.
+  PodTrafficProfile profile;
+  profile.intra_rack = 100.0;
+  profile.total_bytes = 100.0;
+  EXPECT_EQ(profile.recommended(AdvisorOptions{}), PodMode::kClos);
+}
+
+TEST(Advisor, TieBreakNoTrafficIsGlobal) {
+  EXPECT_EQ(PodTrafficProfile{}.recommended(AdvisorOptions{}),
+            PodMode::kGlobal);
+}
+
+TEST(Advisor, ProfileValidateRejectsNegativeAndNaN) {
+  PodTrafficProfile negative;
+  negative.intra_rack = -1.0;
+  negative.total_bytes = 1.0;
+  EXPECT_THROW(negative.validate(), std::invalid_argument);
+
+  PodTrafficProfile nan;
+  nan.inter_pod = std::numeric_limits<double>::quiet_NaN();
+  nan.total_bytes = 1.0;
+  EXPECT_THROW(nan.validate(), std::invalid_argument);
+
+  // Component sums exceeding total_bytes beyond rounding slack: a profile
+  // that crossed a trust boundary with inconsistent books is rejected too.
+  PodTrafficProfile overflow;
+  overflow.intra_rack = 60.0;
+  overflow.intra_pod = 60.0;
+  overflow.total_bytes = 100.0;
+  EXPECT_THROW(overflow.validate(), std::invalid_argument);
+
+  PodTrafficProfile ok;
+  ok.intra_rack = 40.0;
+  ok.intra_pod = 30.0;
+  ok.inter_pod = 30.0;
+  ok.total_bytes = 100.0;
+  EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(Advisor, AdviceValidateRejectsShapeMismatch) {
+  Advice advice;
+  advice.assignment.pod_modes = {PodMode::kClos, PodMode::kClos};
+  advice.per_pod.resize(3);  // not parallel to the assignment
+  EXPECT_THROW(advice.validate(), std::invalid_argument);
+
+  advice.per_pod.resize(2);
+  EXPECT_NO_THROW(advice.validate());
+
+  advice.per_pod[1].intra_pod = -5.0;  // offending Pod named in diagnostic
+  EXPECT_THROW(advice.validate(), std::invalid_argument);
 }
 
 }  // namespace

@@ -249,6 +249,23 @@ TEST(FluidRun, HorizonCutsOff) {
   EXPECT_TRUE(results[0].started);
 }
 
+TEST(FluidRun, SubUlpFlowTailTerminates) {
+  // Zeno-stall regression: a flow remainder just above the retirement
+  // threshold, draining at a rate whose completion increment is smaller
+  // than one ulp of the clock, used to round `now + dt` back to `now` and
+  // spin the event loop forever. The forced minimal step must retire it.
+  Graph g;
+  const NodeId a = g.add_node(NodeRole::kServer);
+  const NodeId b = g.add_node(NodeRole::kServer);
+  g.add_link(a, b, 100e9);
+  FluidSimulator sim{g, ksp_provider(g, 1)};
+  Flow f{0, 1, 1.1e-6};  // above the 1e-6 retire threshold
+  f.start_s = 16.0;      // ulp(16) >> 1.1e-6 * 8 / 100e9
+  const auto results = sim.run({f});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].completed);
+}
+
 TEST(FluidSchedule, CapacityOnlyFailureStallsAndResumes) {
   // Null refresh: the bottleneck vanishes mid-flow and the flow stalls on
   // its (unchanged) path until the recovery event restores capacity.
