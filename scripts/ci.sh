@@ -30,7 +30,7 @@ cmake --preset "${SANITIZE_PRESET}"
 cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
   --target test_exec test_obs test_ksp_properties test_event_queue \
            test_packet_diff test_conversion_exec test_conversion_storm \
-           test_autopilot
+           test_autopilot test_fluid_incremental_diff
 "./build-${SANITIZE_PRESET}/tests/test_exec"
 "./build-${SANITIZE_PRESET}/tests/test_obs"
 "./build-${SANITIZE_PRESET}/tests/test_ksp_properties"
@@ -51,11 +51,16 @@ cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
 # The closed loop: estimator folds, candidate pricing (nested fluid runs),
 # decision-log replay and staged conversions, sanitizer-clean.
 "./build-${SANITIZE_PRESET}/tests/test_autopilot"
+# The incremental-allocator differential oracle: fuzzed event streams with
+# bitwise rate comparison against from-scratch progressive filling, plus
+# the cross-thread metric invariance case (pool-fanned cells recording
+# fluid.realloc.* concurrently — the TSan-relevant path).
+"./build-${SANITIZE_PRESET}/tests/test_fluid_incremental_diff"
 
 if [ "${SANITIZE_PRESET}" = "tsan" ]; then
   cmake --build build-tsan -j "${JOBS}" \
     --target bench_ablation_mn bench_failure_recovery bench_conversion_churn \
-             bench_conversion_storm bench_autopilot
+             bench_conversion_storm bench_autopilot bench_fluid_incremental
   ./build-tsan/bench/bench_ablation_mn --threads 4 --json-out none \
     > /dev/null
   # Concurrent metric/trace recording from pool workers under TSan.
@@ -81,6 +86,13 @@ if [ "${SANITIZE_PRESET}" = "tsan" ]; then
   ./build-tsan/bench/bench_autopilot --threads 4 --json-out none \
     --metrics-out "${obs_tmp}/autopilot_metrics.json" \
     --trace-out "${obs_tmp}/autopilot_trace.json" > /dev/null
+  # Incremental-vs-scratch lockstep cells fanned across pool workers (each
+  # asserting bitwise rate equality) while fluid.realloc.* counters record
+  # concurrently.
+  ./build-tsan/bench/bench_fluid_incremental --quick --threads 4 \
+    --json-out none \
+    --metrics-out "${obs_tmp}/fluid_inc_metrics.json" \
+    --trace-out "${obs_tmp}/fluid_inc_trace.json" > /dev/null
   rm -rf "${obs_tmp}"
 fi
 

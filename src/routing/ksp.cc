@@ -21,7 +21,40 @@ bool path_less(const Path& a, const Path& b) {
   return false;
 }
 
+// Existence-level switch-switch adjacency keys of g (smaller id first).
+std::set<std::uint64_t> switch_adjacencies(const Graph& g) {
+  std::set<std::uint64_t> keys;
+  for (std::uint32_t i = 0; i < g.link_count(); ++i) {
+    const Link& l = g.link(LinkId{i});
+    if (!is_switch(g.node(l.a).role) || !is_switch(g.node(l.b).role)) continue;
+    const std::uint32_t lo = std::min(l.a.value(), l.b.value());
+    const std::uint32_t hi = std::max(l.a.value(), l.b.value());
+    keys.insert((static_cast<std::uint64_t>(lo) << 32) | hi);
+  }
+  return keys;
+}
+
 }  // namespace
+
+AdjacencyDelta adjacency_delta(const Graph& from, const Graph& to) {
+  if (from.node_count() != to.node_count()) {
+    throw std::invalid_argument("adjacency_delta: node ids must be shared");
+  }
+  const std::set<std::uint64_t> before = switch_adjacencies(from);
+  const std::set<std::uint64_t> after = switch_adjacencies(to);
+  AdjacencyDelta delta;
+  const auto unpack = [](std::uint64_t key) {
+    return std::pair{NodeId{static_cast<std::uint32_t>(key >> 32)},
+                     NodeId{static_cast<std::uint32_t>(key & 0xffffffffu)}};
+  };
+  for (const std::uint64_t key : before) {
+    if (!after.contains(key)) delta.removed.push_back(unpack(key));
+  }
+  for (const std::uint64_t key : after) {
+    if (!before.contains(key)) delta.added.push_back(unpack(key));
+  }
+  return delta;
+}
 
 std::optional<Path> KspSolver::shortest_path(NodeId src, NodeId dst) const {
   return constrained_shortest(src, dst, {}, {});
@@ -218,6 +251,113 @@ std::size_t PathCache::rebind_and_invalidate(
         pair.src = NodeId{static_cast<std::uint32_t>(it->first >> 32)};
         pair.dst = NodeId{static_cast<std::uint32_t>(it->first & 0xffffffffu)};
         for (const Path& path : it->second) {
+          if (!path.empty()) pair.rules += path.size() - 1;
+        }
+        evicted_out->push_back(pair);
+      }
+      it = cache_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  obs::add(c_evicted_, evicted);
+  return evicted;
+}
+
+std::size_t PathCache::rebind_warm(const Graph& graph,
+                                   std::vector<EvictedPair>* evicted_out) {
+  if (graph.node_count() != graph_->node_count()) {
+    throw std::invalid_argument(
+        "PathCache::rebind_warm: node ids must be shared");
+  }
+  const AdjacencyDelta delta = adjacency_delta(*graph_, graph);
+  graph_ = &graph;
+  solver_ = KspSolver{graph};
+  if (delta.empty()) return 0;
+
+  // Directed lookup set for removed adjacencies (cached paths hop either
+  // direction).
+  std::unordered_set<std::uint64_t> removed;
+  for (const auto& [a, b] : delta.removed) {
+    removed.insert((static_cast<std::uint64_t>(a.value()) << 32) | b.value());
+    removed.insert((static_cast<std::uint64_t>(b.value()) << 32) | a.value());
+  }
+  const auto hops_removed = [&](const Path& path) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(path[i].value()) << 32) |
+          path[i + 1].value();
+      if (removed.contains(key)) return true;
+    }
+    return false;
+  };
+
+  // Switch-transit hop distances on the new graph from every endpoint of an
+  // added adjacency — one BFS per distinct endpoint, O(1) per cached pair
+  // afterwards.
+  constexpr std::uint32_t kInf = 0xFFFFFFFFu;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> dist;
+  const auto bfs_from = [&](NodeId start) -> const std::vector<std::uint32_t>& {
+    const auto it = dist.find(start.value());
+    if (it != dist.end()) return it->second;
+    std::vector<std::uint32_t> d(graph.node_count(), kInf);
+    std::deque<NodeId> queue;
+    d[start.index()] = 0;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (const Adjacency& adj : graph.neighbors(u)) {
+        if (!is_switch(graph.node(adj.peer).role)) continue;
+        if (d[adj.peer.index()] != kInf) continue;
+        d[adj.peer.index()] = d[u.index()] + 1;
+        queue.push_back(adj.peer);
+      }
+    }
+    return dist.emplace(start.value(), std::move(d)).first->second;
+  };
+
+  std::size_t evicted = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    const NodeId src{static_cast<std::uint32_t>(it->first >> 32)};
+    const NodeId dst{static_cast<std::uint32_t>(it->first & 0xffffffffu)};
+    const std::vector<Path>& paths = it->second;
+    bool evict =
+        std::any_of(paths.begin(), paths.end(), hops_removed);
+    if (!evict && !delta.added.empty()) {
+      if (paths.size() < k_) {
+        // A new edge can only add paths; a short set may grow.
+        evict = true;
+      } else {
+        // Paths are (length, lex)-sorted, so the last one is the k-th
+        // best. A candidate through a new edge displaces a cached path
+        // only if it is no longer than that (ties displace via lex order).
+        const std::uint64_t kth = path_length(paths.back());
+        for (const auto& [u, v] : delta.added) {
+          const std::vector<std::uint32_t>& du = bfs_from(u);
+          const std::vector<std::uint32_t>& dv = bfs_from(v);
+          const auto through = [&](const std::vector<std::uint32_t>& a,
+                                   const std::vector<std::uint32_t>& b) {
+            if (a[src.index()] == kInf || b[dst.index()] == kInf) {
+              return std::uint64_t{kInf} + kInf;
+            }
+            return static_cast<std::uint64_t>(a[src.index()]) + 1 +
+                   b[dst.index()];
+          };
+          if (std::min(through(du, dv), through(dv, du)) <= kth) {
+            evict = true;
+            break;
+          }
+        }
+      }
+    }
+    if (evict) {
+      if (evicted_out != nullptr) {
+        EvictedPair pair;
+        pair.src = src;
+        pair.dst = dst;
+        for (const Path& path : paths) {
           if (!path.empty()) pair.rules += path.size() - 1;
         }
         evicted_out->push_back(pair);

@@ -63,6 +63,20 @@ struct EvictedPair {
   std::uint64_t rules{0};
 };
 
+// Symmetric switch-switch adjacency changes between two graphs sharing node
+// ids. Adjacency is existence-level: parallel links between the same switch
+// pair collapse to one adjacency, so dropping one of two parallel links is
+// no delta (path sets are hop-count based and cannot change). Pairs are
+// reported with the smaller node id first.
+struct AdjacencyDelta {
+  std::vector<std::pair<NodeId, NodeId>> removed;  // in `from`, not in `to`
+  std::vector<std::pair<NodeId, NodeId>> added;    // in `to`, not in `from`
+
+  [[nodiscard]] bool empty() const { return removed.empty() && added.empty(); }
+};
+[[nodiscard]] AdjacencyDelta adjacency_delta(const Graph& from,
+                                             const Graph& to);
+
 // Memoizing façade: computes and caches the k-shortest switch-to-switch
 // paths on demand. Experiments touch only the switch pairs their traffic
 // uses, so lazy computation keeps large topologies tractable.
@@ -109,6 +123,24 @@ class PathCache {
   std::size_t rebind_and_invalidate(
       const Graph& graph, std::span<const NodeId> failed_switches,
       std::vector<EvictedPair>* evicted_out = nullptr);
+
+  // Warm rebind under an edge-level delta (single- or few-edge fail /
+  // recover / conversion rewire): computes the switch-adjacency delta
+  // against the current graph and evicts the *provably minimal* exact set —
+  //   * a pair whose cached path hops a removed adjacency (survivors of a
+  //     pure removal are exact: the cached set was the (length, lex)-least
+  //     k of a path universe the removal only shrank);
+  //   * when adjacencies were added, a pair that could admit a better-or-
+  //     tied path through a new edge: cached fewer than k paths, or
+  //     min(d(s,u)+1+d(v,t), d(s,v)+1+d(u,t)) <= length of its k-th cached
+  //     path (d = switch-transit hop distance on the new graph, one BFS per
+  //     new-edge endpoint). Strictly longer candidates cannot displace any
+  //     cached path, ties might via lexicographic order, so <= evicts.
+  // Surviving entries are byte-identical to a cold recompute on `graph`
+  // (pinned by tests/test_ksp_properties.cc WarmDeltaMatchesCold*); evicted
+  // pairs recompute lazily on next lookup. Returns the eviction count.
+  std::size_t rebind_warm(const Graph& graph,
+                          std::vector<EvictedPair>* evicted_out = nullptr);
 
   void clear() { cache_.clear(); }
 

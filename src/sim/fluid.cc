@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "lp/mcf.h"
+#include "sim/fluid_incremental.h"
 
 namespace flattree {
 namespace {
@@ -82,6 +83,9 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
   obs::Counter* c_refresh = nullptr;
   obs::Counter* c_reroutes = nullptr;
   obs::Counter* c_black_holed = nullptr;
+  obs::Counter* c_links_touched = nullptr;
+  obs::Counter* c_flows_touched = nullptr;
+  obs::Counter* c_full_resolves = nullptr;
   obs::Histogram* h_fct = nullptr;
   obs::Histogram* h_active = nullptr;
   obs::Histogram* h_rate_delta = nullptr;
@@ -94,6 +98,12 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
     c_refresh = &reg->counter("fluid.refreshes");
     c_reroutes = &reg->counter("fluid.reroutes");
     c_black_holed = &reg->counter("fluid.black_holed");
+    // Incremental-reallocation touch accounting: how much of the network
+    // each rate update actually re-derived (links_touched ≪ directed edge
+    // count on sparse events is the O(affected) contract).
+    c_links_touched = &reg->counter("fluid.realloc.links_touched");
+    c_flows_touched = &reg->counter("fluid.realloc.flows_touched");
+    c_full_resolves = &reg->counter("fluid.realloc.full_resolves");
     h_fct = &reg->histogram(
         "fluid.fct_s", {0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0});
     h_active = &reg->histogram("fluid.active_flows",
@@ -157,6 +167,18 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
   std::shared_ptr<const Graph> degraded_graph;
   PathProvider current_provider = provider_;
 
+  // Incremental allocator: kept in lockstep with `effective`, the active
+  // flow set, and each flow's path set. solve() replays the previous
+  // event's water-filling trace and re-derives only the perturbed
+  // bottleneck levels — bit-for-bit equal to the from-scratch solve in the
+  // legacy branch of reallocate() (tests/test_fluid_incremental_diff.cc
+  // holds the equality after every fuzzed event). Black-holed flows are
+  // never registered, mirroring the legacy instance construction.
+  const bool use_inc =
+      options_.incremental && options_.rate_model == RateModel::kSubflow;
+  IncrementalMaxMinSolver inc;
+  if (use_inc) inc.reset(effective, flows.size());
+
   const auto recompute_effective = [&]() {
     std::vector<double> undirected(topology_.edge_count(), 0.0);
     for (std::uint32_t i = 0; i < graph_->link_count(); ++i) {
@@ -170,7 +192,10 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
       undirected[*topology_.edge_between(l.a, l.b)] += l.capacity_bps;
     }
     for (std::size_t e = 0; e < effective.size(); ++e) {
-      effective[e] = undirected[e / 2];
+      const double v = undirected[e / 2];
+      if (effective[e] == v) continue;
+      effective[e] = v;
+      if (use_inc) inc.set_capacity(static_cast<std::uint32_t>(e), v);
     }
   };
 
@@ -206,25 +231,36 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
     obs::add(c_realloc);
     obs::record(h_active, static_cast<double>(active.size()));
     const std::vector<double> prev = rates;
-    McfInstance instance;
-    instance.capacity = effective;
-    // Flows without a route (black-holed) stay at rate zero and are kept
-    // out of the instance (the allocator rejects empty commodities).
-    std::vector<std::size_t> slot(active.size(), SIZE_MAX);
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      if (state[active[i]].path_edges.empty()) continue;
-      McfCommodity commodity;
-      commodity.paths = state[active[i]].path_edges;
-      slot[i] = instance.commodities.size();
-      instance.commodities.push_back(std::move(commodity));
-    }
-    const std::vector<double> solved =
-        options_.rate_model == RateModel::kEqualSplit
-            ? solve_equal_split_fill(instance).flow_rate
-            : solve_max_min_fill(instance).flow_rate;
     rates.assign(active.size(), 0.0);
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      if (slot[i] != SIZE_MAX) rates[i] = solved[slot[i]];
+    if (use_inc) {
+      inc.solve();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        rates[i] = inc.flow_rate(active[i]);
+      }
+      const IncrementalSolveStats& st = inc.last_stats();
+      obs::add(c_links_touched, st.links_touched);
+      obs::add(c_flows_touched, st.flows_touched);
+      if (st.full_resolve) obs::add(c_full_resolves);
+    } else {
+      McfInstance instance;
+      instance.capacity = effective;
+      // Flows without a route (black-holed) stay at rate zero and are kept
+      // out of the instance (the allocator rejects empty commodities).
+      std::vector<std::size_t> slot(active.size(), SIZE_MAX);
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (state[active[i]].path_edges.empty()) continue;
+        McfCommodity commodity;
+        commodity.paths = state[active[i]].path_edges;
+        slot[i] = instance.commodities.size();
+        instance.commodities.push_back(std::move(commodity));
+      }
+      const std::vector<double> solved =
+          options_.rate_model == RateModel::kEqualSplit
+              ? solve_equal_split_fill(instance).flow_rate
+              : solve_max_min_fill(instance).flow_rate;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (slot[i] != SIZE_MAX) rates[i] = solved[slot[i]];
+      }
     }
     // Convergence residual: how hard this update perturbed the allocation.
     // Comparable only when the active set is unchanged (prev is parallel).
@@ -272,6 +308,9 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
       edges.reserve(paths.size());
       for (const Path& p : paths) edges.push_back(topology_.path_edges(p));
       if (edges != state[f].path_edges) {
+        // update_flow handles the flow being absent (black-holed on
+        // arrival, re-pathed now) as a plain add.
+        if (use_inc) inc.update_flow(static_cast<std::uint32_t>(f), edges);
         state[f].path_edges = std::move(edges);
         ++stats.reroutes;
         obs::add(c_reroutes);
@@ -283,6 +322,7 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
     results[f].completed = true;
     results[f].finish_s = now;
     state[f].active = false;
+    if (use_inc) inc.remove_flow(f);  // no-op for black-holed flows
     obs::add(c_completions);
     obs::record(h_fct, now - results[f].start_s);
     if (tracer != nullptr) {
@@ -364,6 +404,9 @@ std::vector<FluidFlowResult> FluidSimulator::run_with_schedule(
       } else {
         state[f].path_edges =
             resolve_paths(topology_, current_provider, flows[f], f);
+      }
+      if (use_inc && !state[f].path_edges.empty()) {
+        inc.add_flow(f, state[f].path_edges);
       }
       results[f].started = true;
       results[f].start_s = now;

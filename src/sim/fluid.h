@@ -59,6 +59,11 @@ enum class RateModel : std::uint8_t {
 struct FluidOptions {
   double max_time_s{1e6};  // simulation horizon; unfinished flows reported
   RateModel rate_model{RateModel::kSubflow};
+  // Reuse the previous event's water-filling trace when re-allocating
+  // (sim/fluid_incremental.h): bit-for-bit identical rates, O(affected
+  // bottleneck levels) per event instead of O(network). Applies to the
+  // kSubflow model only; kEqualSplit always solves from scratch.
+  bool incremental{true};
   // Observability. When attached the simulator records fluid.* metrics
   // (rate-update iterations, max relative rate delta per update — the
   // convergence residual of the fluid model — FCTs, failure/refresh

@@ -1,0 +1,346 @@
+// Differential oracle for the incremental max-min allocator
+// (sim/fluid_incremental.h): its whole value proposition is *bit-for-bit*
+// equality with solve_max_min_fill while touching O(affected) state, so
+// every assertion here is exact — EXPECT_EQ on the raw double bits, never a
+// tolerance. Three layers:
+//
+//   1. Solver-level fuzz: random event streams (flow arrivals/departures,
+//      link fail/recover, conversion-style capacity rescales) against a
+//      from-scratch solve of the same instance after EVERY event, on k=4 /
+//      k=8 fat-trees and a two-stage (multi-stage) random graph, >= 5 seeds
+//      each.
+//   2. Simulator-level: run_with_schedule with options.incremental on vs
+//      off must produce identical FCT trajectories and schedule stats.
+//   3. Metric determinism: the fluid.realloc.* counters the incremental
+//      path emits are byte-identical across exec-pool thread counts.
+#include "sim/fluid_incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/parallel.h"
+#include "exec/pool.h"
+#include "lp/mcf.h"
+#include "net/capacity.h"
+#include "net/failures.h"
+#include "net/rng.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "routing/ksp.h"
+#include "sim/fluid.h"
+#include "topo/clos.h"
+#include "topo/random_graph.h"
+#include "traffic/patterns.h"
+
+namespace flattree {
+namespace {
+
+using PathEdges = std::vector<std::vector<std::uint32_t>>;
+
+std::uint64_t bits(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+// ---- solver-level fuzz ------------------------------------------------------
+
+// Shadow state the scratch oracle solves from. Flows keyed by slot; the
+// map's ascending iteration order matches the solver's documented
+// equivalence (commodities in ascending slot order).
+struct ShadowWorld {
+  std::vector<double> capacity;  // directed, effective (0 when failed)
+  std::map<std::uint32_t, PathEdges> flows;
+};
+
+std::map<std::uint32_t, double> scratch_rates(const ShadowWorld& w) {
+  McfInstance instance;
+  instance.capacity = w.capacity;
+  std::vector<std::uint32_t> order;
+  for (const auto& [slot, paths] : w.flows) {
+    McfCommodity commodity;
+    commodity.paths = paths;
+    instance.commodities.push_back(std::move(commodity));
+    order.push_back(slot);
+  }
+  std::map<std::uint32_t, double> out;
+  if (order.empty()) return out;
+  const std::vector<double> solved = solve_max_min_fill(instance).flow_rate;
+  for (std::size_t i = 0; i < order.size(); ++i) out[order[i]] = solved[i];
+  return out;
+}
+
+std::vector<NodeId> server_nodes(const Graph& g) {
+  std::vector<NodeId> servers;
+  for (std::uint32_t i = 0; i < g.node_count(); ++i) {
+    if (!is_switch(g.node(NodeId{i}).role)) servers.push_back(NodeId{i});
+  }
+  return servers;
+}
+
+// One fuzzed event stream: mutates the incremental solver and the shadow
+// world in lockstep and asserts exact rate equality after every event.
+void fuzz_stream(const Graph& g, std::uint64_t seed, int num_events,
+                 const char* label) {
+  SCOPED_TRACE(std::string(label) + " seed=" + std::to_string(seed));
+  const LogicalTopology topo{g};
+  PathCache cache{g, 4};
+  const std::vector<NodeId> servers = server_nodes(g);
+  ASSERT_GE(servers.size(), 2u);
+
+  // Per-directed-edge base capacity (mutated by conversion rescales) and
+  // undirected failure flags; effective = failed ? 0 : base.
+  std::vector<double> base(topo.directed_count());
+  for (std::size_t e = 0; e < base.size(); ++e) {
+    base[e] = topo.capacity(static_cast<std::uint32_t>(e));
+  }
+  std::vector<bool> edge_failed(topo.edge_count(), false);
+
+  constexpr std::uint32_t kSlots = 48;
+  IncrementalMaxMinSolver inc;
+  inc.reset(base, kSlots);
+  ShadowWorld w{base, {}};
+
+  std::vector<std::uint32_t> free_slots;
+  for (std::uint32_t s = kSlots; s-- > 0;) free_slots.push_back(s);
+  std::vector<std::uint32_t> used;
+
+  const auto set_effective = [&](std::uint32_t directed, double v) {
+    if (w.capacity[directed] == v) return;
+    w.capacity[directed] = v;
+    inc.set_capacity(directed, v);
+  };
+
+  Rng rng{seed};
+  for (int ev = 0; ev < num_events; ++ev) {
+    const double roll = rng.next_double();
+    if ((roll < 0.40 && !free_slots.empty()) || used.empty()) {
+      // Arrival on a random distinct server pair.
+      const NodeId src = servers[rng.next_below(servers.size())];
+      NodeId dst = src;
+      while (dst == src) dst = servers[rng.next_below(servers.size())];
+      const std::vector<Path> paths = cache.server_paths(src, dst);
+      ASSERT_FALSE(paths.empty());
+      PathEdges pe;
+      pe.reserve(paths.size());
+      for (const Path& p : paths) pe.push_back(topo.path_edges(p));
+      const std::uint32_t slot = free_slots.back();
+      free_slots.pop_back();
+      used.push_back(slot);
+      inc.add_flow(slot, pe);
+      w.flows[slot] = std::move(pe);
+    } else if (roll < 0.60) {
+      // Departure of a random live flow.
+      const std::size_t i = rng.next_below(used.size());
+      const std::uint32_t slot = used[i];
+      used[i] = used.back();
+      used.pop_back();
+      free_slots.push_back(slot);
+      inc.remove_flow(slot);
+      w.flows.erase(slot);
+    } else if (roll < 0.80) {
+      // Link fail/recover toggle on a random undirected edge.
+      const std::uint32_t e =
+          static_cast<std::uint32_t>(rng.next_below(topo.edge_count()));
+      edge_failed[e] = !edge_failed[e];
+      for (const std::uint32_t d : {2 * e, 2 * e + 1}) {
+        set_effective(d, edge_failed[e] ? 0.0 : base[d]);
+      }
+    } else {
+      // Conversion-style delta: rescale a few undirected edges' base
+      // capacity (half / double / restore), as a mode change would.
+      const int n = 1 + static_cast<int>(rng.next_below(4));
+      for (int j = 0; j < n; ++j) {
+        const std::uint32_t e =
+            static_cast<std::uint32_t>(rng.next_below(topo.edge_count()));
+        const double factor =
+            (rng.next_below(3) == 0) ? 0.5 : (rng.next_below(2) ? 2.0 : 1.0);
+        for (const std::uint32_t d : {2 * e, 2 * e + 1}) {
+          base[d] = topo.capacity(d) * factor;
+          if (!edge_failed[e]) set_effective(d, base[d]);
+        }
+      }
+    }
+
+    inc.solve();
+    const std::map<std::uint32_t, double> expect = scratch_rates(w);
+    for (std::uint32_t s = 0; s < kSlots; ++s) {
+      const auto it = expect.find(s);
+      const double want = it == expect.end() ? 0.0 : it->second;
+      const double got = inc.flow_rate(s);
+      ASSERT_EQ(bits(got), bits(want))
+          << "event " << ev << " slot " << s << ": incremental " << got
+          << " vs scratch " << want;
+    }
+    // The per-solve touch accounting must never exceed the network: the
+    // O(affected) contract's upper bound.
+    EXPECT_LE(inc.last_stats().links_touched, topo.directed_count());
+  }
+}
+
+Graph fat_tree(std::uint32_t k) { return build_clos(ClosParams::fat_tree(k)); }
+
+Graph two_stage_fabric(std::uint64_t seed) {
+  TwoStageParams ts = TwoStageParams::from_clos(ClosParams::fat_tree(4));
+  ts.seed = seed;
+  return build_two_stage_random_graph(ts);
+}
+
+TEST(FluidIncrementalDiff, FuzzFatTreeK4) {
+  const Graph g = fat_tree(4);
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    fuzz_stream(g, seed, 160, "fat_tree_k4");
+  }
+}
+
+TEST(FluidIncrementalDiff, FuzzFatTreeK8) {
+  const Graph g = fat_tree(8);
+  for (const std::uint64_t seed : {101u, 202u, 303u, 404u, 505u}) {
+    fuzz_stream(g, seed, 80, "fat_tree_k8");
+  }
+}
+
+TEST(FluidIncrementalDiff, FuzzTwoStageMultiStage) {
+  const Graph g = two_stage_fabric(20170821);
+  for (const std::uint64_t seed : {7u, 17u, 27u, 37u, 47u}) {
+    fuzz_stream(g, seed, 160, "two_stage");
+  }
+}
+
+// ---- simulator-level: incremental on vs off --------------------------------
+
+struct SimOutcome {
+  std::vector<FluidFlowResult> results;
+  ScheduleRunStats stats;
+};
+
+SimOutcome run_sim(const Graph& g, const Workload& flows,
+                   const FailureSchedule& sched, double lag,
+                   bool incremental, obs::MetricsRegistry* reg = nullptr) {
+  auto cache = std::make_shared<PathCache>(g, 4);
+  const PathProvider provider = [cache](NodeId src, NodeId dst,
+                                        std::uint32_t) {
+    return cache->server_paths(src, dst);
+  };
+  FluidOptions opt;
+  opt.incremental = incremental;
+  if (reg != nullptr) opt.sink = obs::ObsSink{reg, nullptr};
+  FluidSimulator sim{g, provider, opt};
+  const RoutingRefresh refresh = [](const Graph& degraded) {
+    auto c = std::make_shared<PathCache>(degraded, 4);
+    return PathProvider{[c](NodeId src, NodeId dst, std::uint32_t) {
+      return c->server_paths(src, dst);
+    }};
+  };
+  SimOutcome out;
+  out.results = sim.run_with_schedule(flows, sched, lag, refresh, &out.stats);
+  return out;
+}
+
+// A workload with staggered arrivals + a fail/recover schedule, so the run
+// exercises arrivals, completions, reroutes and black-holes interleaved.
+void compare_sim(const Graph& g, std::uint64_t seed, const char* label) {
+  SCOPED_TRACE(label);
+  Rng rng{seed};
+  const std::uint32_t servers =
+      static_cast<std::uint32_t>(server_nodes(g).size());
+  Workload flows = permutation_traffic(servers, rng);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    flows[i].bytes = 20e6 + 5e6 * static_cast<double>(i % 7);
+    flows[i].start_s = 0.01 * static_cast<double>(i % 11);
+  }
+  // Fail two random fabric links mid-run, recover one of them later.
+  std::vector<LinkId> fabric;
+  for (std::uint32_t i = 0; i < g.link_count(); ++i) {
+    const Link& l = g.link(LinkId{i});
+    if (is_switch(g.node(l.a).role) && is_switch(g.node(l.b).role)) {
+      fabric.push_back(LinkId{i});
+    }
+  }
+  ASSERT_GE(fabric.size(), 2u);
+  const LinkId a = fabric[rng.next_below(fabric.size())];
+  LinkId b = a;
+  while (b == a) b = fabric[rng.next_below(fabric.size())];
+  FailureSchedule sched;
+  sched.fail_at(0.05, FailureSet{{a}, {}});
+  sched.fail_at(0.09, FailureSet{{b}, {}});
+  sched.recover_at(0.16, FailureSet{{a}, {}});
+
+  const SimOutcome on = run_sim(g, flows, sched, 0.02, true);
+  const SimOutcome off = run_sim(g, flows, sched, 0.02, false);
+  ASSERT_EQ(on.results.size(), off.results.size());
+  for (std::size_t i = 0; i < on.results.size(); ++i) {
+    EXPECT_EQ(on.results[i].started, off.results[i].started) << "flow " << i;
+    EXPECT_EQ(on.results[i].completed, off.results[i].completed)
+        << "flow " << i;
+    EXPECT_EQ(bits(on.results[i].start_s), bits(off.results[i].start_s))
+        << "flow " << i;
+    EXPECT_EQ(bits(on.results[i].finish_s), bits(off.results[i].finish_s))
+        << "flow " << i << ": incremental " << on.results[i].finish_s
+        << " vs scratch " << off.results[i].finish_s;
+  }
+  EXPECT_EQ(on.stats.fail_events, off.stats.fail_events);
+  EXPECT_EQ(on.stats.recover_events, off.stats.recover_events);
+  EXPECT_EQ(on.stats.refreshes, off.stats.refreshes);
+  EXPECT_EQ(on.stats.reroutes, off.stats.reroutes);
+  EXPECT_EQ(on.stats.black_holed, off.stats.black_holed);
+}
+
+TEST(FluidIncrementalDiff, SimulatorFctEquality) {
+  compare_sim(fat_tree(4), 91, "fat_tree_k4");
+  compare_sim(fat_tree(8), 92, "fat_tree_k8");
+  compare_sim(two_stage_fabric(20170821), 93, "two_stage");
+}
+
+// ---- thread-count invariance of the emitted metrics -------------------------
+
+// The same batch of failure-injected fluid runs fanned over 1 / 2 / 8
+// worker threads must export byte-identical metrics JSON — the
+// fluid.realloc.* counters are commutative aggregations like every other
+// deterministic metric.
+TEST(FluidIncrementalDiff, MetricsThreadInvariance) {
+  const Graph g = fat_tree(4);
+  const auto run_cells = [&](std::size_t threads) {
+    obs::MetricsRegistry reg;
+    exec::ThreadPool pool{threads};
+    exec::parallel_for(&pool, 6, [&](std::size_t cell) {
+      Rng rng{mix64(4242, cell)};
+      const std::uint32_t servers =
+          static_cast<std::uint32_t>(server_nodes(g).size());
+      Workload flows = permutation_traffic(servers, rng);
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        flows[i].bytes = 10e6 + 1e6 * static_cast<double>(i % 5);
+        flows[i].start_s = 0.005 * static_cast<double>(i % 9);
+      }
+      std::vector<LinkId> fabric;
+      for (std::uint32_t i = 0; i < g.link_count(); ++i) {
+        const Link& l = g.link(LinkId{i});
+        if (is_switch(g.node(l.a).role) && is_switch(g.node(l.b).role)) {
+          fabric.push_back(LinkId{i});
+        }
+      }
+      const LinkId a = fabric[rng.next_below(fabric.size())];
+      FailureSchedule sched;
+      sched.fail_at(0.03, FailureSet{{a}, {}});
+      sched.recover_at(0.11, FailureSet{{a}, {}});
+      run_sim(g, flows, sched, 0.02, true, &reg);
+    });
+    return reg.to_json();
+  };
+  const std::string one = run_cells(1);
+  EXPECT_EQ(one, run_cells(2));
+  EXPECT_EQ(one, run_cells(8));
+  // The incremental path actually engaged: its counters are present.
+  EXPECT_NE(one.find("fluid.realloc.links_touched"), std::string::npos);
+  EXPECT_NE(one.find("fluid.realloc.flows_touched"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flattree

@@ -11,12 +11,15 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "lp/mcf.h"
 #include "lp/throughput.h"
 #include "net/capacity.h"
+#include "net/rng.h"
 #include "routing/ksp.h"
+#include "sim/fluid_incremental.h"
 #include "topo/clos.h"
 #include "topo/random_graph.h"
 #include "traffic/patterns.h"
@@ -135,6 +138,130 @@ TEST(FluidLpBound, SinglePathRatesRespectEdgeCapacities) {
     EXPECT_LE(load[e],
               topo.capacity(static_cast<std::uint32_t>(e)) * (1 + kRelTol))
         << "directed edge " << e << " oversubscribed";
+  }
+}
+
+// ---- water-filling optimality certificate for the incremental solver -------
+//
+// After every event of a fuzzed stream driven through the *incremental*
+// allocator (sim/fluid_incremental.h), the allocation must carry the
+// progressive-filling certificate:
+//   (a) feasibility — no directed edge's load exceeds its capacity;
+//   (b) bottleneck  — every subflow crosses at least one saturated edge on
+//       which its rate equals the maximum crosser rate (it froze when that
+//       edge filled, so nothing crossing the edge outranks it).
+// Together these are exactly max-min optimality of the subflow allocation;
+// a violation means the trace replay reused a stale bottleneck level.
+void expect_water_filling_certificate(const Graph& g, std::uint64_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  const LogicalTopology topo{g};
+  PathCache cache{g, 4};
+  std::vector<NodeId> servers;
+  for (std::uint32_t i = 0; i < g.node_count(); ++i) {
+    if (!is_switch(g.node(NodeId{i}).role)) servers.push_back(NodeId{i});
+  }
+
+  constexpr std::uint32_t kSlots = 32;
+  std::vector<double> caps(topo.directed_count());
+  for (std::size_t e = 0; e < caps.size(); ++e) {
+    caps[e] = topo.capacity(static_cast<std::uint32_t>(e));
+  }
+  IncrementalMaxMinSolver inc;
+  inc.reset(caps, kSlots);
+  std::vector<std::vector<std::vector<std::uint32_t>>> paths_of(kSlots);
+  std::vector<bool> present(kSlots, false);
+  std::vector<bool> edge_failed(topo.edge_count(), false);
+
+  Rng rng{seed};
+  for (int ev = 0; ev < 120; ++ev) {
+    const double roll = rng.next_double();
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(rng.next_below(kSlots));
+    if (roll < 0.45) {
+      const NodeId src = servers[rng.next_below(servers.size())];
+      NodeId dst = src;
+      while (dst == src) dst = servers[rng.next_below(servers.size())];
+      std::vector<std::vector<std::uint32_t>> pe;
+      for (const Path& p : cache.server_paths(src, dst)) {
+        pe.push_back(topo.path_edges(p));
+      }
+      if (present[slot]) inc.remove_flow(slot);
+      inc.add_flow(slot, pe);
+      paths_of[slot] = std::move(pe);
+      present[slot] = true;
+    } else if (roll < 0.70) {
+      if (present[slot]) {
+        inc.remove_flow(slot);
+        present[slot] = false;
+      }
+    } else {
+      const std::uint32_t e =
+          static_cast<std::uint32_t>(rng.next_below(topo.edge_count()));
+      edge_failed[e] = !edge_failed[e];
+      for (const std::uint32_t d : {2 * e, 2 * e + 1}) {
+        inc.set_capacity(d, edge_failed[e] ? 0.0 : topo.capacity(d));
+      }
+    }
+    inc.solve();
+
+    // Per-edge load and per-edge max subflow rate from the solver's own
+    // per-path rates.
+    std::vector<double> load(topo.directed_count(), 0.0);
+    std::vector<double> max_rate(topo.directed_count(), 0.0);
+    for (std::uint32_t s = 0; s < kSlots; ++s) {
+      if (!present[s]) continue;
+      const std::vector<double> pr = inc.path_rates(s);
+      ASSERT_EQ(pr.size(), paths_of[s].size());
+      for (std::size_t p = 0; p < pr.size(); ++p) {
+        for (const std::uint32_t e : paths_of[s][p]) {
+          load[e] += pr[p];
+          max_rate[e] = std::max(max_rate[e], pr[p]);
+        }
+      }
+    }
+    for (std::size_t e = 0; e < load.size(); ++e) {
+      const double cap = inc.capacity(static_cast<std::uint32_t>(e));
+      EXPECT_LE(load[e], cap * (1 + kRelTol) + 1e-9)
+          << "event " << ev << ": directed edge " << e << " over capacity";
+    }
+    const auto saturated = [&](std::uint32_t e) {
+      const double cap = inc.capacity(e);
+      return cap - load[e] <= kRelTol * cap + 1e-9;
+    };
+    for (std::uint32_t s = 0; s < kSlots; ++s) {
+      if (!present[s]) continue;
+      const std::vector<double> pr = inc.path_rates(s);
+      for (std::size_t p = 0; p < pr.size(); ++p) {
+        if (paths_of[s][p].empty()) continue;
+        bool bottlenecked = false;
+        for (const std::uint32_t e : paths_of[s][p]) {
+          if (saturated(e) && pr[p] >= max_rate[e] * (1 - kRelTol) - 1e-9) {
+            bottlenecked = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(bottlenecked)
+            << "event " << ev << ": slot " << s << " path " << p
+            << " (rate " << pr[p] << ") crosses no saturated edge it "
+            << "dominates — not max-min";
+      }
+    }
+  }
+}
+
+TEST(FluidLpBound, IncrementalWaterFillingCertificateFatTree) {
+  const Graph g = build_clos(ClosParams::fat_tree(4));
+  for (const std::uint64_t seed : {3u, 13u, 23u}) {
+    expect_water_filling_certificate(g, seed);
+  }
+}
+
+TEST(FluidLpBound, IncrementalWaterFillingCertificateTwoStage) {
+  TwoStageParams ts = TwoStageParams::from_clos(ClosParams::fat_tree(4));
+  ts.seed = 20170821;
+  const Graph g = build_two_stage_random_graph(ts);
+  for (const std::uint64_t seed : {5u, 15u}) {
+    expect_water_filling_certificate(g, seed);
   }
 }
 

@@ -8,11 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "exec/pool.h"
+#include "net/failures.h"
 #include "net/rng.h"
 #include "routing/path.h"
 #include "topo/clos.h"
@@ -143,6 +146,84 @@ TEST(KspProperties, PrecomputeMatchesSerialLookupsAcrossPoolSizes) {
     // A second precompute finds everything cached.
     EXPECT_EQ(cache.precompute(pairs, &pool), 0u);
   }
+}
+
+// ---- warm incremental rebinds vs cold recompute -----------------------------
+
+// Random single-edge delete/restore walks: after every flap the warm cache
+// (rebind_warm + lazy refill) must hold exactly the path sets a cold
+// PathCache computes on the same graph — same paths, same order — for every
+// switch pair. This is the exactness contract that lets the fluid refresh
+// path keep a cache warm across failure/recovery events.
+void expect_warm_matches_cold(const Graph& base, std::uint64_t seed,
+                              int flaps) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  const auto pairs = switch_pairs(base);
+  std::vector<LinkId> fabric;
+  for (std::uint32_t i = 0; i < base.link_count(); ++i) {
+    const Link& l = base.link(LinkId{i});
+    if (is_switch(base.node(l.a).role) && is_switch(base.node(l.b).role)) {
+      fabric.push_back(LinkId{i});
+    }
+  }
+  ASSERT_FALSE(fabric.empty());
+
+  PathCache warm{base, 4};
+  for (const auto& [src, dst] : pairs) (void)warm.switch_paths(src, dst);
+
+  Rng rng{seed};
+  std::vector<bool> down(base.link_count(), false);
+  // rebind_warm keeps a pointer to the graph; every realization must stay
+  // alive for the cache's lifetime.
+  std::vector<std::unique_ptr<Graph>> alive;
+  std::size_t total_evicted = 0;
+  for (int step = 0; step < flaps; ++step) {
+    const LinkId flip = fabric[rng.next_below(fabric.size())];
+    down[flip.index()] = !down[flip.index()];
+    std::vector<LinkId> removed;
+    for (std::uint32_t i = 0; i < base.link_count(); ++i) {
+      if (down[i]) removed.push_back(LinkId{i});
+    }
+    alive.push_back(std::make_unique<Graph>(remove_links(base, removed)));
+    const Graph& g = *alive.back();
+    total_evicted += warm.rebind_warm(g);
+
+    PathCache cold{g, 4};
+    for (const auto& [src, dst] : pairs) {
+      EXPECT_EQ(warm.switch_paths(src, dst), cold.switch_paths(src, dst))
+          << "step " << step << " pair " << src.value() << "->"
+          << dst.value();
+    }
+  }
+  // The warm cache must actually be warm: across the walk it cannot have
+  // evicted (and recomputed) every pair at every step.
+  EXPECT_LT(total_evicted, static_cast<std::size_t>(flaps) * pairs.size());
+}
+
+TEST(KspProperties, WarmDeltaMatchesColdRandomFabric) {
+  for (const std::uint64_t seed : {5u, 19u, 77u}) {
+    expect_warm_matches_cold(random_fabric(seed), seed, 8);
+  }
+}
+
+TEST(KspProperties, WarmDeltaMatchesColdFatTree) {
+  const Graph g = build_clos(ClosParams::fat_tree(4));
+  for (const std::uint64_t seed : {2u, 4u}) {
+    expect_warm_matches_cold(g, seed, 6);
+  }
+}
+
+TEST(KspProperties, WarmRebindNoDeltaEvictsNothing) {
+  const Graph g = random_fabric(123);
+  const auto pairs = switch_pairs(g);
+  PathCache warm{g, 4};
+  for (const auto& [src, dst] : pairs) (void)warm.switch_paths(src, dst);
+  // Same adjacency structure (the identical graph): zero evictions, cache
+  // intact. Also pins that server-access-only changes are no delta.
+  EXPECT_EQ(warm.rebind_warm(g), 0u);
+  EXPECT_EQ(warm.cached_pairs(), pairs.size());
+  const AdjacencyDelta delta = adjacency_delta(g, g);
+  EXPECT_TRUE(delta.empty());
 }
 
 }  // namespace
