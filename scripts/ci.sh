@@ -30,7 +30,8 @@ cmake --preset "${SANITIZE_PRESET}"
 cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
   --target test_exec test_obs test_ksp_properties test_event_queue \
            test_packet_diff test_conversion_exec test_conversion_storm \
-           test_autopilot test_fluid_incremental_diff
+           test_autopilot test_fluid_incremental_diff \
+           test_scenario_parse test_scenario_roundtrip test_scenario_diff
 "./build-${SANITIZE_PRESET}/tests/test_exec"
 "./build-${SANITIZE_PRESET}/tests/test_obs"
 "./build-${SANITIZE_PRESET}/tests/test_ksp_properties"
@@ -56,11 +57,18 @@ cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
 # the cross-thread metric invariance case (pool-fanned cells recording
 # fluid.realloc.* concurrently — the TSan-relevant path).
 "./build-${SANITIZE_PRESET}/tests/test_fluid_incremental_diff"
+# The scenario DSL: the malformed-spec battery (exact diagnostics), the
+# parse -> canonical -> parse fixed-point fuzz, and the differential pin
+# against bench_failure_recovery's pipeline — all sanitizer-clean.
+"./build-${SANITIZE_PRESET}/tests/test_scenario_parse"
+"./build-${SANITIZE_PRESET}/tests/test_scenario_roundtrip"
+"./build-${SANITIZE_PRESET}/tests/test_scenario_diff"
 
 if [ "${SANITIZE_PRESET}" = "tsan" ]; then
   cmake --build build-tsan -j "${JOBS}" \
     --target bench_ablation_mn bench_failure_recovery bench_conversion_churn \
-             bench_conversion_storm bench_autopilot bench_fluid_incremental
+             bench_conversion_storm bench_autopilot bench_fluid_incremental \
+             bench_scenarios
   ./build-tsan/bench/bench_ablation_mn --threads 4 --json-out none \
     > /dev/null
   # Concurrent metric/trace recording from pool workers under TSan.
@@ -93,6 +101,12 @@ if [ "${SANITIZE_PRESET}" = "tsan" ]; then
     --json-out none \
     --metrics-out "${obs_tmp}/fluid_inc_metrics.json" \
     --trace-out "${obs_tmp}/fluid_inc_trace.json" > /dev/null
+  # The whole scenario battery — every engine (fluid plain/repair/reroute/
+  # conversion, packet, sharded packet, autopilot) fanned across pool
+  # workers with metrics+tracing recording concurrently.
+  ./build-tsan/bench/bench_scenarios scenarios --threads 4 --json-out none \
+    --metrics-out "${obs_tmp}/scenarios_metrics.json" \
+    --trace-out "${obs_tmp}/scenarios_trace.json" > /dev/null
   rm -rf "${obs_tmp}"
 fi
 

@@ -1,0 +1,252 @@
+#include "traffic/hostile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flattree {
+namespace {
+
+// Pareto xm for a target mean: mean = alpha * xm / (alpha - 1).
+double pareto_xm(double mean, double alpha) {
+  return mean * (alpha - 1) / alpha;
+}
+
+double bounded_pareto(double mean, double alpha, double cap, Rng& rng) {
+  return std::min(rng.next_pareto(alpha, pareto_xm(mean, alpha)), cap);
+}
+
+void check_size_model(double mean_bytes, double alpha, double max_bytes,
+                      const char* who) {
+  if (mean_bytes <= 0 || alpha <= 1 || max_bytes < mean_bytes) {
+    throw std::invalid_argument(std::string{who} +
+                                ": size model requires mean_bytes > 0, "
+                                "alpha > 1, max_bytes >= mean_bytes");
+  }
+}
+
+}  // namespace
+
+Workload incast_traffic(const IncastParams& p) {
+  if (p.num_servers < 2 || p.groups == 0 || p.fanin == 0 || p.requests == 0 ||
+      p.fanin >= p.num_servers || p.period_s <= 0) {
+    throw std::invalid_argument(
+        "incast_traffic: requires num_servers > fanin >= 1, groups >= 1, "
+        "requests >= 1, period_s > 0");
+  }
+  if (p.pod_local) {
+    if (p.servers_per_pod == 0 || p.servers_per_pod > p.num_servers ||
+        p.fanin >= p.servers_per_pod) {
+      throw std::invalid_argument(
+          "incast_traffic: pod_local requires fanin < servers_per_pod <= "
+          "num_servers");
+    }
+  }
+  Rng rng{p.seed};
+  Workload flows;
+  flows.reserve(static_cast<std::size_t>(p.groups) * p.fanin * p.requests);
+  const std::uint32_t pods =
+      p.servers_per_pod > 0 ? p.num_servers / p.servers_per_pod : 1;
+  for (std::uint32_t g = 0; g < p.groups; ++g) {
+    // Deterministic placement: groups rotate around the fabric (pod-major
+    // for pod_local groups) so the battery stresses distinct regions.
+    std::uint32_t base = 0, span = p.num_servers;
+    if (p.pod_local) {
+      base = (g % pods) * p.servers_per_pod;
+      span = p.servers_per_pod;
+    }
+    const std::uint32_t aggregator =
+        base + static_cast<std::uint32_t>(rng.next_below(span));
+    // fanin distinct senders != aggregator, drawn without replacement via
+    // rejection (span is comfortably larger than fanin by validation).
+    std::vector<std::uint32_t> senders;
+    senders.reserve(p.fanin);
+    while (senders.size() < p.fanin) {
+      const std::uint32_t s =
+          base + static_cast<std::uint32_t>(rng.next_below(span));
+      if (s == aggregator ||
+          std::find(senders.begin(), senders.end(), s) != senders.end()) {
+        continue;
+      }
+      senders.push_back(s);
+    }
+    for (std::uint32_t r = 0; r < p.requests; ++r) {
+      const double t = p.start_s + r * p.period_s;
+      for (const std::uint32_t s : senders) {
+        Flow flow;
+        flow.src = s;
+        flow.dst = aggregator;
+        flow.bytes = bounded_pareto(p.mean_bytes, p.alpha, p.max_bytes, rng);
+        flow.start_s = t;
+        flow.group = g * p.requests + r;  // one coflow per (group, epoch)
+        flows.push_back(flow);
+      }
+    }
+  }
+  return flows;
+}
+
+Workload tenant_class_traffic(const TenantClassParams& p) {
+  if (p.num_servers < 2 || p.duration_s <= 0 || p.flows_per_s <= 0) {
+    throw std::invalid_argument(
+        "tenant_class_traffic: requires num_servers >= 2, duration_s > 0, "
+        "flows_per_s > 0");
+  }
+  check_size_model(p.mean_bytes, p.alpha, p.max_bytes, "tenant_class_traffic");
+  if (p.servers_per_rack == 0 || p.servers_per_pod == 0 ||
+      p.servers_per_pod % p.servers_per_rack != 0 ||
+      p.num_servers % p.servers_per_pod != 0) {
+    throw std::invalid_argument(
+        "tenant_class_traffic: rack/Pod sizes must divide the server count");
+  }
+  if (p.intra_rack_frac < 0 || p.intra_pod_frac < 0 ||
+      p.intra_rack_frac + p.intra_pod_frac > 1 || p.hot_pod_frac < 0 ||
+      p.hot_pod_frac > 1) {
+    throw std::invalid_argument(
+        "tenant_class_traffic: locality fractions must lie in [0, 1] and "
+        "intra_rack_frac + intra_pod_frac <= 1");
+  }
+  const std::uint32_t pods = p.num_servers / p.servers_per_pod;
+  if (p.hot_pod >= 0 && static_cast<std::uint32_t>(p.hot_pod) >= pods) {
+    throw std::invalid_argument(
+        "tenant_class_traffic: hot_pod out of range for the layout");
+  }
+  Rng rng{p.seed};
+  Workload flows;
+  double t = p.start_s;
+  for (;;) {
+    t += rng.next_exponential(p.flows_per_s);
+    if (t >= p.start_s + p.duration_s) break;
+    const std::uint32_t src =
+        static_cast<std::uint32_t>(rng.next_below(p.num_servers));
+    std::uint32_t dst = src;
+    if (p.hot_pod >= 0 && rng.next_double() < p.hot_pod_frac) {
+      const std::uint32_t base =
+          static_cast<std::uint32_t>(p.hot_pod) * p.servers_per_pod;
+      do {
+        dst = base +
+              static_cast<std::uint32_t>(rng.next_below(p.servers_per_pod));
+      } while (dst == src);
+    } else {
+      const std::uint32_t rack = src / p.servers_per_rack;
+      const std::uint32_t pod = src / p.servers_per_pod;
+      const double locality = rng.next_double();
+      if (locality < p.intra_rack_frac && p.servers_per_rack > 1) {
+        while (dst == src) {
+          dst = rack * p.servers_per_rack +
+                static_cast<std::uint32_t>(rng.next_below(p.servers_per_rack));
+        }
+      } else if (locality < p.intra_rack_frac + p.intra_pod_frac &&
+                 p.servers_per_pod > p.servers_per_rack) {
+        do {
+          dst = pod * p.servers_per_pod +
+                static_cast<std::uint32_t>(rng.next_below(p.servers_per_pod));
+        } while (dst / p.servers_per_rack == rack);
+      } else if (p.num_servers > p.servers_per_pod) {
+        do {
+          dst = static_cast<std::uint32_t>(rng.next_below(p.num_servers));
+        } while (dst / p.servers_per_pod == pod);
+      } else {
+        while (dst == src) {
+          dst = static_cast<std::uint32_t>(rng.next_below(p.num_servers));
+        }
+      }
+    }
+    Flow flow;
+    flow.src = src;
+    flow.dst = dst;
+    flow.bytes = bounded_pareto(p.mean_bytes, p.alpha, p.max_bytes, rng);
+    flow.start_s = t;
+    flows.push_back(flow);
+  }
+  return flows;
+}
+
+Workload three_tier_traffic(const ThreeTierParams& p) {
+  if (p.num_servers < 3 || p.duration_s <= 0 || p.requests_per_s <= 0 ||
+      p.request_bytes <= 0 || p.cache_reply_bytes <= 0 ||
+      p.storage_reply_bytes <= 0 || p.think_s < 0) {
+    throw std::invalid_argument(
+        "three_tier_traffic: requires num_servers >= 3 and positive rates, "
+        "sizes and durations");
+  }
+  if (p.frontend_frac <= 0 || p.cache_frac <= 0 ||
+      p.frontend_frac + p.cache_frac >= 1 || p.miss_frac < 0 ||
+      p.miss_frac > 1) {
+    throw std::invalid_argument(
+        "three_tier_traffic: tier fractions must be positive and sum below "
+        "1; miss_frac in [0, 1]");
+  }
+  const std::uint32_t frontends = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(p.frontend_frac * p.num_servers));
+  const std::uint32_t caches = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(p.cache_frac * p.num_servers));
+  if (frontends + caches >= p.num_servers) {
+    throw std::invalid_argument(
+        "three_tier_traffic: layout leaves no storage servers");
+  }
+  const std::uint32_t storage = p.num_servers - frontends - caches;
+  Rng rng{p.seed};
+  Workload flows;
+  double t = p.start_s;
+  std::uint32_t request = 0;
+  for (;;) {
+    t += rng.next_exponential(p.requests_per_s);
+    if (t >= p.start_s + p.duration_s) break;
+    const std::uint32_t f =
+        static_cast<std::uint32_t>(rng.next_below(frontends));
+    const std::uint32_t c =
+        frontends + static_cast<std::uint32_t>(rng.next_below(caches));
+    const bool miss = rng.next_double() < p.miss_frac;
+    const std::uint32_t group = request++;
+    // frontend -> cache request.
+    const std::uint32_t req_index = static_cast<std::uint32_t>(flows.size());
+    {
+      Flow flow;
+      flow.src = f;
+      flow.dst = c;
+      flow.bytes = p.request_bytes;
+      flow.start_s = t;
+      flow.group = group;
+      flows.push_back(flow);
+    }
+    std::uint32_t reply_dep = req_index;
+    if (miss) {
+      const std::uint32_t s =
+          frontends + caches +
+          static_cast<std::uint32_t>(rng.next_below(storage));
+      // cache -> storage fetch, then storage -> cache payload.
+      Flow fetch;
+      fetch.src = c;
+      fetch.dst = s;
+      fetch.bytes = p.request_bytes;
+      fetch.depends_on = {req_index};
+      fetch.dep_delay_s = p.think_s;
+      fetch.group = group;
+      const std::uint32_t fetch_index =
+          static_cast<std::uint32_t>(flows.size());
+      flows.push_back(fetch);
+      Flow payload;
+      payload.src = s;
+      payload.dst = c;
+      payload.bytes = p.storage_reply_bytes;
+      payload.depends_on = {fetch_index};
+      payload.dep_delay_s = p.think_s;
+      payload.group = group;
+      reply_dep = static_cast<std::uint32_t>(flows.size());
+      flows.push_back(payload);
+    }
+    // cache -> frontend reply.
+    Flow reply;
+    reply.src = c;
+    reply.dst = f;
+    reply.bytes = p.cache_reply_bytes;
+    reply.depends_on = {reply_dep};
+    reply.dep_delay_s = p.think_s;
+    reply.group = group;
+    flows.push_back(reply);
+  }
+  return flows;
+}
+
+}  // namespace flattree

@@ -1,0 +1,102 @@
+// Hostile, production-shaped workload generators for the scenario battery.
+//
+// The paper's evaluation runs uniform and locality mixes; this module opens
+// the adversarial workloads the scenario DSL (src/scenario/) drives the
+// fabric through:
+//
+//   * incast_traffic      HPCC-style RDMA incast: synchronized heavy fan-in
+//                         onto one aggregator per group with heavy-tailed
+//                         (bounded-Pareto) response sizes — the classic
+//                         many-to-one microburst that stresses the edge
+//                         uplinks of an oversubscribed Clos far harder than
+//                         a flat fabric's side circuits.
+//   * tenant_class_traffic QJump-style mixed-criticality tenant class: one
+//                         class of Poisson flows with a locality profile, an
+//                         optional hot-Pod concentration, and bounded-Pareto
+//                         sizes. Scenarios compose several classes (each
+//                         with its own latency SLO) into one workload.
+//   * three_tier_traffic  A front-end -> cache -> storage request fan:
+//                         every request is a dependency-chained flow group
+//                         (request, hit/miss fetch, replies), the
+//                         "millions of users" serving shape whose per-tier
+//                         locality stresses Clos vs global mode differently.
+//
+// All generators are pure functions of their parameter struct (single Rng
+// stream seeded from params.seed), so scenario summaries are byte-identical
+// across runs and thread counts. Parameter structs validate like the trace
+// generators (std::invalid_argument on nonsense).
+#pragma once
+
+#include <cstdint>
+
+#include "net/rng.h"
+#include "traffic/flow.h"
+
+namespace flattree {
+
+struct IncastParams {
+  std::uint32_t num_servers{0};
+  // >0 enables Pod-aware placement (pod_local groups); typically
+  // servers_per_edge * edge_per_pod of the Clos layout.
+  std::uint32_t servers_per_pod{0};
+  std::uint32_t groups{8};    // independent incast groups
+  std::uint32_t fanin{16};    // senders per group
+  std::uint32_t requests{4};  // synchronized request epochs per group
+  double period_s{0.25};      // epoch spacing
+  double mean_bytes{1e6};     // mean response size
+  double alpha{1.3};          // Pareto tail index (> 1)
+  double max_bytes{1e9};      // tail cap (bounded Pareto)
+  bool pod_local{false};      // keep every group inside one Pod
+  double start_s{0.0};
+  std::uint64_t seed{7};
+};
+
+// Group g's aggregator and senders are placed deterministically (groups
+// rotate around the fabric); at each epoch every sender of the group opens
+// one flow to the aggregator simultaneously — the synchronized fan-in.
+[[nodiscard]] Workload incast_traffic(const IncastParams& params);
+
+struct TenantClassParams {
+  std::uint32_t num_servers{0};
+  std::uint32_t servers_per_rack{1};
+  std::uint32_t servers_per_pod{1};
+  double duration_s{1.0};
+  double flows_per_s{500.0};
+  double mean_bytes{1e6};
+  double alpha{1.6};         // Pareto tail index (> 1)
+  double max_bytes{1e9};     // tail cap
+  double intra_rack_frac{0.0};
+  double intra_pod_frac{0.0};  // of total (not of remainder)
+  // >= 0: hot_pod_frac of the flows send to a uniform server of this Pod
+  // (the hot-Pod locality skew); the rest follow the locality mix above.
+  std::int32_t hot_pod{-1};
+  double hot_pod_frac{0.0};
+  double start_s{0.0};
+  std::uint64_t seed{7};
+};
+
+[[nodiscard]] Workload tenant_class_traffic(const TenantClassParams& params);
+
+struct ThreeTierParams {
+  std::uint32_t num_servers{0};
+  double duration_s{1.0};
+  double requests_per_s{200.0};
+  double frontend_frac{0.25};  // first servers are front-ends
+  double cache_frac{0.25};     // next servers are caches; rest is storage
+  double request_bytes{2e4};
+  double cache_reply_bytes{2e5};
+  double storage_reply_bytes{2e6};
+  double miss_frac{0.3};       // cache misses fetch from storage
+  double think_s{0.001};       // service time between chain hops
+  double start_s{0.0};
+  std::uint64_t seed{7};
+};
+
+// One request: frontend -> cache (request_bytes); on a hit the cache
+// replies (cache_reply_bytes); on a miss the cache fetches from storage
+// (request_bytes out, storage_reply_bytes back) before replying. Each hop
+// depends on the previous flow plus think_s; the flows of one request share
+// a coflow group, so group completion time is the user-visible latency.
+[[nodiscard]] Workload three_tier_traffic(const ThreeTierParams& params);
+
+}  // namespace flattree

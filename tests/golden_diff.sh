@@ -4,23 +4,26 @@
 # the checked-in goldens. Any drift in the recorded numbers — including an
 # accidental cost of the (default-off) observability layer — fails the test.
 #
-# usage: golden_diff.sh <bench-binary> <bench-name> <golden-dir>
+# usage: golden_diff.sh <bench-binary> <bench-name> <golden-dir> [bench-args...]
+# Extra arguments are passed through to the bench invocation (e.g. the
+# scenario directory for bench_scenarios).
 #
 # Regenerating after an intentional change:
-#   cd $(mktemp -d) && <bench-binary> > <name>.stdout 2>/dev/null
+#   cd $(mktemp -d) && <bench-binary> [bench-args...] > <name>.stdout 2>/dev/null
 #   cp <name>.stdout BENCH_<name>.json <golden-dir>/
 set -u
 
 bin="$1"
 name="$2"
 golden="$3"
+shift 3
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 cd "$workdir"
 
 # stderr carries wall-clock timings and is deliberately not compared.
-"$bin" > "$name.stdout" 2> stderr.log
+"$bin" "$@" > "$name.stdout" 2> stderr.log
 status=$?
 if [ $status -ne 0 ]; then
   echo "FAIL: $name exited with $status" >&2
