@@ -30,7 +30,8 @@ cmake --preset "${SANITIZE_PRESET}"
 cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
   --target test_exec test_obs test_ksp_properties test_event_queue \
            test_packet_diff test_conversion_exec test_conversion_storm \
-           test_autopilot test_fluid_incremental_diff \
+           test_autopilot test_hierarchy test_warm_repair_diff \
+           test_fluid_incremental_diff \
            test_scenario_parse test_scenario_roundtrip test_scenario_diff
 "./build-${SANITIZE_PRESET}/tests/test_exec"
 "./build-${SANITIZE_PRESET}/tests/test_obs"
@@ -52,6 +53,13 @@ cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
 # The closed loop: estimator folds, candidate pricing (nested fluid runs),
 # decision-log replay and staged conversions, sanitizer-clean.
 "./build-${SANITIZE_PRESET}/tests/test_autopilot"
+# The two-level control plane: heartbeat/partition state machine, Pod-local
+# repair + journal replay, root failover, and the compound same-tick
+# control-fault fuzz (partition + root crash + link failure), every run
+# terminating bit-for-bit on a checkpointed mode — sanitizer-clean.
+"./build-${SANITIZE_PRESET}/tests/test_hierarchy"
+# Warm-vs-legacy repair eviction differential on fuzzed failure streams.
+"./build-${SANITIZE_PRESET}/tests/test_warm_repair_diff"
 # The incremental-allocator differential oracle: fuzzed event streams with
 # bitwise rate comparison against from-scratch progressive filling, plus
 # the cross-thread metric invariance case (pool-fanned cells recording
@@ -67,8 +75,8 @@ cmake --build "build-${SANITIZE_PRESET}" -j "${JOBS}" \
 if [ "${SANITIZE_PRESET}" = "tsan" ]; then
   cmake --build build-tsan -j "${JOBS}" \
     --target bench_ablation_mn bench_failure_recovery bench_conversion_churn \
-             bench_conversion_storm bench_autopilot bench_fluid_incremental \
-             bench_scenarios
+             bench_conversion_storm bench_control_partition bench_autopilot \
+             bench_fluid_incremental bench_scenarios
   ./build-tsan/bench/bench_ablation_mn --threads 4 --json-out none \
     > /dev/null
   # Concurrent metric/trace recording from pool workers under TSan.
@@ -88,6 +96,13 @@ if [ "${SANITIZE_PRESET}" = "tsan" ]; then
   ./build-tsan/bench/bench_conversion_storm --threads 4 --json-out none \
     --metrics-out "${obs_tmp}/storm_metrics.json" \
     --trace-out "${obs_tmp}/storm_trace.json" > /dev/null
+  # Eight partition cells (hierarchical + flat control planes under
+  # islands, storms, loss and root crashes) fanned across pool workers,
+  # each driving a delegated staged conversion while ctrl.hier.* metrics
+  # record concurrently.
+  ./build-tsan/bench/bench_control_partition --threads 4 --json-out none \
+    --metrics-out "${obs_tmp}/ctrl_part_metrics.json" \
+    --trace-out "${obs_tmp}/ctrl_part_trace.json" > /dev/null
   # Twelve autopilot cells (closed loop, statics, oracle, thrash arms)
   # fanned across pool workers, each cell nesting fluid pricing runs and
   # staged conversions while autopilot.* metrics record concurrently.

@@ -43,7 +43,7 @@ CompiledMode::CompiledMode(const FlatTree& tree, ModeAssignment assignment,
 
 RepairApplication CompiledMode::apply_repair(
     std::shared_ptr<const Graph> graph, std::vector<ConverterConfig> configs,
-    std::span<const NodeId> failed_switches) {
+    std::span<const NodeId> failed_switches, bool warm) {
   RepairApplication application;
   // The outgoing realization must outlive the rebind: the cache still points
   // at it and checks node-id compatibility against it.
@@ -51,8 +51,9 @@ RepairApplication CompiledMode::apply_repair(
   graph_ = std::move(graph);
   configs_ = std::move(configs);
   application.pairs_invalidated =
-      paths_->rebind_and_invalidate(*graph_, failed_switches,
-                                    &application.evicted);
+      warm ? paths_->rebind_warm(*graph_, &application.evicted)
+           : paths_->rebind_and_invalidate(*graph_, failed_switches,
+                                           &application.evicted);
   application.pairs_retained = paths_->cached_pairs();
   return application;
 }
@@ -179,8 +180,12 @@ RepairPlan Controller::plan_repair(CompiledMode& mode,
   // Incremental routing update: evict exactly the broken pairs, re-solve
   // them on the repaired topology, and price the rule delta per evicted
   // pair — recovery latency scales with the blast radius, not the network.
+  // Warm eviction is only sound for pure degrades: a converter rewire adds
+  // adjacencies, where rebind_warm's exact eviction and the legacy
+  // survivors-stay-valid policy genuinely diverge.
+  const bool warm = options_.warm_repair && !plan.used_converter_rewire;
   RepairApplication application =
-      mode.apply_repair(plan.graph, plan.configs, failures.switches);
+      mode.apply_repair(plan.graph, plan.configs, failures.switches, warm);
   plan.pairs_invalidated = application.pairs_invalidated;
   plan.pairs_retained = application.pairs_retained;
   if (tracer != nullptr) {

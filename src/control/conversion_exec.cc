@@ -37,6 +37,12 @@ void ControlChannelOptions::validate() const {
     throw std::invalid_argument(
         "ControlChannelOptions: max_attempts must be >= 1");
   }
+  for (double d : switch_delay_s) {
+    if (!(d >= 0.0)) {
+      throw std::invalid_argument(
+          "ControlChannelOptions: switch_delay_s entries must be >= 0");
+    }
+  }
 }
 
 const char* to_string(StepKind kind) {
@@ -190,10 +196,47 @@ struct Exec {
   // stream, so delivery outcomes are invariant under jitter changes.
   // `unbounded` (rollback) retries until success, with a far-out safety
   // valve so an adversarial seed cannot hang the executor.
-  ChannelOutcome channel_round(double start_s, double service_s,
-                               bool forced_fail, bool unbounded) {
+  // The one-way delay toward a step's target: the topology-aware
+  // per-switch figure when the channel carries one (net/control_rtt.h),
+  // else the uniform delay_s. Untargeted steps (patches, OCS passes, the
+  // flip barrier) always use delay_s — they fan out to many devices and
+  // the uniform figure is their calibrated aggregate.
+  double one_way_for(NodeId target) const {
+    const std::vector<double>& d = opt.channel.switch_delay_s;
+    if (!target.valid() || target.index() >= d.size()) {
+      return opt.channel.delay_s;
+    }
+    return d[target.index()];
+  }
+
+  // True when n's Pod has an active control partition at `now`. Core
+  // switches carry no Pod and are never partitioned. Windows are checked
+  // at step start — per-call granularity, deterministic.
+  bool partitioned(NodeId n) const {
+    if (faults.partitions.empty()) return false;
+    const PodId pod = graph->node(n).pod;
+    if (!pod.valid()) return false;
+    for (const ControlPartition& p : faults.partitions) {
+      if (p.pod == pod && now >= p.start_s &&
+          (p.end_s < 0.0 || now < p.end_s)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // A per-switch step the commanding controller cannot deliver: the flat
+  // root cannot cross a partition; a Pod-local controller with authority
+  // programs its own island.
+  bool partition_blocks(NodeId n) const {
+    return !opt.pod_local_authority && partitioned(n);
+  }
+
+  ChannelOutcome channel_round(double start_s, double one_way_s,
+                               double service_s, bool forced_fail,
+                               bool unbounded) {
     const ControlChannelOptions& ch = opt.channel;
-    const double rtt = 2.0 * ch.delay_s + service_s;
+    const double rtt = 2.0 * one_way_s + service_s;
     const double base_timeout = std::max(ch.timeout_s, rtt);
     const double timeout_cap = base_timeout * 64.0;
     const std::uint32_t cap = unbounded ? 4096u : ch.max_attempts;
@@ -232,7 +275,8 @@ struct Exec {
                            static_cast<double>(dels) * delay.rule_delete_s) /
                               delay.effective_controllers();
     const ChannelOutcome out =
-        channel_round(now, service, forced_fail, rollback);
+        channel_round(now, one_way_for(target), service, forced_fail,
+                      rollback);
     StepRecord rec;
     rec.kind = kind;
     rec.rollback = rollback;
@@ -606,7 +650,8 @@ struct Exec {
     if (!report.steps.empty() &&
         report.steps.back().start_s < faults.kill_primary_at_s) {
       const StepRecord prev = report.steps.back();
-      const ChannelOutcome out = channel_round(now, 0.0, false, true);
+      const ChannelOutcome out =
+          channel_round(now, one_way_for(prev.target), 0.0, false, true);
       StepRecord rec;
       rec.kind = prev.kind;
       rec.rollback = prev.rollback;
@@ -1066,6 +1111,25 @@ ExecutionReport ConversionExecutor::execute_under_storm(
     throw std::invalid_argument(
         "ConversionExecutor: stage_checkpoints requires the staged protocol");
   }
+  if (!faults.partitions.empty() && !options_.staged) {
+    throw std::invalid_argument(
+        "ConversionExecutor: control partitions require the staged protocol");
+  }
+  const std::uint32_t pod_count = tree.clos().pods;
+  for (const ControlPartition& p : faults.partitions) {
+    if (!p.pod.valid() || p.pod.value() >= pod_count) {
+      throw std::invalid_argument(
+          "ConversionExecutor: partition pod out of range");
+    }
+    if (!(p.start_s >= 0.0)) {
+      throw std::invalid_argument(
+          "ConversionExecutor: partition start_s must be >= 0");
+    }
+    if (!(p.end_s < 0.0) && !(p.end_s > p.start_s)) {
+      throw std::invalid_argument(
+          "ConversionExecutor: partition must end after it starts");
+    }
+  }
   storm.validate();
   for (const FailureEvent& e : storm.events()) {
     for (LinkId id : e.elements.links) {
@@ -1263,7 +1327,8 @@ ExecutionReport ConversionExecutor::execute_under_storm(
             break;
           }
           if (!ex.run_step(StepKind::kRuleAdd, false, NodeId{n}, 0, to_fp[n],
-                           0, 0.0, ex.dead[n])) {
+                           0, 0.0,
+                           ex.dead[n] || ex.partition_blocks(NodeId{n}))) {
             failed = true;
             break;
           }
@@ -1278,8 +1343,21 @@ ExecutionReport ConversionExecutor::execute_under_storm(
       if (!failed) {
         (void)ex.maybe_failover();
         const std::vector<std::uint64_t> old_fp = ex.footprint_of(ex.routes);
+        // The flip barrier is root-coordinated under both control-plane
+        // shapes: while any Pod carrying new-epoch rules is islanded, the
+        // commit cannot span it and the barrier fails — the stage rolls
+        // back to the last checkpoint instead of installing a mixed-epoch
+        // rule set.
+        bool flip_blocked = false;
+        for (std::uint32_t n = 0;
+             n < static_cast<std::uint32_t>(to_fp.size()); ++n) {
+          if (to_fp[n] != 0 && ex.partitioned(NodeId{n})) {
+            flip_blocked = true;
+            break;
+          }
+        }
         if (!ex.run_step(StepKind::kEpochFlip, false, NodeId{}, 0, 0, 0, 0.0,
-                         false)) {
+                         flip_blocked)) {
           failed = true;
         } else {
           ex.epoch = commit_epoch;
@@ -1290,7 +1368,9 @@ ExecutionReport ConversionExecutor::execute_under_storm(
           for (std::uint32_t n = 0;
                n < static_cast<std::uint32_t>(old_fp.size()); ++n) {
             if (old_fp[n] == 0) continue;
-            if (ex.dead[n]) {
+            // A dead or (root-unreachable) partitioned switch keeps its
+            // stale rules — inert under the new epoch.
+            if (ex.dead[n] || ex.partition_blocks(NodeId{n})) {
               report.rules_skipped_dead += old_fp[n];
               continue;
             }
@@ -1322,6 +1402,14 @@ ExecutionReport ConversionExecutor::execute_under_storm(
     for (std::uint32_t n = static_cast<std::uint32_t>(next_epoch_rules.size());
          n-- > 0;) {
       if (next_epoch_rules[n] == 0) continue;
+      // Unbounded rollback retries must not stall against a partition the
+      // root cannot cross: the uncollected rules are inert under the
+      // checkpoint's epoch, so skip and count them instead.
+      if (ex.partition_blocks(NodeId{n})) {
+        report.rules_skipped_dead += next_epoch_rules[n];
+        next_epoch_rules[n] = 0;
+        continue;
+      }
       ex.storm_tick();
       (void)ex.maybe_failover();
       ex.run_step(StepKind::kRuleDelete, true, NodeId{n}, 0, 0,

@@ -128,11 +128,28 @@ struct ControlChannelOptions {
   double backoff{2.0};            // timeout multiplier per retry
   double jitter{0.1};             // backoff desynchronization, in [0, 1]
   std::uint32_t max_attempts{5};  // forward steps; rollback retries unbounded
+  // Topology-aware per-switch one-way delays, indexed by node id (see
+  // net/control_rtt.h). Empty = every message costs the uniform delay_s.
+  // Per-switch steps addressed to node n use switch_delay_s[n]; untargeted
+  // steps (patches, OCS passes, the epoch flip barrier) keep delay_s —
+  // they fan out to many devices and the uniform figure is their
+  // calibrated aggregate. Delays shape retry *timing* only; delivery
+  // outcomes come from the drop stream and stay invariant.
+  std::vector<double> switch_delay_s;
 
   // Throws std::invalid_argument on out-of-range fields (negative delays,
   // drop_probability outside [0, 1), backoff < 1, jitter outside [0, 1],
-  // zero attempts, NaN).
+  // zero attempts, negative switch_delay_s entries, NaN).
   void validate() const;
+};
+
+// One control-network partition window: the Pod's switches are unreachable
+// from the root controller for t in [start_s, end_s) (end_s < 0 = never
+// heals). Core switches have no Pod and are never partitioned.
+struct ControlPartition {
+  PodId pod{};
+  double start_s{0.0};
+  double end_s{-1.0};
 };
 
 // Injected control-plane faults for chaos testing.
@@ -146,6 +163,21 @@ struct ConversionFaults {
   // When >= 0, the primary controller dies at this simulated time; the
   // standby takes over at the next step boundary (see the header comment).
   double kill_primary_at_s{-1.0};
+  // Control-network partitions. While a Pod is partitioned its switches keep
+  // forwarding installed rules fail-static. Under the flat controller
+  // (pod_local_authority = false) a per-switch rule step addressed into the
+  // partition fails outright — the root cannot reach the table — and
+  // old-epoch GC / rollback deletes into it are skipped and counted
+  // (rules_skipped_dead; the leftovers are inert under the committed
+  // epoch). With a Pod-local controller holding authority
+  // (pod_local_authority = true) those per-switch steps succeed — the local
+  // controller programs its own Pod. Either way the kEpochFlip barrier
+  // fails while any Pod carrying new-epoch rules is partitioned: the
+  // root-coordinated commit cannot span an island, so the in-flight stage
+  // rolls back to the last checkpoint (kPartial), never the whole
+  // conversion. Windows are checked at step start (per-call granularity,
+  // deterministic).
+  std::vector<ControlPartition> partitions;
 };
 
 struct ConversionExecOptions {
@@ -163,6 +195,13 @@ struct ConversionExecOptions {
   bool live_replanning{true};
   // Standby promotion delay after the primary dies (kill_primary_at_s).
   double failover_takeover_s{0.25};
+  // Per-Pod local controllers hold authority over their own Pod's switch
+  // tables (the hierarchical control plane of src/control/hierarchy.h):
+  // per-switch rule steps into a partitioned Pod still succeed — its local
+  // controller issues them — while the flat default fails them at the
+  // root. The kEpochFlip barrier is root-coordinated under both regimes;
+  // see ConversionFaults::partitions.
+  bool pod_local_authority{false};
   // Make-before-break patches land as bounded batches of at most this many
   // rule operations, with storm detection and failover checks between
   // batches — a failure landing mid-patch is observed within one chunk,

@@ -1,0 +1,37 @@
+#include "net/control_rtt.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flattree {
+
+ControlRttModel control_rtts(const Graph& graph, NodeId site, double per_hop_s,
+                             double floor_s) {
+  if (!site.valid() || site.index() >= graph.node_count()) {
+    throw std::invalid_argument("control_rtts: site must name a graph node");
+  }
+  // Negated conjunctions so NaN is rejected too.
+  if (!(per_hop_s >= 0.0)) {
+    throw std::invalid_argument("control_rtts: per_hop_s must be >= 0");
+  }
+  if (!(floor_s >= 0.0)) {
+    throw std::invalid_argument("control_rtts: floor_s must be >= 0");
+  }
+  const std::vector<std::uint32_t> dist = graph.bfs_distances(site);
+  std::uint32_t worst = 0;
+  for (std::uint32_t d : dist) {
+    if (d != Graph::kUnreachable) worst = std::max(worst, d);
+  }
+  const std::uint32_t detour_hops = worst + 2;
+  ControlRttModel model;
+  model.site = site;
+  model.one_way_s.resize(dist.size());
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    const std::uint32_t hops =
+        dist[i] == Graph::kUnreachable ? detour_hops : dist[i];
+    model.one_way_s[i] = floor_s + static_cast<double>(hops) * per_hop_s;
+  }
+  return model;
+}
+
+}  // namespace flattree

@@ -1,0 +1,50 @@
+// Topology-aware control-plane latency model.
+//
+// The lossy control channel (ControlChannelOptions) historically charged one
+// uniform one-way delay for every controller <-> device message. A real
+// control network rides the same fabric it programs: a controller homed on a
+// core switch reaches a far Pod's edge switch across more hops than its own
+// rack. This module derives per-switch one-way delays from hop distance on
+// the realized graph — the control topology IS the data topology (in-band
+// control), which is exactly the regime where a data-plane partition becomes
+// a control-plane partition and the hierarchy in src/control/hierarchy.h
+// earns its keep.
+//
+// The model is a pure function of (graph, site, per_hop_s, floor_s), so two
+// controllers computing it independently agree bit-for-bit — the property
+// the standby-promotion and rejoin-reconciliation paths rely on.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+
+namespace flattree {
+
+// Per-node one-way control latency from one controller site.
+struct ControlRttModel {
+  NodeId site{};                   // the controller's attachment switch
+  std::vector<double> one_way_s;   // indexed by node id; servers included
+
+  // The one-way delay toward `n`, or `fallback` when the node is out of
+  // range (a realization with more nodes than the model was built from).
+  [[nodiscard]] double one_way(NodeId n, double fallback) const {
+    return n.valid() && n.index() < one_way_s.size() ? one_way_s[n.index()]
+                                                     : fallback;
+  }
+};
+
+// Builds the model by BFS from `site` on `graph`: one_way_s[n] =
+// floor_s + hops(site, n) * per_hop_s. The site itself costs floor_s (the
+// controller still traverses its own switch's control agent). Nodes the BFS
+// cannot reach — a switch islanded by converter circuits mid-conversion —
+// are charged the graph's worst finite distance plus two hops: the message
+// would detour over whatever out-of-band path exists, and a finite (if
+// pessimistic) delay keeps the channel model's timeout math meaningful
+// instead of dividing by infinity. Throws std::invalid_argument on an
+// invalid site or negative/NaN timings.
+[[nodiscard]] ControlRttModel control_rtts(const Graph& graph, NodeId site,
+                                           double per_hop_s,
+                                           double floor_s = 0.0);
+
+}  // namespace flattree

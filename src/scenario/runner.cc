@@ -187,6 +187,12 @@ void build_failures(CompiledScenario& c, std::string_view file) {
   try {
     for (std::size_t i = 0; i < c.spec.failures.size(); ++i) {
       const FailureSpec& f = c.spec.failures[i];
+      // Control-plane chaos never enters the data-plane schedule: it
+      // compiles into ConversionFaults (build_control_faults).
+      if (f.kind == FailureKind::kControllerCrash ||
+          f.kind == FailureKind::kControlPartition) {
+        continue;
+      }
       FailureSet set;
       Rng rng{f.seed};
       switch (f.kind) {
@@ -200,6 +206,9 @@ void build_failures(CompiledScenario& c, std::string_view file) {
           set.switches = sample_switch_failures(
               *c.base_graph, role_from(f.role), f.fraction, rng);
           break;
+        case FailureKind::kControllerCrash:
+        case FailureKind::kControlPartition:
+          break;  // unreachable: skipped above
       }
       if (set.empty()) {
         reject("entry " + std::to_string(i) +
@@ -218,6 +227,40 @@ void build_failures(CompiledScenario& c, std::string_view file) {
   } catch (const std::invalid_argument& e) {
     reject(e.what());
   }
+}
+
+// Control-plane failure entries -> the executor's fault description.
+// controller_crash kills the primary at fail_at (earliest entry wins when a
+// scenario is hand-edited into several; the grammar's overlap check already
+// rejects that). control_partition islands Pods [first, first+count) per
+// flap window; recover_at < 0 means the island never heals.
+ConversionFaults build_control_faults(const CompiledScenario& c) {
+  ConversionFaults faults;
+  for (const FailureSpec& f : c.spec.failures) {
+    switch (f.kind) {
+      case FailureKind::kControllerCrash:
+        faults.kill_primary_at_s =
+            faults.kill_primary_at_s < 0.0
+                ? f.fail_at
+                : std::min(faults.kill_primary_at_s, f.fail_at);
+        break;
+      case FailureKind::kControlPartition:
+        for (std::uint32_t flap = 0; flap < f.flaps; ++flap) {
+          const double shift = static_cast<double>(flap) * f.period_s;
+          for (std::uint32_t pod = f.first; pod < f.first + f.count; ++pod) {
+            ControlPartition p;
+            p.pod = PodId{pod};
+            p.start_s = f.fail_at + shift;
+            p.end_s = f.recover_at >= 0 ? f.recover_at + shift : -1.0;
+            faults.partitions.push_back(p);
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return faults;
 }
 
 // ---- compile: cross checks --------------------------------------------------
@@ -381,14 +424,20 @@ FluidRun run_fluid(const CompiledScenario& c, const RunOptions& options) {
     exec_opts.stage_checkpoints = conv.stage_checkpoints;
     exec_opts.ocs_partitions = conv.ocs_partitions;
     exec_opts.channel.drop_probability = conv.drop_probability;
+    exec_opts.channel.delay_s = conv.channel_delay_s;
+    exec_opts.channel.timeout_s = conv.channel_timeout_s;
+    exec_opts.channel.backoff = conv.channel_backoff;
+    exec_opts.channel.jitter = conv.channel_jitter;
+    exec_opts.channel.max_attempts = conv.channel_max_attempts;
     exec_opts.seed = conv.seed;
     exec_opts.sink = options.sink;
+    const ConversionFaults control_faults = build_control_faults(c);
     const ConversionExecutor executor{*controller, exec_opts};
     const ExecutionReport report =
         c.failures.empty()
-            ? executor.execute(from, to, pairs, ConversionFaults{}, conv.at_s)
+            ? executor.execute(from, to, pairs, control_faults, conv.at_s)
             : executor.execute_under_storm(from, to, pairs, c.failures,
-                                           ConversionFaults{}, conv.at_s);
+                                           control_faults, conv.at_s);
     out.results =
         run_fluid_with_conversion(report, c.flows, fluid_opts, &out.sched);
     out.extras.emplace_back("conv_finish_s", report.finish_s);
@@ -719,6 +768,22 @@ CompiledScenario compile_scenario(const Scenario& spec,
     c.delay.rule_delete_s = spec.conversion.rule_delete_s;
     c.delay.rule_add_s = spec.conversion.rule_add_s;
     c.delay.controllers = spec.conversion.controllers;
+    // The grammar parses the channel knobs for type only; the channel is
+    // the single authority on its ranges, so out-of-range values are
+    // rejected here with the channel's own message (pinned by the parse
+    // regression tests).
+    ControlChannelOptions channel;
+    channel.drop_probability = spec.conversion.drop_probability;
+    channel.delay_s = spec.conversion.channel_delay_s;
+    channel.timeout_s = spec.conversion.channel_timeout_s;
+    channel.backoff = spec.conversion.channel_backoff;
+    channel.jitter = spec.conversion.channel_jitter;
+    channel.max_attempts = spec.conversion.channel_max_attempts;
+    try {
+      channel.validate();
+    } catch (const std::invalid_argument& e) {
+      fail(file, std::string{"conversion channel rejected: "} + e.what());
+    }
   } else {
     c.delay = ConversionDelayModel{};
     c.delay.controllers = spec.sim.controllers;

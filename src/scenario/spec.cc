@@ -211,9 +211,13 @@ FailureKind failure_kind_from(const Ctx& ctx, const JsonNode& node) {
   if (s == "core_column") return FailureKind::kCoreColumn;
   if (s == "links") return FailureKind::kLinks;
   if (s == "switches") return FailureKind::kSwitches;
+  if (s == "controller_crash") return FailureKind::kControllerCrash;
+  if (s == "control_partition") return FailureKind::kControlPartition;
   ctx.fail(node,
            "key \"kind\": unknown failure kind " + quoted(s) + " (expected " +
-               expected_list({"core_column", "links", "switches"}) + ")");
+               expected_list({"core_column", "links", "switches",
+                              "controller_crash", "control_partition"}) +
+               ")");
 }
 
 SloMetric slo_metric_from(const Ctx& ctx, const JsonNode& node) {
@@ -499,10 +503,17 @@ FailureSpec parse_failure_entry(const Ctx& ctx, const JsonNode& obj,
   static constexpr std::string_view kShared[] = {"kind", "fail_at",
                                                  "recover_at", "flaps",
                                                  "period_s"};
+  // A controller crash has no recovery window or flapping: the standby
+  // takes over, the dead primary never comes back.
+  static constexpr std::string_view kCrashShared[] = {"kind", "fail_at"};
   static constexpr std::string_view kCoreColumn[] = {"first", "count"};
   static constexpr std::string_view kLinks[] = {"fraction", "seed"};
   static constexpr std::string_view kSwitches[] = {"fraction", "role", "seed"};
-  const std::span<const std::string_view> shared = kShared;
+  static constexpr std::string_view kControlPartition[] = {"first", "count"};
+  const std::span<const std::string_view> shared =
+      spec.kind == FailureKind::kControllerCrash
+          ? std::span<const std::string_view>{kCrashShared}
+          : std::span<const std::string_view>{kShared};
   std::span<const std::string_view> specific;
   switch (spec.kind) {
     case FailureKind::kCoreColumn:
@@ -513,6 +524,11 @@ FailureSpec parse_failure_entry(const Ctx& ctx, const JsonNode& obj,
       break;
     case FailureKind::kSwitches:
       specific = kSwitches;
+      break;
+    case FailureKind::kControllerCrash:
+      break;
+    case FailureKind::kControlPartition:
+      specific = kControlPartition;
       break;
   }
   for (const auto& [key, value] : obj.members) {
@@ -533,11 +549,14 @@ FailureSpec parse_failure_entry(const Ctx& ctx, const JsonNode& obj,
   }
   switch (spec.kind) {
     case FailureKind::kCoreColumn:
+    case FailureKind::kControlPartition:
       if (const JsonNode* node = obj.find("first")) {
         spec.first = get_u32(ctx, *node, "first", 0, 1 << 20);
       }
       spec.count =
           get_u32(ctx, require_key(ctx, obj, "count"), "count", 1, 1 << 20);
+      break;
+    case FailureKind::kControllerCrash:
       break;
     case FailureKind::kLinks:
     case FailureKind::kSwitches: {
@@ -593,6 +612,7 @@ std::string selector_identity(const FailureSpec& spec) {
   id << to_string(spec.kind);
   switch (spec.kind) {
     case FailureKind::kCoreColumn:
+    case FailureKind::kControlPartition:
       id << ":" << spec.first << ":" << spec.count;
       break;
     case FailureKind::kLinks:
@@ -600,6 +620,11 @@ std::string selector_identity(const FailureSpec& spec) {
       break;
     case FailureKind::kSwitches:
       id << ":" << spec.fraction << ":" << spec.role << ":" << spec.seed;
+      break;
+    case FailureKind::kControllerCrash:
+      // Identity is the kind itself; a crash never recovers, so any second
+      // crash entry overlaps the first and is rejected — at most one per
+      // scenario, by construction.
       break;
   }
   return id.str();
@@ -629,8 +654,9 @@ ConversionSpec parse_conversion(const Ctx& ctx, const JsonNode& obj,
   }
   check_keys(ctx, obj,
              {"at_s", "to", "staged", "stage_checkpoints", "ocs_partitions",
-              "drop_probability", "seed", "controllers", "ocs_s",
-              "rule_delete_s", "rule_add_s"},
+              "drop_probability", "channel_delay_s", "channel_timeout_s",
+              "channel_backoff", "channel_jitter", "channel_max_attempts",
+              "seed", "controllers", "ocs_s", "rule_delete_s", "rule_add_s"},
              "conversion");
   ConversionSpec spec;
   spec.present = true;
@@ -656,6 +682,27 @@ ConversionSpec parse_conversion(const Ctx& ctx, const JsonNode& obj,
     if (!(spec.drop_probability >= 0) || !(spec.drop_probability < 1)) {
       ctx.fail(*node, "key \"drop_probability\": must lie in [0, 1)");
     }
+  }
+  // The remaining lossy-channel knobs are parsed for type only:
+  // ControlChannelOptions::validate() is the single authority on channel
+  // ranges, and the compiler calls it before any cell runs — so every
+  // rejection message has exactly one home (and the regression tests pin
+  // each one there).
+  if (const JsonNode* node = obj.find("channel_delay_s")) {
+    spec.channel_delay_s = get_number(ctx, *node, "channel_delay_s");
+  }
+  if (const JsonNode* node = obj.find("channel_timeout_s")) {
+    spec.channel_timeout_s = get_number(ctx, *node, "channel_timeout_s");
+  }
+  if (const JsonNode* node = obj.find("channel_backoff")) {
+    spec.channel_backoff = get_number(ctx, *node, "channel_backoff");
+  }
+  if (const JsonNode* node = obj.find("channel_jitter")) {
+    spec.channel_jitter = get_number(ctx, *node, "channel_jitter");
+  }
+  if (const JsonNode* node = obj.find("channel_max_attempts")) {
+    spec.channel_max_attempts =
+        get_u32(ctx, *node, "channel_max_attempts", 0, 1 << 20);
   }
   if (const JsonNode* node = obj.find("seed")) {
     spec.seed = get_u64(ctx, *node, "seed");
@@ -809,6 +856,8 @@ const char* to_string(FailureKind kind) {
     case FailureKind::kCoreColumn: return "core_column";
     case FailureKind::kLinks: return "links";
     case FailureKind::kSwitches: return "switches";
+    case FailureKind::kControllerCrash: return "controller_crash";
+    case FailureKind::kControlPartition: return "control_partition";
   }
   return "?";
 }
@@ -936,11 +985,41 @@ Scenario parse_scenario(std::string_view text, std::string_view file) {
                                 quoted(to_string(scenario.sim.engine)));
     }
   }
+  for (std::size_t i = 0; i < scenario.failures.size(); ++i) {
+    const FailureSpec& f = scenario.failures[i];
+    const bool control = f.kind == FailureKind::kControllerCrash ||
+                         f.kind == FailureKind::kControlPartition;
+    if (!control) continue;
+    // Control-plane chaos degrades the conversion's controllers, so it is
+    // meaningless without a conversion in flight — and partitions demand
+    // the staged protocol (the atomic baseline has no checkpoint to fall
+    // back on, so the executor rejects the combination).
+    if (!scenario.conversion.present) {
+      ctx.fail(failures->items[i],
+               "failure kind " + quoted(to_string(f.kind)) +
+                   " requires a \"conversion\" section");
+    }
+    if (f.kind == FailureKind::kControlPartition) {
+      if (!scenario.conversion.staged) {
+        ctx.fail(failures->items[i],
+                 "failure kind \"control_partition\" requires a staged "
+                 "conversion");
+      }
+      if (f.first + f.count > scenario.topology.k) {
+        ctx.fail(failures->items[i],
+                 "failure kind \"control_partition\": pod range [first, "
+                 "first + count) exceeds the topology's pods");
+      }
+    }
+  }
   if (scenario.conversion.present && !scenario.failures.empty()) {
     for (std::size_t i = 0; i < scenario.failures.size(); ++i) {
-      if (scenario.failures[i].kind != FailureKind::kLinks) {
+      const FailureKind k = scenario.failures[i].kind;
+      if (k != FailureKind::kLinks && k != FailureKind::kControllerCrash &&
+          k != FailureKind::kControlPartition) {
         ctx.fail(failures->items[i],
-                 "conversion scenarios support failure kind \"links\" only");
+                 "conversion scenarios support failure kinds \"links\", "
+                 "\"controller_crash\" and \"control_partition\" only");
       }
     }
   }
@@ -1158,6 +1237,7 @@ void write_failure_entry(JsonWriter& w, const FailureSpec& f) {
   }
   switch (f.kind) {
     case FailureKind::kCoreColumn:
+    case FailureKind::kControlPartition:
       w.key("first");
       w.value(f.first);
       w.key("count");
@@ -1173,14 +1253,21 @@ void write_failure_entry(JsonWriter& w, const FailureSpec& f) {
       w.key("role");
       w.value(f.role);
       break;
+    case FailureKind::kControllerCrash:
+      break;
   }
-  w.key("flaps");
-  w.value(f.flaps);
-  if (f.flaps > 1) {
-    w.key("period_s");
-    w.value(f.period_s);
+  // controller_crash admits neither flapping nor a seed; materializing
+  // either would break the canonical fixed point (the reparse rejects the
+  // key).
+  if (f.kind != FailureKind::kControllerCrash) {
+    w.key("flaps");
+    w.value(f.flaps);
+    if (f.flaps > 1) {
+      w.key("period_s");
+      w.value(f.period_s);
+    }
   }
-  if (f.kind != FailureKind::kCoreColumn) {
+  if (f.kind == FailureKind::kLinks || f.kind == FailureKind::kSwitches) {
     w.key("seed");
     w.value(f.seed);
   }
@@ -1201,6 +1288,16 @@ void write_conversion(JsonWriter& w, const ConversionSpec& c) {
   w.value(c.ocs_partitions);
   w.key("drop_probability");
   w.value(c.drop_probability);
+  w.key("channel_delay_s");
+  w.value(c.channel_delay_s);
+  w.key("channel_timeout_s");
+  w.value(c.channel_timeout_s);
+  w.key("channel_backoff");
+  w.value(c.channel_backoff);
+  w.key("channel_jitter");
+  w.value(c.channel_jitter);
+  w.key("channel_max_attempts");
+  w.value(c.channel_max_attempts);
   w.key("seed");
   w.value(c.seed);
   w.key("controllers");

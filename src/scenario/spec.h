@@ -102,6 +102,11 @@ enum class FailureKind : std::uint8_t {
   kCoreColumn,  // `count` consecutive core switches starting at `first`
   kLinks,       // uniform sample of `fraction` of the fabric links
   kSwitches,    // uniform sample of `fraction` of the switches of `role`
+  // Control-plane chaos (require a conversion block; they degrade the
+  // controllers, not the data plane, and compile into ConversionFaults
+  // rather than the FailureSchedule).
+  kControllerCrash,    // primary controller dies at fail_at
+  kControlPartition,   // Pods [first, first+count) islanded from the root
 };
 
 struct FailureSpec {
@@ -127,6 +132,14 @@ struct ConversionSpec {
   bool stage_checkpoints{false};
   std::uint32_t ocs_partitions{4};
   double drop_probability{0.0};
+  // Remaining lossy-channel knobs (ControlChannelOptions). Parsed for type
+  // only; range checking is ControlChannelOptions::validate(), called once
+  // at scenario compile so the rejection text has a single home.
+  double channel_delay_s{0.0005};
+  double channel_timeout_s{0.05};
+  double channel_backoff{2.0};
+  double channel_jitter{0.1};
+  std::uint32_t channel_max_attempts{5};
   std::uint64_t seed{0};  // resolved at parse: defaults to scenario seed
   // Embedded ConversionDelayModel; validated by the model itself at compile
   // time (ConversionDelayModel::validate), not re-checked at parse time.

@@ -422,6 +422,169 @@ TEST(ScenarioCompile, AutopilotHorizonBounded) {
       "bad.json: engine \"autopilot\" requires max_time_s in (0, 600]");
 }
 
+// ---- control-plane fault grammar --------------------------------------------
+// controller_crash / control_partition entries (PR: partition-tolerant
+// hierarchy): acceptance of the full shape, and every structural rejection
+// position-anchored at the offending entry.
+
+TEST(ScenarioParse, ControlFaultsParse) {
+  const Scenario s = parse_scenario(
+      "{\"name\": \"x\",\n"
+      " \"topology\": {\"kind\": \"flat_tree\"},\n"
+      " \"traffic\": [{\"pattern\": \"permutation\"}],\n"
+      " \"conversion\": {\"to\": [\"global\"], \"stage_checkpoints\": true},\n"
+      " \"failures\": [\n"
+      "  {\"kind\": \"controller_crash\", \"fail_at\": 0.5},\n"
+      "  {\"kind\": \"control_partition\", \"fail_at\": 0.5,"
+      " \"recover_at\": 2.0, \"first\": 1, \"count\": 2},\n"
+      "  {\"kind\": \"links\", \"fraction\": 0.1, \"fail_at\": 0.2}]}",
+      "ok.json");
+  ASSERT_EQ(s.failures.size(), 3u);
+  EXPECT_EQ(s.failures[0].kind, FailureKind::kControllerCrash);
+  EXPECT_EQ(s.failures[0].fail_at, 0.5);
+  EXPECT_EQ(s.failures[1].kind, FailureKind::kControlPartition);
+  EXPECT_EQ(s.failures[1].recover_at, 2.0);
+  EXPECT_EQ(s.failures[1].first, 1u);
+  EXPECT_EQ(s.failures[1].count, 2u);
+  // A never-healing partition: recover_at stays the down-forever sentinel.
+  EXPECT_EQ(s.failures[1].flaps, 1u);
+  (void)compile_scenario(s, "ok.json");  // compiles clean end to end
+}
+
+TEST(ScenarioParse, ControllerCrashAdmitsNoRecovery) {
+  // The dead primary never comes back; the standby takes over instead.
+  expect_parse_error(
+      "{\"name\": \"x\",\n"
+      " \"topology\": {\"kind\": \"flat_tree\"},\n"
+      " \"traffic\": [{\"pattern\": \"permutation\"}],\n"
+      " \"conversion\": {\"to\": [\"global\"]},\n"
+      " \"failures\": [{\"kind\": \"controller_crash\", \"fail_at\": 0.5,"
+      " \"recover_at\": 2.0}]}",
+      "bad.json:5:74: key \"recover_at\" is not valid for failure kind "
+      "\"controller_crash\"");
+}
+
+TEST(ScenarioParse, ControlFaultsRequireConversion) {
+  expect_parse_error(
+      "{\"name\": \"x\",\n"
+      " \"topology\": {\"kind\": \"flat_tree\"},\n"
+      " \"traffic\": [{\"pattern\": \"permutation\"}],\n"
+      " \"failures\": [{\"kind\": \"controller_crash\", \"fail_at\": 0.5}]}",
+      "bad.json:4:15: failure kind \"controller_crash\" requires a "
+      "\"conversion\" section");
+}
+
+TEST(ScenarioParse, ControlPartitionRequiresStagedConversion) {
+  // The atomic baseline has no checkpoint to fall back on.
+  expect_parse_error(
+      "{\"name\": \"x\",\n"
+      " \"topology\": {\"kind\": \"flat_tree\"},\n"
+      " \"traffic\": [{\"pattern\": \"permutation\"}],\n"
+      " \"conversion\": {\"to\": [\"global\"], \"staged\": false},\n"
+      " \"failures\": [{\"kind\": \"control_partition\", \"fail_at\": 0.5,"
+      " \"count\": 2}]}",
+      "bad.json:5:15: failure kind \"control_partition\" requires a staged "
+      "conversion");
+}
+
+TEST(ScenarioParse, ControlPartitionPodRangeBounded) {
+  expect_parse_error(
+      "{\"name\": \"x\",\n"
+      " \"topology\": {\"kind\": \"flat_tree\"},\n"
+      " \"traffic\": [{\"pattern\": \"permutation\"}],\n"
+      " \"conversion\": {\"to\": [\"global\"]},\n"
+      " \"failures\": [{\"kind\": \"control_partition\", \"fail_at\": 0.5,"
+      " \"first\": 3, \"count\": 2}]}",
+      "bad.json:5:15: failure kind \"control_partition\": pod range [first, "
+      "first + count) exceeds the topology's pods");
+}
+
+TEST(ScenarioParse, ControlPartitionRequiresCount) {
+  expect_parse_error(
+      "{\"name\": \"x\",\n"
+      " \"topology\": {\"kind\": \"flat_tree\"},\n"
+      " \"traffic\": [{\"pattern\": \"permutation\"}],\n"
+      " \"conversion\": {\"to\": [\"global\"]},\n"
+      " \"failures\": [{\"kind\": \"control_partition\", \"fail_at\": 0.5}]}",
+      "bad.json:5:15: missing required key \"count\"");
+}
+
+TEST(ScenarioParse, ConversionScenariosRejectOtherFailureKinds) {
+  expect_parse_error(
+      "{\"name\": \"x\",\n"
+      " \"topology\": {\"kind\": \"flat_tree\"},\n"
+      " \"traffic\": [{\"pattern\": \"permutation\"}],\n"
+      " \"conversion\": {\"to\": [\"global\"]},\n"
+      " \"failures\": [{\"kind\": \"core_column\", \"fail_at\": 0.5,"
+      " \"count\": 1}]}",
+      "bad.json:5:15: conversion scenarios support failure kinds \"links\", "
+      "\"controller_crash\" and \"control_partition\" only");
+}
+
+TEST(ScenarioParse, DropProbabilityRangeChecked) {
+  expect_parse_error(
+      "{\"name\": \"x\",\n"
+      " \"topology\": {\"kind\": \"flat_tree\"},\n"
+      " \"traffic\": [{\"pattern\": \"permutation\"}],\n"
+      " \"conversion\": {\"to\": [\"global\"], \"drop_probability\": 1.0}}",
+      "bad.json:4:55: key \"drop_probability\": must lie in [0, 1)");
+}
+
+// The remaining channel knobs are parsed for type only; compile_scenario
+// invokes ControlChannelOptions::validate() before any cell runs, so every
+// out-of-range value lands with the channel's own message — pinned here,
+// one per field.
+
+TEST(ScenarioCompile, ChannelDelayRejected) {
+  expect_compile_error(
+      "{\"name\": \"x\",\n"
+      " \"topology\": {\"kind\": \"flat_tree\"},\n"
+      " \"traffic\": [{\"pattern\": \"permutation\"}],\n"
+      " \"conversion\": {\"to\": [\"global\"], \"channel_delay_s\": -0.1}}",
+      "bad.json: conversion channel rejected: ControlChannelOptions: "
+      "delay_s must be >= 0");
+}
+
+TEST(ScenarioCompile, ChannelTimeoutRejected) {
+  expect_compile_error(
+      "{\"name\": \"x\",\n"
+      " \"topology\": {\"kind\": \"flat_tree\"},\n"
+      " \"traffic\": [{\"pattern\": \"permutation\"}],\n"
+      " \"conversion\": {\"to\": [\"global\"], \"channel_timeout_s\": 0.0}}",
+      "bad.json: conversion channel rejected: ControlChannelOptions: "
+      "timeout_s must be > 0");
+}
+
+TEST(ScenarioCompile, ChannelBackoffRejected) {
+  expect_compile_error(
+      "{\"name\": \"x\",\n"
+      " \"topology\": {\"kind\": \"flat_tree\"},\n"
+      " \"traffic\": [{\"pattern\": \"permutation\"}],\n"
+      " \"conversion\": {\"to\": [\"global\"], \"channel_backoff\": 0.5}}",
+      "bad.json: conversion channel rejected: ControlChannelOptions: "
+      "backoff must be >= 1");
+}
+
+TEST(ScenarioCompile, ChannelJitterRejected) {
+  expect_compile_error(
+      "{\"name\": \"x\",\n"
+      " \"topology\": {\"kind\": \"flat_tree\"},\n"
+      " \"traffic\": [{\"pattern\": \"permutation\"}],\n"
+      " \"conversion\": {\"to\": [\"global\"], \"channel_jitter\": 1.5}}",
+      "bad.json: conversion channel rejected: ControlChannelOptions: "
+      "jitter must be in [0, 1]");
+}
+
+TEST(ScenarioCompile, ChannelMaxAttemptsRejected) {
+  expect_compile_error(
+      "{\"name\": \"x\",\n"
+      " \"topology\": {\"kind\": \"flat_tree\"},\n"
+      " \"traffic\": [{\"pattern\": \"permutation\"}],\n"
+      " \"conversion\": {\"to\": [\"global\"], \"channel_max_attempts\": 0}}",
+      "bad.json: conversion channel rejected: ControlChannelOptions: "
+      "max_attempts must be >= 1");
+}
+
 TEST(ScenarioCompile, RepairRefreshSingleWindowOnly) {
   expect_compile_error(
       "{\"name\": \"x\",\n"

@@ -1,0 +1,142 @@
+// Differential pin for ControllerOptions::warm_repair: on pure-removal
+// failure streams the warm eviction policy (PathCache::rebind_warm, the
+// provably minimal exact set under the adjacency delta) must produce a
+// post-repair route state byte-identical to the legacy
+// survivors-stay-valid scan — same RepairPlan accounting, same per-pair
+// server paths, across every mode and across *sequences* of repairs where
+// the second failure strikes an already-repaired cache. Converter-rewire
+// repairs fall back to the legacy policy by construction, so the two
+// controllers agree there too (used_converter_rewire included).
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "control/controller.h"
+#include "core/flat_tree.h"
+#include "net/failures.h"
+#include "net/graph.h"
+#include "net/rng.h"
+
+namespace flattree {
+namespace {
+
+Controller make_controller(bool warm, std::uint32_t k = 4) {
+  FlatTreeParams p;
+  p.clos = ClosParams::testbed();
+  p.six_port_per_column = 1;
+  p.four_port_per_column = 1;
+  ControllerOptions options;
+  options.k_global = k;
+  options.k_local = k;
+  options.k_clos = k;
+  options.count_rules = false;
+  options.warm_repair = warm;
+  return Controller{FlatTree{p}, options};
+}
+
+std::vector<LinkId> fabric_links(const Graph& g) {
+  std::vector<LinkId> out;
+  for (std::uint32_t i = 0; i < g.link_count(); ++i) {
+    const Link& l = g.link(LinkId{i});
+    if (is_switch(g.node(l.a).role) && is_switch(g.node(l.b).role)) {
+      out.push_back(LinkId{i});
+    }
+  }
+  return out;
+}
+
+void expect_plans_equal(const RepairPlan& w, const RepairPlan& c) {
+  EXPECT_EQ(w.converters_changed, c.converters_changed);
+  EXPECT_EQ(w.rules_deleted, c.rules_deleted);
+  EXPECT_EQ(w.rules_added, c.rules_added);
+  EXPECT_EQ(w.ocs_s, c.ocs_s);
+  EXPECT_EQ(w.delete_s, c.delete_s);
+  EXPECT_EQ(w.add_s, c.add_s);
+  EXPECT_EQ(w.pairs_invalidated, c.pairs_invalidated);
+  EXPECT_EQ(w.pairs_retained, c.pairs_retained);
+  EXPECT_EQ(w.used_converter_rewire, c.used_converter_rewire);
+  EXPECT_EQ(w.configs, c.configs);
+}
+
+// Byte-identical route state: every server pair serves the exact same
+// path list under both eviction policies.
+void expect_routes_equal(const CompiledMode& w, const CompiledMode& c) {
+  const std::vector<NodeId> servers = w.graph().servers();
+  for (std::size_t a = 0; a < servers.size(); ++a) {
+    for (std::size_t b = a + 1; b < servers.size(); ++b) {
+      const std::vector<Path> pw = w.paths().server_paths(servers[a],
+                                                          servers[b]);
+      const std::vector<Path> pc = c.paths().server_paths(servers[a],
+                                                          servers[b]);
+      ASSERT_EQ(pw, pc) << "pair " << servers[a].value() << "->"
+                        << servers[b].value();
+    }
+  }
+}
+
+TEST(WarmRepairDiff, PureRemovalStreamsMatchLegacyExactly) {
+  const Controller warm_ctl = make_controller(true);
+  const Controller cold_ctl = make_controller(false);
+  const PodMode modes[] = {PodMode::kClos, PodMode::kLocal, PodMode::kGlobal};
+
+  Rng rng{0xD1FF};
+  for (std::uint32_t round = 0; round < 9; ++round) {
+    const PodMode pm = modes[round % 3];
+    CompiledMode warm_mode = warm_ctl.compile_uniform(pm);
+    CompiledMode cold_mode = cold_ctl.compile_uniform(pm);
+
+    RepairOptions ropts;
+    ropts.allow_converter_rewire = false;  // pure removals only
+
+    // A stream of two failure sets: the second strikes the repaired cache,
+    // so warm eviction must stay exact on an already-incremental state.
+    // Pure removal = fabric links only: a dead switch can strand a
+    // converter-attached server, which needs the rewire action to rescue.
+    for (std::uint32_t burst = 0; burst < 2; ++burst) {
+      // Link ids are renumbered by the repaired realization, so re-derive
+      // the candidate set from the live graph each burst.
+      const std::vector<LinkId> links = fabric_links(warm_mode.graph());
+      FailureSet failures;
+      const std::size_t count = 1 + rng.next_below(3);
+      for (std::size_t j = 0; j < count; ++j) {
+        failures.links.push_back(links[rng.next_below(links.size())]);
+      }
+      const RepairPlan wp = warm_ctl.plan_repair(warm_mode, failures, ropts);
+      const RepairPlan cp = cold_ctl.plan_repair(cold_mode, failures, ropts);
+      EXPECT_FALSE(wp.used_converter_rewire);
+      expect_plans_equal(wp, cp);
+      expect_routes_equal(warm_mode, cold_mode);
+    }
+  }
+}
+
+TEST(WarmRepairDiff, ConverterRewireFallsBackToLegacy) {
+  const Controller warm_ctl = make_controller(true);
+  const Controller cold_ctl = make_controller(false);
+
+  // Kill a core switch under kGlobal with rewire allowed: stranded servers
+  // are rescued by flipping their converter pair, which adds adjacencies —
+  // warm eviction is unsound there, so plan_repair must take the legacy
+  // path on both controllers and still agree bit for bit.
+  CompiledMode warm_mode = warm_ctl.compile_uniform(PodMode::kGlobal);
+  CompiledMode cold_mode = cold_ctl.compile_uniform(PodMode::kGlobal);
+  const std::vector<NodeId> cores =
+      warm_mode.graph().nodes_with_role(NodeRole::kCore);
+  ASSERT_FALSE(cores.empty());
+  FailureSet failures;
+  failures.switches.push_back(cores.front());
+
+  const RepairPlan wp = warm_ctl.plan_repair(warm_mode, failures, {});
+  const RepairPlan cp = cold_ctl.plan_repair(cold_mode, failures, {});
+  expect_plans_equal(wp, cp);
+  expect_routes_equal(warm_mode, cold_mode);
+}
+
+TEST(WarmRepairDiff, DefaultStaysLegacy) {
+  // warm_repair defaults off: existing goldens depend on it.
+  EXPECT_FALSE(ControllerOptions{}.warm_repair);
+}
+
+}  // namespace
+}  // namespace flattree
